@@ -1,0 +1,448 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation (§5), plus ablation benches for the design choices
+// DESIGN.md calls out. Each benchmark executes a reduced sweep per
+// iteration and reports the figure's headline quantities as custom
+// metrics, so `go test -bench=. -benchmem` regenerates the whole
+// evaluation. Use cmd/easeio-bench for full-resolution tables.
+package easeio
+
+import (
+	"testing"
+	"time"
+
+	"easeio/internal/apps"
+	"easeio/internal/core"
+	"easeio/internal/experiments"
+	"easeio/internal/kernel"
+	"easeio/internal/power"
+	"easeio/internal/stats"
+)
+
+// benchRuns is the per-iteration sweep size (the paper uses 1000 per
+// configuration; benchmarks trade resolution for iteration speed).
+const benchRuns = 120
+
+func benchCfg() experiments.Config {
+	return experiments.Config{Runs: benchRuns, BaseSeed: 1}
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// BenchmarkTable3 regenerates the application inventory.
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			totalTasks := 0
+			for _, r := range rows {
+				totalTasks += r.Tasks
+			}
+			b.ReportMetric(float64(totalTasks), "tasks")
+		}
+	}
+}
+
+// uniTaskBench runs the phase-1 sweep and reports one case's headline
+// numbers: total time per runtime and EaseIO's savings.
+func uniTaskBench(b *testing.B, caseIdx int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		data, err := experiments.UniTask(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			sums := data.Summaries[caseIdx]
+			b.ReportMetric(ms(sums[0].MeanTotalTime()), "alpaca-ms")
+			b.ReportMetric(ms(sums[1].MeanTotalTime()), "ink-ms")
+			b.ReportMetric(ms(sums[2].MeanTotalTime()), "easeio-ms")
+			b.ReportMetric(ms(sums[2].Work[stats.Wasted].T), "easeio-wasted-ms")
+			b.ReportMetric(ms(sums[0].Work[stats.Wasted].T), "alpaca-wasted-ms")
+		}
+	}
+}
+
+// BenchmarkFigure7a: Single-semantics DMA application.
+func BenchmarkFigure7a(b *testing.B) { uniTaskBench(b, 0) }
+
+// BenchmarkFigure7b: Timely-semantics temperature application.
+func BenchmarkFigure7b(b *testing.B) { uniTaskBench(b, 1) }
+
+// BenchmarkFigure7c: Always-semantics LEA application.
+func BenchmarkFigure7c(b *testing.B) { uniTaskBench(b, 2) }
+
+// BenchmarkTable4: power failures and redundant I/O counts.
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		data, err := experiments.UniTask(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			alp, ease := data.Summaries[0][0], data.Summaries[0][2]
+			b.ReportMetric(float64(alp.PowerFailures)/benchRuns, "alpaca-pf/run")
+			b.ReportMetric(float64(ease.PowerFailures)/benchRuns, "easeio-pf/run")
+			b.ReportMetric(float64(alp.IORepeats+alp.DMARepeats)/benchRuns, "alpaca-reexe/run")
+			b.ReportMetric(float64(ease.IORepeats+ease.DMARepeats)/benchRuns, "easeio-reexe/run")
+		}
+	}
+}
+
+// BenchmarkFigure8: average energy per uni-task execution.
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		data, err := experiments.UniTask(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(data.Summaries[0][0].MeanEnergy.Microjoules(), "alpaca-single-uJ")
+			b.ReportMetric(data.Summaries[0][2].MeanEnergy.Microjoules(), "easeio-single-uJ")
+		}
+	}
+}
+
+// BenchmarkFigure10: multi-task execution-time breakdown.
+func BenchmarkFigure10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		data, err := experiments.MultiTask(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			// Weather app: [EaseIOOp, EaseIO, InK, Alpaca].
+			w := data.Summaries[1]
+			b.ReportMetric(ms(w[3].MeanTotalTime()), "weather-alpaca-ms")
+			b.ReportMetric(ms(w[1].MeanTotalTime()), "weather-easeio-ms")
+			b.ReportMetric(ms(w[0].MeanTotalTime()), "weather-easeioOp-ms")
+			f := data.Summaries[0]
+			b.ReportMetric(ms(f[3].MeanTotalTime()), "fir-alpaca-ms")
+			b.ReportMetric(ms(f[1].MeanTotalTime()), "fir-easeio-ms")
+		}
+	}
+}
+
+// BenchmarkFigure11: multi-task energy.
+func BenchmarkFigure11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		data, err := experiments.MultiTask(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(data.Summaries[1][3].MeanEnergy.Microjoules(), "weather-alpaca-uJ")
+			b.ReportMetric(data.Summaries[1][1].MeanEnergy.Microjoules(), "weather-easeio-uJ")
+		}
+	}
+}
+
+// BenchmarkFigure12: FIR correctness counts.
+func BenchmarkFigure12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		data, err := experiments.MultiTask(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fir := data.Summaries[0]
+			b.ReportMetric(float64(fir[1].IncorrectRuns), "easeio-incorrect")
+			b.ReportMetric(float64(fir[2].IncorrectRuns), "ink-incorrect")
+			b.ReportMetric(float64(fir[3].IncorrectRuns), "alpaca-incorrect")
+		}
+	}
+}
+
+// BenchmarkTable5: weather classifier, double vs single buffer.
+func BenchmarkTable5(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Runs = 60 // 2 modes × 3 runtimes per iteration
+	for i := 0; i < b.N; i++ {
+		data, err := experiments.Table5(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, row := range data.Rows {
+				if row.Kind == experiments.EaseIO {
+					b.ReportMetric(ms(row.Cont[apps.SingleBuffer]), "easeio-cont-ms")
+					b.ReportMetric(ms(row.Int[apps.SingleBuffer]), "easeio-int-ms")
+				}
+				if row.Kind == experiments.Alpaca {
+					b.ReportMetric(float64(row.Incorrect[apps.SingleBuffer]), "alpaca-single-incorrect")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkTable6: memory and code-size measurement.
+func BenchmarkTable6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		data, err := experiments.Table6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			// DMA app row: EaseIO FRAM includes the 4 KB privatization
+			// buffer, Temp row does not use it.
+			for ai, label := range data.Apps {
+				if label == "DMA" {
+					b.ReportMetric(float64(data.Cells[ai][2].FRAM), "dma-easeio-fram-B")
+					b.ReportMetric(float64(data.Cells[ai][0].FRAM), "dma-alpaca-fram-B")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFigure13: the RF-harvester distance sweep.
+func BenchmarkFigure13(b *testing.B) {
+	cfg := experiments.DefaultFig13Config()
+	cfg.Runs = 20
+	for i := 0; i < b.N; i++ {
+		data, err := experiments.Fig13(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			last := len(data.Times) - 1
+			b.ReportMetric(ms(data.Times[0][3]-data.Times[0][0]), "near-alpaca-dt-ms")
+			b.ReportMetric(ms(data.Times[last][3]-data.Times[last][0]), "far-alpaca-dt-ms")
+			b.ReportMetric(data.Failures[last][3], "far-pf/run")
+		}
+	}
+}
+
+// --- Ablation benches (design-choice isolation) ---
+
+// BenchmarkAblationRegionalPrivatization compares the weather app's
+// single-buffer correctness and overhead with regional privatization on
+// and off.
+func BenchmarkAblationRegionalPrivatization(b *testing.B) {
+	for _, on := range []bool{true, false} {
+		name := "off"
+		if on {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				incorrect := 0
+				var overhead time.Duration
+				for seed := int64(1); seed <= 60; seed++ {
+					bench, err := apps.NewWeatherApp(apps.DefaultWeatherConfig())
+					if err != nil {
+						b.Fatal(err)
+					}
+					cfg := core.DefaultConfig()
+					cfg.RegionalPrivatization = on
+					dev := kernel.NewDevice(power.NewTimer(power.DefaultTimerConfig()), seed)
+					if err := kernel.RunApp(dev, core.NewWithConfig(cfg), bench.App); err != nil {
+						b.Fatal(err)
+					}
+					if !dev.Run.Correct {
+						incorrect++
+					}
+					overhead += dev.Run.Work[stats.Overhead].T
+				}
+				if i == 0 {
+					b.ReportMetric(float64(incorrect), "incorrect/60")
+					b.ReportMetric(ms(overhead/60), "overhead-ms")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationExclude isolates the Exclude annotation's effect on
+// the FIR filter's runtime overhead.
+func BenchmarkAblationExclude(b *testing.B) {
+	for _, exclude := range []bool{false, true} {
+		name := "privatized"
+		if exclude {
+			name = "excluded"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var overhead, total time.Duration
+				for seed := int64(1); seed <= 60; seed++ {
+					fc := apps.DefaultFIRConfig()
+					fc.ExcludeCoef = exclude
+					bench, err := apps.NewFIRApp(fc)
+					if err != nil {
+						b.Fatal(err)
+					}
+					dev := kernel.NewDevice(power.NewTimer(power.DefaultTimerConfig()), seed)
+					if err := kernel.RunApp(dev, core.New(), bench.App); err != nil {
+						b.Fatal(err)
+					}
+					overhead += dev.Run.Work[stats.Overhead].T
+					total += dev.Run.OnTime
+				}
+				if i == 0 {
+					b.ReportMetric(ms(overhead/60), "overhead-ms")
+					b.ReportMetric(ms(total/60), "total-ms")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationValuePrivatization measures the branch-stability
+// mechanism: with value privatization off, re-executions may take the
+// other branch (Figure 2c's bug).
+func BenchmarkAblationValuePrivatization(b *testing.B) {
+	for _, on := range []bool{true, false} {
+		name := "off"
+		if on {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				unsafeRuns := 0
+				for seed := int64(1); seed <= 120; seed++ {
+					bench, err := apps.NewBranchApp(apps.DefaultBranchConfig())
+					if err != nil {
+						b.Fatal(err)
+					}
+					cfg := core.DefaultConfig()
+					cfg.ValuePrivatization = on
+					cfg.RegionalPrivatization = false // isolate the value mechanism
+					dev := kernel.NewDevice(power.NewTimer(power.DefaultTimerConfig()), seed)
+					if err := kernel.RunApp(dev, core.NewWithConfig(cfg), bench.App); err != nil {
+						b.Fatal(err)
+					}
+					if !dev.Run.Correct {
+						unsafeRuns++
+					}
+				}
+				if i == 0 {
+					b.ReportMetric(float64(unsafeRuns), "unsafe/120")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed: one full
+// weather-app run per iteration.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench, err := apps.NewWeatherApp(apps.DefaultWeatherConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		dev := kernel.NewDevice(power.NewTimer(power.DefaultTimerConfig()), int64(i)+1)
+		if err := kernel.RunApp(dev, core.New(), bench.App); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSensitivity: the extension sweep — EaseIO's speedup across
+// energy-environment harshness.
+func BenchmarkSensitivity(b *testing.B) {
+	cfg := experiments.DefaultSensitivityConfig()
+	cfg.Runs = 60
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Sensitivity(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(points[0].Speedup(), "harsh-speedup")
+			b.ReportMetric(points[len(points)-1].Speedup(), "mild-speedup")
+		}
+	}
+}
+
+// BenchmarkLoggers: the JustDo logging comparator on the uni-task apps.
+func BenchmarkLoggers(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Runs = 60
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Loggers(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				if r.App == "Single (DMA)" {
+					switch r.Runtime {
+					case "JustDo":
+						b.ReportMetric(ms(r.Cont), "justdo-cont-ms")
+						b.ReportMetric(ms(r.Int), "justdo-int-ms")
+					case "EaseIO":
+						b.ReportMetric(ms(r.Cont), "easeio-cont-ms")
+						b.ReportMetric(ms(r.Int), "easeio-int-ms")
+					}
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkDiurnal: completions per synthetic solar day.
+func BenchmarkDiurnal(b *testing.B) {
+	cfg := experiments.DefaultDiurnalConfig()
+	cfg.Runs = 4
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Diurnal(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				switch r.Runtime {
+				case "Alpaca":
+					b.ReportMetric(r.Completions, "alpaca-completions")
+				case "EaseIO":
+					b.ReportMetric(r.Completions, "easeio-completions")
+				}
+			}
+		}
+	}
+}
+
+// --- Micro-benchmarks of the simulator itself ---
+
+// BenchmarkChargeLoop measures the kernel's cost-charging hot path.
+func BenchmarkChargeLoop(b *testing.B) {
+	dev := kernel.NewDevice(power.Continuous{}, 1)
+	ctx := kernelCtxForBench(dev)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx.ChargeCycles(100)
+	}
+}
+
+// BenchmarkLEAFirKernel measures the FIR data plane.
+func BenchmarkLEAFirKernel(b *testing.B) {
+	dev := kernel.NewDevice(power.Continuous{}, 1)
+	ctx := kernelCtxForBench(dev)
+	for i := 0; i < 287; i++ {
+		ctx.WriteLEA(i, uint16(i))
+	}
+	for i := 0; i < 32; i++ {
+		ctx.WriteLEA(320+i, 100)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx.LEAFir(0, 320, 400, 287, 32)
+	}
+}
+
+// kernelCtxForBench builds a context on a no-op runtime.
+func kernelCtxForBench(dev *kernel.Device) *kernel.Ctx {
+	bench, err := apps.NewLEAApp(apps.DefaultLEAConfig())
+	if err != nil {
+		panic(err)
+	}
+	rt := core.New()
+	if err := rt.Attach(dev, bench.App); err != nil {
+		panic(err)
+	}
+	return &kernel.Ctx{Dev: dev, RT: rt}
+}

@@ -1,0 +1,163 @@
+// Command easeio-bench regenerates the tables and figures of the EaseIO
+// paper's evaluation (EuroSys 2023, §5) from the simulator.
+//
+// Usage:
+//
+//	easeio-bench [-exp all|table3|fig7|table4|fig8|fig10|fig11|fig12|table5|table6|fig13] [-runs N] [-seed S]
+//
+// Each experiment prints the same rows or series the paper reports; see
+// EXPERIMENTS.md for the paper-vs-measured record.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"easeio/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment to run (all, table1, table3, fig7, table4, fig8, fig10, fig11, fig12, table5, table6, fig13, sensitivity, loggers, diurnal)")
+		runs   = flag.Int("runs", 1000, "seeded runs per configuration (the paper uses 1000)")
+		seed   = flag.Int64("seed", 1, "base seed")
+		csvDir = flag.String("csv", "", "if set, also write <dir>/<experiment>.csv data files")
+	)
+	flag.Parse()
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fail(err)
+		}
+	}
+	writeCSV := func(ds experiments.Dataset) {
+		if *csvDir == "" {
+			return
+		}
+		path := filepath.Join(*csvDir, ds.Name+".csv")
+		if err := os.WriteFile(path, []byte(ds.CSV()), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("(wrote %s)\n", path)
+	}
+
+	cfg := experiments.Config{Runs: *runs, BaseSeed: *seed}
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+	start := time.Now()
+
+	if want("table1") {
+		fmt.Println(experiments.RenderTable1(experiments.Table1()))
+	}
+	if want("table3") {
+		rows, err := experiments.Table3()
+		fail(err)
+		fmt.Println(experiments.RenderTable3(rows))
+	}
+	if want("fig7") || want("table4") || want("fig8") {
+		uni, err := experiments.UniTask(cfg)
+		fail(err)
+		if want("fig7") {
+			fmt.Println(uni.RenderFigure7())
+		}
+		if want("table4") {
+			fmt.Println(uni.RenderTable4())
+		}
+		if want("fig8") {
+			fmt.Println(uni.RenderFigure8())
+		}
+		writeCSV(uni.Dataset())
+	}
+	if want("fig10") || want("fig11") || want("fig12") {
+		multi, err := experiments.MultiTask(cfg)
+		fail(err)
+		if want("fig10") {
+			fmt.Println(multi.RenderFigure10())
+		}
+		if want("fig11") {
+			fmt.Println(multi.RenderFigure11())
+		}
+		if want("fig12") {
+			fmt.Println(multi.RenderFigure12())
+		}
+		writeCSV(multi.Dataset())
+	}
+	if want("table5") {
+		t5cfg := cfg
+		if *exp == "all" && t5cfg.Runs > 300 {
+			t5cfg.Runs = 300 // 2 modes × 3 runtimes: keep "all" quick
+		}
+		t5, err := experiments.Table5(t5cfg)
+		fail(err)
+		fmt.Println(t5.Render())
+		writeCSV(t5.Dataset())
+	}
+	if want("table6") {
+		t6, err := experiments.Table6()
+		fail(err)
+		fmt.Println(t6.Render())
+		writeCSV(t6.Dataset())
+	}
+	if want("sensitivity") {
+		scfg := experiments.DefaultSensitivityConfig()
+		if *exp == "sensitivity" {
+			scfg.Runs = *runs
+		}
+		points, err := experiments.Sensitivity(scfg)
+		fail(err)
+		fmt.Println(experiments.RenderSensitivity(points))
+		writeCSV(experiments.SensitivityDataset(points))
+	}
+	if want("loggers") {
+		lcfg := cfg
+		if *exp == "all" && lcfg.Runs > 300 {
+			lcfg.Runs = 300
+		}
+		rows, err := experiments.Loggers(lcfg)
+		fail(err)
+		fmt.Println(experiments.RenderLoggers(rows))
+		writeCSV(experiments.LoggersDataset(rows))
+	}
+	if want("diurnal") {
+		dcfg := experiments.DefaultDiurnalConfig()
+		rows, err := experiments.Diurnal(dcfg)
+		fail(err)
+		fmt.Println(experiments.RenderDiurnal(rows))
+		writeCSV(experiments.DiurnalDataset(rows))
+	}
+	if want("fig13") {
+		fcfg := experiments.DefaultFig13Config()
+		if *exp == "fig13" && *runs != 1000 {
+			fcfg.Runs = *runs
+		}
+		f13, err := experiments.Fig13(fcfg)
+		fail(err)
+		fmt.Println(f13.Render())
+		writeCSV(f13.Dataset())
+	}
+	if !anyExperiment(*exp) {
+		fmt.Fprintf(os.Stderr, "easeio-bench: unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+	fmt.Printf("done in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func anyExperiment(name string) bool {
+	known := "all table1 table3 fig7 table4 fig8 fig10 fig11 fig12 table5 table6 fig13 sensitivity loggers diurnal"
+	for _, k := range strings.Fields(known) {
+		if name == k {
+			return true
+		}
+	}
+	return false
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "easeio-bench:", err)
+		os.Exit(1)
+	}
+}

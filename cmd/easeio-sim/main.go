@@ -1,0 +1,139 @@
+// Command easeio-sim runs one benchmark application under one runtime and
+// prints the full measurement record — a single-run view of what the
+// bench harness aggregates.
+//
+// Usage:
+//
+//	easeio-sim [-app dma|temp|lea|fir|weather|branch] [-rt easeio|alpaca|ink]
+//	           [-seed N] [-continuous] [-distance INCHES]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"easeio"
+	"easeio/internal/stats"
+)
+
+func main() {
+	var (
+		appName    = flag.String("app", "weather", "application: dma, temp, lea, fir, weather, branch")
+		rtName     = flag.String("rt", "easeio", "runtime: easeio, alpaca, ink, justdo")
+		seed       = flag.Int64("seed", 1, "random seed")
+		continuous = flag.Bool("continuous", false, "disable power failures")
+		distance   = flag.Float64("distance", 0, "if > 0, use the RF harvester at this distance (inches)")
+		trace      = flag.Bool("trace", false, "print the execution timeline (boots, failures, I/O decisions)")
+		gantt      = flag.Bool("gantt", false, "print an ASCII Gantt chart of the run")
+		lint       = flag.Bool("lint", false, "run the front-end's static checks before executing")
+	)
+	flag.Parse()
+
+	bench, err := buildApp(*appName)
+	fail(err)
+	rt, err := buildRuntime(*rtName)
+	fail(err)
+
+	opts := []easeio.Option{easeio.WithSeed(*seed)}
+	switch {
+	case *continuous:
+		opts = append(opts, easeio.WithContinuousPower())
+	case *distance > 0:
+		opts = append(opts, easeio.WithRFHarvester(*distance))
+	}
+	var ganttBuf *easeio.TraceBuffer
+	switch {
+	case *gantt:
+		ganttBuf = &easeio.TraceBuffer{}
+		opts = append(opts, easeio.WithTracer(ganttBuf))
+	case *trace:
+		opts = append(opts, easeio.WithTrace(os.Stdout))
+	}
+	if *lint {
+		findings, err := easeio.Lint(bench.App, easeio.DefaultLintConfig())
+		fail(err)
+		for _, f := range findings {
+			fmt.Println("lint:", f)
+		}
+	}
+
+	res, err := easeio.Run(bench.App, rt, opts...)
+	fail(err)
+
+	fmt.Printf("app=%s runtime=%s seed=%d\n", res.App, res.Runtime, res.Seed)
+	fmt.Printf("execution time : %v on, %v wall (%d boots, %d power failures)\n",
+		res.OnTime, res.WallTime, res.PowerFailures+1, res.PowerFailures)
+	fmt.Printf("work breakdown : app=%v overhead=%v wasted=%v\n",
+		res.Work[stats.App].T, res.Work[stats.Overhead].T, res.Work[stats.Wasted].T)
+	fmt.Printf("energy         : %v total (app=%v overhead=%v wasted=%v)\n",
+		res.TotalEnergy(), res.Work[stats.App].E, res.Work[stats.Overhead].E,
+		res.Work[stats.Wasted].E)
+	fmt.Printf("tasks          : %d attempts, %d commits\n", res.TaskAttempts, res.TaskCommits)
+	fmt.Printf("I/O            : %d executed, %d redundant, %d skipped\n",
+		res.IOExecs, res.IORepeats, res.IOSkips)
+	fmt.Printf("DMA            : %d executed, %d redundant, %d skipped\n",
+		res.DMAExecs, res.DMARepeats, res.DMASkips)
+	if len(res.PerSite) > 0 {
+		names := make([]string, 0, len(res.PerSite))
+		for n := range res.PerSite {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Printf("per-site execs :")
+		for _, n := range names {
+			fmt.Printf(" %s=%d", n, res.PerSite[n])
+		}
+		fmt.Println()
+	}
+	fmt.Printf("output correct : %v\n", res.Correct)
+	if ganttBuf != nil {
+		fmt.Println()
+		easeio.RenderGantt(ganttBuf, 100, os.Stdout)
+	}
+	if res.Stuck {
+		fmt.Println("NOTE: the harvester could not recharge the capacitor; run abandoned")
+	}
+}
+
+func buildApp(name string) (*easeio.Bench, error) {
+	switch name {
+	case "dma":
+		return easeio.NewDMABench()
+	case "temp":
+		return easeio.NewTempBench()
+	case "lea":
+		return easeio.NewLEABench()
+	case "fir":
+		return easeio.NewFIRBench(false)
+	case "weather":
+		return easeio.NewWeatherBench(false)
+	case "branch":
+		return easeio.NewBranchBench()
+	default:
+		return nil, fmt.Errorf("unknown app %q", name)
+	}
+}
+
+func buildRuntime(name string) (easeio.Runtime, error) {
+	switch name {
+	case "easeio":
+		return easeio.NewEaseIO(), nil
+	case "alpaca":
+		return easeio.NewAlpaca(), nil
+	case "ink":
+		return easeio.NewInK(), nil
+	case "justdo":
+		return easeio.NewJustDo(), nil
+	default:
+		return nil, fmt.Errorf("unknown runtime %q", name)
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "easeio-sim:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,318 @@
+// Package easeio is a faithful, executable reproduction of "Efficient and
+// Safe I/O Operations for Intermittent Systems" (Yildiz et al., EuroSys
+// 2023) as a Go library.
+//
+// The package simulates an MSP430FR5994-class batteryless device —
+// FRAM/SRAM/LEA-RAM memory, a capacitor fed by an energy harvester, a
+// persistent timekeeper, sensors, a radio, a camera, a DMA engine and the
+// LEA vector accelerator — and runs task-based intermittent applications
+// on it under three runtimes: the Alpaca and InK baselines and EaseIO,
+// the paper's contribution. EaseIO adds programmer-annotated I/O
+// re-execution semantics (Single, Timely, Always), atomic I/O blocks with
+// semantic precedence, memory-safe DMA with runtime classification and
+// two-phase privatization, and regional privatization of non-volatile
+// state.
+//
+// # Quick start
+//
+//	app := easeio.NewApp("hello")
+//	sensors := easeio.NewPeripherals(1)
+//	temp := app.TimelyIO("Temp", 10*time.Millisecond, true,
+//		func(e easeio.Exec, _ int) uint16 { return sensors.Temp.Sample(e) })
+//	reading := app.NVInt("reading")
+//	var done *easeio.Task
+//	app.AddTask("sense", func(e easeio.Exec) {
+//		e.Store(reading, e.CallIO(temp))
+//		e.Next(done)
+//	})
+//	done = app.AddTask("done", func(e easeio.Exec) { e.Done() })
+//
+//	res, err := easeio.Run(app, easeio.NewEaseIO(), easeio.WithSeed(42))
+//
+// Run analyzes the application with the compiler front-end, attaches it to
+// a fresh simulated device, executes it under emulated power failures and
+// returns the run's statistics. See the examples directory for complete
+// programs and cmd/easeio-bench for the harness that regenerates every
+// table and figure of the paper.
+package easeio
+
+import (
+	"io"
+
+	"easeio/internal/alpaca"
+	"easeio/internal/apps"
+	"easeio/internal/core"
+	"easeio/internal/energy"
+	"easeio/internal/frontend"
+	"easeio/internal/ink"
+	"easeio/internal/justdo"
+	"easeio/internal/kernel"
+	"easeio/internal/mem"
+	"easeio/internal/periph"
+	"easeio/internal/power"
+	"easeio/internal/stats"
+	"easeio/internal/task"
+	"easeio/internal/units"
+)
+
+// Blueprint types, re-exported from the internal task package.
+type (
+	// App is an application blueprint: tasks, task-shared variables, I/O
+	// sites, I/O blocks and DMA sites.
+	App = task.App
+	// Task is one atomic, all-or-nothing unit of execution.
+	Task = task.Task
+	// Exec is the execution surface task bodies program against.
+	Exec = task.Exec
+	// NVVar is a task-shared non-volatile variable.
+	NVVar = task.NVVar
+	// IOSite is a _call_IO site with a re-execution semantic.
+	IOSite = task.IOSite
+	// IOBlock is an atomic group of I/O operations.
+	IOBlock = task.IOBlock
+	// DMASite is a _DMA_copy site.
+	DMASite = task.DMASite
+	// Loc is a DMA endpoint (variable range or raw volatile address).
+	Loc = task.Loc
+	// Semantic is an I/O re-execution semantic.
+	Semantic = task.Semantic
+)
+
+// Re-execution semantics (§3.1 of the paper).
+const (
+	Always = task.Always
+	Single = task.Single
+	Timely = task.Timely
+)
+
+// NewApp returns an empty application blueprint.
+func NewApp(name string) *App { return task.NewApp(name) }
+
+// VarLoc returns a DMA endpoint at word off of variable v.
+func VarLoc(v *NVVar, off int) Loc { return task.VarLoc(v, off) }
+
+// LEALoc returns a DMA endpoint in the volatile LEA-RAM.
+func LEALoc(off int) Loc { return task.RawLoc(uint8(mem.LEARAM), off) }
+
+// Peripherals bundles the simulated sensor/radio/camera set.
+type Peripherals = periph.Set
+
+// NewPeripherals returns the standard peripheral set, seeded.
+func NewPeripherals(seed uint64) *Peripherals { return periph.StandardSet(seed) }
+
+// Runtime is a task-based intermittent runtime attached to the engine.
+type Runtime = kernel.Hooks
+
+// NewEaseIO returns the EaseIO runtime with the paper's configuration.
+func NewEaseIO() Runtime { return core.New() }
+
+// NewEaseIOWithConfig returns an EaseIO runtime with an explicit
+// configuration (privatization buffer size, ablation switches).
+func NewEaseIOWithConfig(cfg EaseIOConfig) Runtime { return core.NewWithConfig(cfg) }
+
+// EaseIOConfig tunes the EaseIO runtime.
+type EaseIOConfig = core.Config
+
+// DefaultEaseIOConfig matches the paper's evaluation setup.
+func DefaultEaseIOConfig() EaseIOConfig { return core.DefaultConfig() }
+
+// NewAlpaca returns the Alpaca baseline runtime.
+func NewAlpaca() Runtime { return alpaca.New() }
+
+// NewInK returns the InK baseline runtime.
+func NewInK() Runtime { return ink.New() }
+
+// NewJustDo returns the JustDo-style logging runtime — the
+// checkpointing-family comparator the paper discusses in §2 and §7.2
+// (resume-from-instruction, per-operation logging overhead).
+func NewJustDo() Runtime { return justdo.New() }
+
+// Result is the statistics record of one run.
+type Result = stats.Run
+
+// Supply models the device's power source.
+type Supply = power.Supply
+
+// TimerFailureConfig parameterizes the emulated soft-reset failures.
+type TimerFailureConfig = power.TimerConfig
+
+// Energy is an amount of energy in picojoules.
+type Energy = units.Energy
+
+// Analyze runs the compiler front-end over the application, computing the
+// per-task metadata (I/O sites, WAR sets, DMA regions) the runtimes
+// consume. Run calls it automatically; call it directly to inspect the
+// metadata.
+func Analyze(app *App) error { return frontend.Analyze(app) }
+
+// Options configures a simulation run.
+type Options struct {
+	seed   int64
+	supply Supply
+	tracer kernel.Tracer
+}
+
+// Option mutates run options.
+type Option func(*Options)
+
+// WithSeed sets the run's random seed (failure times and sensor noise).
+func WithSeed(seed int64) Option { return func(o *Options) { o.seed = seed } }
+
+// WithSupply installs a custom power supply.
+func WithSupply(s Supply) Option { return func(o *Options) { o.supply = s } }
+
+// WithContinuousPower disables power failures (the golden configuration).
+func WithContinuousPower() Option {
+	return WithSupply(power.Continuous{})
+}
+
+// WithTimerFailures installs the paper's soft-reset emulation with the
+// given on/off intervals.
+func WithTimerFailures(cfg TimerFailureConfig) Option {
+	return WithSupply(power.NewTimer(cfg))
+}
+
+// WithRFHarvester installs an energy-driven supply charged by an RF
+// transmitter at the given distance in inches (the §5.5 setup). The
+// path-loss curve is anchored at 52 inches, the closest distance of
+// Figure 13.
+func WithRFHarvester(distanceInches float64) Option {
+	return WithSupply(power.NewHarvested(energy.DefaultRF(distanceInches)))
+}
+
+// Run executes the application under the runtime on a fresh simulated
+// device. Without options it uses the paper's timer-driven power-failure
+// emulation and seed 0. The application is analyzed by the compiler
+// front-end if it has not been already.
+func Run(app *App, rt Runtime, opts ...Option) (*Result, error) {
+	o := Options{}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.supply == nil {
+		o.supply = power.NewTimer(power.DefaultTimerConfig())
+	}
+	needAnalysis := false
+	for _, t := range app.Tasks {
+		if !t.Meta.Analyzed {
+			needAnalysis = true
+			break
+		}
+	}
+	if needAnalysis {
+		if err := frontend.Analyze(app); err != nil {
+			return nil, err
+		}
+	}
+	dev := kernel.NewDevice(o.supply, o.seed)
+	dev.Tracer = o.tracer
+	if err := kernel.RunApp(dev, rt, app); err != nil {
+		return nil, err
+	}
+	return dev.Run, nil
+}
+
+// ReadVar reads word i of a variable's committed master copy through a
+// runtime that has completed a run — the "logic analyzer" view of final
+// non-volatile memory.
+func ReadVar(rt Runtime, v *NVVar, i int) uint16 {
+	a := rt.AddrOf(v)
+	return memOf(rt).Read(a.Add(i))
+}
+
+// memOf recovers the device memory from an attached runtime.
+func memOf(rt Runtime) *mem.Memory {
+	switch r := rt.(type) {
+	case *core.Runtime:
+		return r.Dev.Mem
+	case *alpaca.Runtime:
+		return r.Dev.Mem
+	case *ink.Runtime:
+		return r.Dev.Mem
+	case *justdo.Runtime:
+		return r.Dev.Mem
+	default:
+		panic("easeio: unknown runtime type")
+	}
+}
+
+// Prebuilt benchmark applications of the paper's evaluation.
+
+// Bench couples an analyzed application with its peripheral set.
+type Bench = apps.Bench
+
+// NewDMABench returns the Single-semantics uni-task benchmark (Fig 7a).
+func NewDMABench() (*Bench, error) { return apps.NewDMAApp(apps.DefaultDMAConfig()) }
+
+// NewTempBench returns the Timely-semantics uni-task benchmark (Fig 7b).
+func NewTempBench() (*Bench, error) { return apps.NewTempApp(apps.DefaultTempConfig()) }
+
+// NewLEABench returns the Always-semantics uni-task benchmark (Fig 7c).
+func NewLEABench() (*Bench, error) { return apps.NewLEAApp(apps.DefaultLEAConfig()) }
+
+// NewFIRBench returns the FIR filter benchmark (Figs 10–12). excludeCoef
+// applies the paper's Exclude annotation to the coefficient DMA
+// ("EaseIO/Op.").
+func NewFIRBench(excludeCoef bool) (*Bench, error) {
+	cfg := apps.DefaultFIRConfig()
+	cfg.ExcludeCoef = excludeCoef
+	return apps.NewFIRApp(cfg)
+}
+
+// NewWeatherBench returns the 11-task DNN weather classifier (Fig 9,
+// Table 5). doubleBuffer selects the conventional double-buffered DNN.
+func NewWeatherBench(doubleBuffer bool) (*Bench, error) {
+	cfg := apps.DefaultWeatherConfig()
+	if doubleBuffer {
+		cfg.Buffers = apps.DoubleBuffer
+	}
+	return apps.NewWeatherApp(cfg)
+}
+
+// NewBranchBench returns the unsafe-program-execution scenario of
+// Figure 2c: a sensor-dependent branch writing different non-volatile
+// flags.
+func NewBranchBench() (*Bench, error) {
+	return apps.NewBranchApp(apps.DefaultBranchConfig())
+}
+
+// WithTrace streams the execution timeline (boots, power failures, task
+// attempts, I/O and DMA decisions, regional privatization) to w.
+func WithTrace(w io.Writer) Option {
+	return func(o *Options) { o.tracer = kernel.TraceWriter{W: w} }
+}
+
+// WithTracer installs a custom trace sink.
+func WithTracer(t Tracer) Option {
+	return func(o *Options) { o.tracer = t }
+}
+
+// Tracer receives execution timeline events (see TraceBuffer).
+type Tracer = kernel.Tracer
+
+// TraceBuffer retains timeline events in memory for inspection.
+type TraceBuffer = kernel.TraceBuffer
+
+// Lint runs the compiler front-end's static checks over the application:
+// unsafe Exclude annotations, privatization-buffer sizing (the §6
+// compile-time check), and dead-annotation warnings.
+func Lint(app *App, cfg LintConfig) ([]LintFinding, error) {
+	return frontend.Lint(app, cfg)
+}
+
+// LintConfig parameterizes the static checks.
+type LintConfig = frontend.LintConfig
+
+// LintFinding is one diagnostic.
+type LintFinding = frontend.Finding
+
+// DefaultLintConfig checks against the paper's 4 KB privatization buffer.
+func DefaultLintConfig() LintConfig {
+	return LintConfig{PrivBufWords: DefaultEaseIOConfig().PrivBufWords}
+}
+
+// RenderGantt draws an ASCII timeline of a traced run (power lane plus a
+// lane per task) to w; width is the chart width in character cells.
+func RenderGantt(buf *TraceBuffer, width int, w io.Writer) {
+	kernel.RenderGantt(buf, width, w)
+}

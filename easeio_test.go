@@ -1,0 +1,206 @@
+package easeio
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"easeio/internal/stats"
+)
+
+// TestPublicAPIQuickstart exercises the README's quick-start flow end to
+// end through the public surface only.
+func TestPublicAPIQuickstart(t *testing.T) {
+	app := NewApp("hello")
+	sensors := NewPeripherals(1)
+	temp := app.TimelyIO("Temp", 10*time.Millisecond, true,
+		func(e Exec, _ int) uint16 { return sensors.Temp.Sample(e) })
+	reading := app.NVInt("reading")
+	var done *Task
+	app.AddTask("sense", func(e Exec) {
+		e.Store(reading, e.CallIO(temp))
+		e.Compute(2000)
+		e.Next(done)
+	})
+	done = app.AddTask("done", func(e Exec) { e.Done() })
+
+	res, err := Run(app, NewEaseIO(), WithSeed(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.App != "hello" || res.Runtime != "EaseIO" {
+		t.Errorf("labels: %s/%s", res.App, res.Runtime)
+	}
+	if res.TaskCommits != 2 {
+		t.Errorf("commits = %d", res.TaskCommits)
+	}
+	if res.OnTime <= 0 || res.TotalEnergy() <= 0 {
+		t.Error("no work accounted")
+	}
+}
+
+func TestRunOptions(t *testing.T) {
+	bench, err := NewTempBench()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Continuous power.
+	res, err := Run(bench.App, NewAlpaca(), WithContinuousPower())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PowerFailures != 0 {
+		t.Errorf("failures = %d under continuous power", res.PowerFailures)
+	}
+	// Custom timer window.
+	// The sense task alone takes ~7.7 ms; 8–9 ms windows interrupt the
+	// run but still let every task complete.
+	cfg := TimerFailureConfig{
+		OnMin: 8 * time.Millisecond, OnMax: 9 * time.Millisecond,
+		OffMin: time.Millisecond, OffMax: 2 * time.Millisecond,
+	}
+	bench2, _ := NewTempBench()
+	res2, err := Run(bench2.App, NewInK(), WithTimerFailures(cfg), WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.PowerFailures == 0 {
+		t.Error("a ~10 ms app under 8-9 ms windows must fail at least once")
+	}
+}
+
+func TestRunRFHarvester(t *testing.T) {
+	bench, err := NewFIRBench(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(bench.App, NewEaseIO(), WithRFHarvester(52))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Correct {
+		t.Error("FIR incorrect under EaseIO")
+	}
+}
+
+func TestPrebuiltBenches(t *testing.T) {
+	builders := map[string]func() (*Bench, error){
+		"dma":     NewDMABench,
+		"temp":    NewTempBench,
+		"lea":     NewLEABench,
+		"fir":     func() (*Bench, error) { return NewFIRBench(true) },
+		"weather": func() (*Bench, error) { return NewWeatherBench(true) },
+		"branch":  NewBranchBench,
+	}
+	for name, build := range builders {
+		b, err := build()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		res, err := Run(b.App, NewEaseIO(), WithSeed(3))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !res.Correct {
+			t.Errorf("%s: incorrect under EaseIO", name)
+		}
+	}
+}
+
+func TestReadVarThroughPublicAPI(t *testing.T) {
+	app := NewApp("rv")
+	v := app.NVInt("v")
+	app.AddTask("t", func(e Exec) {
+		e.Store(v, 77)
+		e.Done()
+	})
+	for _, rt := range []Runtime{NewEaseIO(), NewAlpaca(), NewInK()} {
+		app2 := NewApp("rv")
+		v2 := app2.NVInt("v")
+		app2.AddTask("t", func(e Exec) {
+			e.Store(v2, 77)
+			e.Done()
+		})
+		if _, err := Run(app2, rt, WithContinuousPower()); err != nil {
+			t.Fatal(err)
+		}
+		if got := ReadVar(rt, v2, 0); got != 77 {
+			t.Errorf("%s: ReadVar = %d", rt.Name(), got)
+		}
+	}
+	_ = v
+}
+
+// TestEaseIOBeatsBaselinesOnWastedWork is the headline regression: over a
+// seed sweep, EaseIO must waste significantly less work than Alpaca on
+// the Single-semantics benchmark.
+func TestEaseIOBeatsBaselinesOnWastedWork(t *testing.T) {
+	var easeWasted, alpacaWasted time.Duration
+	for seed := int64(1); seed <= 40; seed++ {
+		be, _ := NewDMABench()
+		re, err := Run(be.App, NewEaseIO(), WithSeed(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		easeWasted += re.Work[stats.Wasted].T
+
+		ba, _ := NewDMABench()
+		ra, err := Run(ba.App, NewAlpaca(), WithSeed(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		alpacaWasted += ra.Work[stats.Wasted].T
+	}
+	if easeWasted*2 > alpacaWasted {
+		t.Errorf("EaseIO wasted %v vs Alpaca %v; expected at least a 2× reduction",
+			easeWasted, alpacaWasted)
+	}
+}
+
+func TestTracerAndGanttThroughFacade(t *testing.T) {
+	bench, err := NewTempBench()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := &TraceBuffer{}
+	if _, err := Run(bench.App, NewEaseIO(), WithSeed(5), WithTracer(buf)); err != nil {
+		t.Fatal(err)
+	}
+	if len(buf.Events) == 0 {
+		t.Fatal("no trace events")
+	}
+	var sb strings.Builder
+	RenderGantt(buf, 60, &sb)
+	if !strings.Contains(sb.String(), "power") {
+		t.Error("gantt rendering broken")
+	}
+	// WithTrace streams to a writer.
+	var stream strings.Builder
+	bench2, _ := NewTempBench()
+	if _, err := Run(bench2.App, NewEaseIO(), WithSeed(5), WithTrace(&stream)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stream.String(), "task-begin") {
+		t.Error("trace stream missing events")
+	}
+}
+
+func TestJustDoThroughFacade(t *testing.T) {
+	bench, err := NewDMABench()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := NewJustDo()
+	res, err := Run(bench.App, rt, WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Correct {
+		t.Error("JustDo incorrect on the DMA benchmark")
+	}
+	if res.Runtime != "JustDo" {
+		t.Errorf("runtime label = %q", res.Runtime)
+	}
+	v := bench.App.Vars[2] // checksum
+	_ = ReadVar(rt, v, 0)  // must not panic for justdo runtimes
+}

@@ -1,0 +1,120 @@
+// Sensorlog: a from-scratch application using the full EaseIO programming
+// surface — an atomic I/O block combining Timely and Always semantics
+// (Figure 3), a loop of Single samples with per-iteration lock flags
+// (§6), a DMA transfer with runtime classification, and a Single radio
+// transmission with declared data dependencies (§3.3.2). It runs under
+// the emulated power failures and under the RF energy harvester.
+//
+// Run with:
+//
+//	go run ./examples/sensorlog
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"easeio"
+	"easeio/internal/stats"
+)
+
+const samples = 8
+
+func buildApp(p *easeio.Peripherals) (*easeio.App, *easeio.NVVar) {
+	app := easeio.NewApp("sensorlog")
+
+	// Environment snapshot: temperature within 10 ms of humidity, taken
+	// atomically (the block is Single: once complete, never repeated).
+	temp := app.TimelyIO("Temp", 10*time.Millisecond, true,
+		func(e easeio.Exec, _ int) uint16 { return p.Temp.Sample(e) })
+	humd := app.IO("Humd", easeio.Always, true,
+		func(e easeio.Exec, _ int) uint16 { return p.Humidity.Sample(e) })
+	senseBlk := app.Block("env", easeio.Single)
+
+	// A burst of pressure samples: each loop iteration has its own lock
+	// flag, so completed samples survive power failures.
+	pres := app.IO("Pres", easeio.Single, true,
+		func(e easeio.Exec, _ int) uint16 { return p.Pressure.Sample(e) }).
+		Loop(samples)
+
+	// The transmission depends on the sensing: if a re-boot re-senses,
+	// the packet is re-sent with the fresh values.
+	send := app.IO("Send", easeio.Single, false,
+		func(e easeio.Exec, _ int) uint16 {
+			p.Radio.Send(e, samples+2)
+			return 0
+		}).After(temp, humd)
+
+	logBuf := app.NVBuf("log", samples+2)
+	archive := app.NVBuf("archive", samples+2)
+	dSave := app.DMA("archive_copy")
+
+	var tBurst, tArchive, tSend, tDone *easeio.Task
+	app.AddTask("env", func(e easeio.Exec) {
+		var tv, hv uint16
+		e.IOBlock(senseBlk, func() {
+			tv = e.CallIO(temp)
+			hv = e.CallIO(humd)
+		})
+		e.Compute(2000)
+		e.StoreAt(logBuf, 0, tv)
+		e.StoreAt(logBuf, 1, hv)
+		e.Next(tBurst)
+	})
+	tBurst = app.AddTask("burst", func(e easeio.Exec) {
+		for i := 0; i < samples; i++ {
+			e.StoreAt(logBuf, 2+i, e.CallIOAt(pres, i))
+		}
+		e.Compute(1500)
+		e.Next(tArchive)
+	})
+	tArchive = app.AddTask("archive", func(e easeio.Exec) {
+		// NVM→NVM copy: classified Single at run time — never repeated
+		// once the following region commits.
+		e.DMACopy(dSave, easeio.VarLoc(logBuf, 0), easeio.VarLoc(archive, 0), samples+2)
+		e.Compute(2500)
+		e.Next(tSend)
+	})
+	tSend = app.AddTask("send", func(e easeio.Exec) {
+		e.CallIO(send)
+		e.Compute(2000)
+		e.Next(tDone)
+	})
+	tDone = app.AddTask("done", func(e easeio.Exec) {
+		e.Done()
+	})
+	return app, archive
+}
+
+func main() {
+	for _, mode := range []struct {
+		label string
+		opt   easeio.Option
+	}{
+		{"emulated failures (timer)", easeio.WithSeed(21)},
+		{"RF harvester at 52 in", easeio.WithRFHarvester(52)},
+		{"RF harvester at 64 in", easeio.WithRFHarvester(64)},
+	} {
+		p := easeio.NewPeripherals(3)
+		app, archive := buildApp(p)
+		rt := easeio.NewEaseIO()
+		res, err := easeio.Run(app, rt, mode.opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s:\n", mode.label)
+		fmt.Printf("  time  on=%v wall=%v  failures=%d\n",
+			res.OnTime, res.WallTime.Round(time.Microsecond), res.PowerFailures)
+		fmt.Printf("  I/O   %d executed, %d skipped, %d redundant; DMA %d/%d skipped\n",
+			res.IOExecs, res.IOSkips, res.IORepeats, res.DMASkips, res.DMAExecs+res.DMASkips)
+		fmt.Printf("  work  app=%v overhead=%v wasted=%v\n",
+			res.Work[stats.App].T, res.Work[stats.Overhead].T, res.Work[stats.Wasted].T)
+		fmt.Printf("  archived record:")
+		for i := 0; i < samples+2; i++ {
+			fmt.Printf(" %d", easeio.ReadVar(rt, archive, i))
+		}
+		fmt.Println()
+		fmt.Println()
+	}
+}

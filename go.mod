@@ -1,0 +1,3 @@
+module easeio
+
+go 1.23

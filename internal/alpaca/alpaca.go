@@ -1,0 +1,172 @@
+// Package alpaca implements the Alpaca baseline runtime (Maeng, Colin,
+// Lucia — OOPSLA 2017), one of the two state-of-the-art systems the paper
+// compares against.
+//
+// Alpaca gives tasks all-or-nothing semantics by privatizing the
+// task-shared variables that carry a write-after-read (WAR) dependence
+// inside the task: at task entry each WAR variable is copied into a
+// private buffer, CPU accesses are redirected to the private copy, and the
+// copy commits back to the master at the task transition. Variables
+// without WAR dependences are accessed in place — re-executing their
+// writes is idempotent.
+//
+// Alpaca has no notion of peripheral operations: every I/O call and every
+// DMA transfer inside an interrupted task simply re-executes (Table 1).
+// DMA writes land on master copies directly, bypassing privatization,
+// which is exactly the idempotence-bug surface §2.1.2 describes.
+package alpaca
+
+import (
+	"easeio/internal/kernel"
+	"easeio/internal/mcu"
+	"easeio/internal/mem"
+	"easeio/internal/rtbase"
+	"easeio/internal/task"
+)
+
+// Runtime is one per-run Alpaca instance.
+type Runtime struct {
+	rtbase.Base
+
+	// priv maps (task, var) to the private copy's FRAM address.
+	priv map[privKey]mem.Addr
+	// active tracks which variables are currently privatized (volatile:
+	// rebuilt by BeginTask after every boot, mirroring Alpaca's task-entry
+	// privatization pass).
+	active map[*task.NVVar]mem.Addr
+	// dirty tracks privatized variables written during the attempt.
+	dirty map[*task.NVVar]bool
+	// curTask is the task being executed (for deterministic commit order).
+	curTask *task.Task
+}
+
+type privKey struct {
+	taskID int
+	varID  int
+}
+
+// New returns a fresh Alpaca runtime.
+func New() *Runtime { return &Runtime{} }
+
+var _ kernel.Hooks = (*Runtime)(nil)
+
+// Name implements kernel.Hooks.
+func (r *Runtime) Name() string { return "Alpaca" }
+
+// Attach implements kernel.Hooks: allocates master copies plus one private
+// buffer per (task, WAR variable) pair.
+func (r *Runtime) Attach(dev *kernel.Device, app *task.App) error {
+	if err := r.Init(dev, app, "Alpaca"); err != nil {
+		return err
+	}
+	r.priv = make(map[privKey]mem.Addr)
+	r.active = make(map[*task.NVVar]mem.Addr)
+	r.dirty = make(map[*task.NVVar]bool)
+	for _, t := range app.Tasks {
+		for _, v := range t.Meta.WAR {
+			k := privKey{t.ID, v.ID}
+			r.priv[k] = dev.Mem.Alloc(mem.FRAM, "Alpaca", "priv:"+t.Name+":"+v.Name, v.Words)
+		}
+	}
+	return nil
+}
+
+// OnBoot implements kernel.Hooks.
+func (r *Runtime) OnBoot(c *kernel.Ctx) {
+	r.LoadBoot(c)
+	clear(r.active)
+	clear(r.dirty)
+}
+
+// CurrentTask implements kernel.Hooks.
+func (r *Runtime) CurrentTask() *task.Task { return r.Current() }
+
+// BeginTask implements kernel.Hooks: privatize the task's WAR variables.
+// The copy is charged first and applied afterwards, so an interrupted
+// privatization leaves no partial state (the real Alpaca achieves this by
+// re-running privatization idempotently from the master copies).
+func (r *Runtime) BeginTask(c *kernel.Ctx, t *task.Task) {
+	clear(r.active)
+	clear(r.dirty)
+	r.curTask = t
+	for _, v := range t.Meta.WAR {
+		p := r.priv[privKey{t.ID, v.ID}]
+		c.ChargeOverheadCycles(int64(v.Words) * mcu.PrivatizeWordCycles)
+		master := r.MasterAddr(v)
+		for i := 0; i < v.Words; i++ {
+			r.Dev.Mem.Write(p.Add(i), r.Dev.Mem.Read(master.Add(i)))
+		}
+		r.active[v] = p
+	}
+}
+
+// Transition implements kernel.Hooks: commit dirty private copies back to
+// the masters, then advance the task pointer (pseudo-atomically, see
+// rtbase).
+func (r *Runtime) Transition(c *kernel.Ctx, next *task.Task) {
+	type commitEntry struct {
+		v *task.NVVar
+		p mem.Addr
+	}
+	var commits []commitEntry
+	if r.curTask != nil {
+		for _, v := range r.curTask.Meta.WAR {
+			p, ok := r.active[v]
+			if !ok || !r.dirty[v] {
+				continue
+			}
+			c.ChargeOverheadCycles(int64(v.Words) * mcu.CommitWordCycles)
+			commits = append(commits, commitEntry{v, p})
+		}
+	}
+	r.CommitTransition(c, next, func() {
+		for _, e := range commits {
+			master := r.MasterAddr(e.v)
+			for i := 0; i < e.v.Words; i++ {
+				r.Dev.Mem.Write(master.Add(i), r.Dev.Mem.Read(e.p.Add(i)))
+			}
+		}
+	})
+	clear(r.active)
+	clear(r.dirty)
+}
+
+func (r *Runtime) addrFor(v *task.NVVar) mem.Addr {
+	if p, ok := r.active[v]; ok {
+		return p
+	}
+	return r.MasterAddr(v)
+}
+
+// Load implements kernel.Hooks.
+func (r *Runtime) Load(c *kernel.Ctx, v *task.NVVar, i int) uint16 {
+	c.ChargeMemAccess(mem.FRAM, false, false)
+	return r.Dev.Mem.Read(r.addrFor(v).Add(i))
+}
+
+// Store implements kernel.Hooks.
+func (r *Runtime) Store(c *kernel.Ctx, v *task.NVVar, i int, val uint16) {
+	c.ChargeMemAccess(mem.FRAM, true, false)
+	if _, ok := r.active[v]; ok {
+		r.dirty[v] = true
+	}
+	r.Dev.Mem.Write(r.addrFor(v).Add(i), val)
+}
+
+// AddrOf implements kernel.Hooks: DMA sees the master copy, never the
+// private one — the hardware does not know about Alpaca's buffers.
+func (r *Runtime) AddrOf(v *task.NVVar) mem.Addr { return r.MasterAddr(v) }
+
+// CallIO implements kernel.Hooks: Alpaca always (re-)executes peripheral
+// operations.
+func (r *Runtime) CallIO(c *kernel.Ctx, s *task.IOSite, idx int) uint16 {
+	return r.ExecIO(c, s, idx)
+}
+
+// IOBlock implements kernel.Hooks: no block semantics; the body just runs.
+func (r *Runtime) IOBlock(c *kernel.Ctx, b *task.IOBlock, body func()) { body() }
+
+// DMACopy implements kernel.Hooks: a plain transfer to/from master copies.
+func (r *Runtime) DMACopy(c *kernel.Ctx, d *task.DMASite, src, dst task.Loc, words int) {
+	r.ExecDMA(c, d, c.ResolveLoc(src), c.ResolveLoc(dst), words)
+}

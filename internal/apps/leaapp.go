@@ -1,0 +1,61 @@
+// The uni-task LEA benchmark: Always re-execution semantics (Fig 7c,
+// Table 4 column "Always (LEA)"). The accelerator's output lives in
+// volatile LEA-RAM, so its work genuinely must repeat after every power
+// failure — the case where EaseIO can save nothing and only its small
+// bookkeeping overhead shows.
+
+package apps
+
+import (
+	"easeio/internal/periph"
+	"easeio/internal/task"
+)
+
+// LEAConfig sizes the Always-semantics benchmark.
+type LEAConfig struct {
+	// Macs is the size of the vector operation (one multiply-accumulate
+	// per cycle at 1 MHz, so 8000 MACs ≈ 8 ms).
+	Macs int64
+	// InitCycles/PostCycles/FinishCycles shape the surrounding compute.
+	InitCycles, PostCycles, FinishCycles int64
+}
+
+// DefaultLEAConfig sizes the vector operation at 12.5 ms so that most
+// emulated energy cycles interrupt it at least once, matching the Table 4
+// power-failure counts for the LEA column.
+func DefaultLEAConfig() LEAConfig {
+	return LEAConfig{
+		Macs:         12500,
+		InitCycles:   600,
+		PostCycles:   900,
+		FinishCycles: 400,
+	}
+}
+
+// NewLEAApp builds the Always uni-task benchmark: 3 tasks, one I/O
+// operation (the LEA command), as in Table 3.
+func NewLEAApp(cfg LEAConfig) (*Bench, error) {
+	a := task.NewApp("lea")
+	p := periph.StandardSet(0x1ea)
+
+	leaSite := a.IO("LEA", task.Always, false, func(e task.Exec, _ int) uint16 {
+		e.LEAMacs(cfg.Macs)
+		return 0
+	})
+
+	var tLEA, tFin *task.Task
+	a.AddTask("init", func(e task.Exec) {
+		e.Compute(cfg.InitCycles)
+		e.Next(tLEA)
+	})
+	tLEA = a.AddTask("lea", func(e task.Exec) {
+		e.CallIO(leaSite)
+		e.Compute(cfg.PostCycles)
+		e.Next(tFin)
+	})
+	tFin = a.AddTask("finish", func(e task.Exec) {
+		e.Compute(cfg.FinishCycles)
+		e.Done()
+	})
+	return finalize(a, p)
+}

@@ -1,0 +1,725 @@
+// Package core implements the EaseIO runtime — the paper's contribution.
+//
+// EaseIO extends the task-based execution model with:
+//
+//   - Re-execution semantics for I/O (§3.1, §4.2): every _call_IO site
+//     carries Single, Timely(Δt) or Always semantics. Completion is
+//     tracked with a per-site (per loop instance) lock flag in FRAM;
+//     Timely sites additionally store a persistent timestamp. Completed
+//     Single/Timely operations are skipped after reboots, and sites with
+//     return values restore the last value from a non-volatile private
+//     copy — which also keeps control flow on the branch the original
+//     execution took (§3.5).
+//   - I/O blocks with semantic precedence (§3.3, §4.2.1): a block's
+//     semantic has higher scope than its members'. A completed, valid
+//     block skips entirely (members restore their values); a violated
+//     Timely block clears its members' lock flags so everything inside
+//     re-executes.
+//   - Data-dependence re-execution (§3.3.2, §4.3.1): every site keeps a
+//     generation counter bumped on execution; dependent sites and DMAs
+//     snapshot their dependencies' generations and re-execute on mismatch.
+//   - Memory-safe DMA (§4.3): _DMA_copy classifies endpoints at run time —
+//     destination in FRAM ⇒ Single; FRAM→volatile ⇒ Private (two-phase
+//     copy through a privatization buffer); volatile→volatile ⇒ Always.
+//     The Exclude annotation opts constant data out of privatization.
+//   - Regional privatization (§4.4): a task with N DMAs is split into N+1
+//     regions. At region entry the runtime either snapshots all
+//     non-volatile variables the region touches (first entry) or restores
+//     them (re-entry after a power failure). The region flag doubles as
+//     the preceding DMA's completion marker, making "DMA executed" and
+//     "its effects are recoverable" a single atomic fact.
+//
+// Durable flags are versioned rather than cleared: each task has a
+// non-volatile instance counter, and a flag is "set" when it equals the
+// counter. Committing a task bumps the counter — one FRAM write
+// invalidates every flag of that task at once, exactly what a fresh
+// dynamic instance needs.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"easeio/internal/dma"
+	"easeio/internal/kernel"
+	"easeio/internal/mcu"
+	"easeio/internal/mem"
+	"easeio/internal/rtbase"
+	"easeio/internal/task"
+)
+
+// Config tunes the runtime. The zero value is not valid; use
+// DefaultConfig.
+type Config struct {
+	// PrivBufWords sizes the shared DMA privatization buffer (§4.3 case
+	// ii). The paper's evaluation uses 4 KB (§5.4.5). Applications with
+	// no Private DMAs can set it to zero.
+	PrivBufWords int
+	// RegionalPrivatization can be disabled for ablation studies. With it
+	// off, EaseIO still skips completed I/O but provides no protection
+	// against DMA-induced WAR bugs.
+	RegionalPrivatization bool
+	// ValuePrivatization can be disabled for ablation: sites with return
+	// values then re-execute instead of restoring (unsafe control flow).
+	ValuePrivatization bool
+}
+
+// DefaultConfig matches the paper's evaluation setup.
+func DefaultConfig() Config {
+	return Config{
+		PrivBufWords:          4 * 1024 / 2,
+		RegionalPrivatization: true,
+		ValuePrivatization:    true,
+	}
+}
+
+// Runtime is one per-run EaseIO instance.
+type Runtime struct {
+	rtbase.Base
+	cfg Config
+
+	sites   map[*task.IOSite]*siteMeta
+	blocks  map[*task.IOBlock]*blockMeta
+	dmas    map[*task.DMASite]*dmaMeta
+	regions map[regionKey]*regionMeta
+	// instCtr maps task ID to the NV instance-counter address.
+	instCtr []mem.Addr
+	// siteTask and blockTask map sites/blocks to their owning task (flags
+	// are versioned against that task's instance counter; a DMA's owner is
+	// carried on its dmaMeta).
+	siteTask  map[*task.IOSite]int
+	blockTask map[*task.IOBlock]int
+
+	// privBuf is the shared DMA privatization buffer.
+	privBuf mem.Addr
+	// privBufNext is the persistent bump pointer into the buffer.
+	privBufNext mem.Addr
+
+	// Volatile per-attempt state.
+	curTask        *task.Task
+	regionIdx      int
+	blockSkipDepth int
+}
+
+type regionKey struct {
+	taskID int
+	index  int
+}
+
+// siteMeta holds the FRAM metadata of one I/O site: per-instance flag,
+// value and timestamp slots, plus a site-wide generation counter and
+// per-instance dependence snapshots.
+type siteMeta struct {
+	flags mem.Addr // Instances words
+	gen   mem.Addr // 1 word
+	vals  mem.Addr // Instances words (if Returns)
+	ts    mem.Addr // Instances × 4 words (if Timely)
+	snaps mem.Addr // Instances × len(DependsOn) words
+}
+
+type blockMeta struct {
+	flag mem.Addr // 1 word
+	ts   mem.Addr // 4 words (if Timely)
+}
+
+type dmaMeta struct {
+	// privFlag marks a valid snapshot in the privatization buffer.
+	privFlag mem.Addr
+	// claimFlag marks a claimed buffer chunk (separately from the
+	// snapshot being complete, so interrupted snapshots retry into the
+	// same chunk instead of leaking claims).
+	claimFlag mem.Addr
+	// privOff stores the claimed buffer offset (persistent).
+	privOff mem.Addr
+	// snaps holds dependence generation snapshots.
+	snaps mem.Addr
+	// regionAfter is the region index entered once this DMA completes.
+	regionAfter int
+	taskID      int
+}
+
+type regionMeta struct {
+	flag mem.Addr
+	// vars are the privatized word ranges; copies holds the matching
+	// private-copy addresses.
+	vars   []task.RegionVar
+	copies []mem.Addr
+}
+
+// New returns an EaseIO runtime with the default configuration.
+func New() *Runtime { return NewWithConfig(DefaultConfig()) }
+
+// NewWithConfig returns an EaseIO runtime with an explicit configuration.
+func NewWithConfig(cfg Config) *Runtime { return &Runtime{cfg: cfg} }
+
+var _ kernel.Hooks = (*Runtime)(nil)
+
+// Name implements kernel.Hooks.
+func (r *Runtime) Name() string { return "EaseIO" }
+
+const rtName = "EaseIO"
+
+// Attach implements kernel.Hooks: allocates lock flags, value privates,
+// timestamps, generation counters, dependence snapshots, region private
+// copies and the DMA privatization buffer.
+func (r *Runtime) Attach(dev *kernel.Device, app *task.App) error {
+	if err := r.Init(dev, app, rtName); err != nil {
+		return err
+	}
+	r.sites = make(map[*task.IOSite]*siteMeta)
+	r.blocks = make(map[*task.IOBlock]*blockMeta)
+	r.dmas = make(map[*task.DMASite]*dmaMeta)
+	r.regions = make(map[regionKey]*regionMeta)
+	r.siteTask = make(map[*task.IOSite]int)
+	r.blockTask = make(map[*task.IOBlock]int)
+	r.instCtr = make([]mem.Addr, len(app.Tasks))
+
+	for _, t := range app.Tasks {
+		r.instCtr[t.ID] = dev.Mem.Alloc(mem.FRAM, rtName, "inst:"+t.Name, 1)
+		dev.Mem.Write(r.instCtr[t.ID], 1)
+	}
+
+	// Ownership: each site/block/DMA must belong to exactly one task, so
+	// that flag versioning against the task instance counter is sound.
+	for _, t := range app.Tasks {
+		for _, s := range t.Meta.Sites {
+			if owner, dup := r.siteTask[s]; dup && owner != t.ID {
+				return fmt.Errorf("core: I/O site %q used by tasks %q and %q; "+
+					"declare one site per task (the paper's compiler names flags per function×task)",
+					s.Name, app.Tasks[owner].Name, t.Name)
+			}
+			r.siteTask[s] = t.ID
+		}
+		for _, b := range t.Meta.Blocks {
+			r.blockTask[b] = t.ID
+		}
+	}
+
+	for _, t := range app.Tasks {
+		for _, s := range t.Meta.Sites {
+			sm := &siteMeta{}
+			n := s.Instances
+			sm.flags = dev.Mem.Alloc(mem.FRAM, rtName, "lock:"+s.Name, n)
+			sm.gen = dev.Mem.Alloc(mem.FRAM, rtName, "gen:"+s.Name, 1)
+			if s.Returns {
+				sm.vals = dev.Mem.Alloc(mem.FRAM, rtName, "priv:"+s.Name, n)
+			}
+			if s.Sem == task.Timely {
+				sm.ts = dev.Mem.Alloc(mem.FRAM, rtName, "ts:"+s.Name, 4*n)
+			}
+			if len(s.DependsOn) > 0 {
+				sm.snaps = dev.Mem.Alloc(mem.FRAM, rtName, "dep:"+s.Name, n*len(s.DependsOn))
+			}
+			r.sites[s] = sm
+		}
+		for _, b := range t.Meta.Blocks {
+			bm := &blockMeta{flag: dev.Mem.Alloc(mem.FRAM, rtName, "blk:"+b.Name, 1)}
+			if b.Sem == task.Timely {
+				bm.ts = dev.Mem.Alloc(mem.FRAM, rtName, "blkts:"+b.Name, 4)
+			}
+			r.blocks[b] = bm
+		}
+		for i, reg := range t.Meta.Regions {
+			rm := &regionMeta{
+				flag: dev.Mem.Alloc(mem.FRAM, rtName, fmt.Sprintf("reg:%s:%d", t.Name, i), 1),
+			}
+			if r.cfg.RegionalPrivatization {
+				for _, rv := range reg.Vars {
+					rm.vars = append(rm.vars, rv)
+					rm.copies = append(rm.copies,
+						dev.Mem.Alloc(mem.FRAM, rtName,
+							fmt.Sprintf("regpriv:%s:%d:%s", t.Name, i, rv.Var.Name), rv.Words()))
+				}
+			}
+			r.regions[regionKey{t.ID, i}] = rm
+		}
+		for _, d := range t.Meta.DMAs {
+			dm := &dmaMeta{taskID: t.ID}
+			dm.privFlag = dev.Mem.Alloc(mem.FRAM, rtName, "dmaflag:"+d.Name, 1)
+			dm.claimFlag = dev.Mem.Alloc(mem.FRAM, rtName, "dmaclaim:"+d.Name, 1)
+			dm.privOff = dev.Mem.Alloc(mem.FRAM, rtName, "dmaoff:"+d.Name, 1)
+			if len(d.DependsOn) > 0 {
+				dm.snaps = dev.Mem.Alloc(mem.FRAM, rtName, "dmadep:"+d.Name, len(d.DependsOn))
+			}
+			for i, reg := range t.Meta.Regions {
+				if reg.EndDMA == d {
+					dm.regionAfter = i + 1
+				}
+			}
+			if dm.regionAfter == 0 {
+				return fmt.Errorf("core: DMA site %q not found at a region boundary of task %q", d.Name, t.Name)
+			}
+			r.dmas[d] = dm
+		}
+	}
+
+	// The privatization buffer exists only for applications with DMA
+	// operations; DMA-free apps pay just the per-site flag bytes
+	// (§5.4.5: "the temperature sensing application ... has no DMA
+	// privatization buffer").
+	if r.cfg.PrivBufWords > 0 && len(app.DMAs) > 0 {
+		r.privBuf = dev.Mem.Alloc(mem.FRAM, rtName, "dmaprivbuf", r.cfg.PrivBufWords)
+	}
+	if len(app.DMAs) > 0 {
+		r.privBufNext = dev.Mem.Alloc(mem.FRAM, rtName, "dmaprivnext", 1)
+	}
+	return nil
+}
+
+// --- helpers ---
+
+func (r *Runtime) inst(taskID int) uint16 { return r.Dev.Mem.Read(r.instCtr[taskID]) }
+
+func (r *Runtime) flagSet(a mem.Addr, taskID int) bool {
+	return r.Dev.Mem.Read(a) == r.inst(taskID)
+}
+
+func (r *Runtime) setFlag(a mem.Addr, taskID int) { r.Dev.Mem.Write(a, r.inst(taskID)) }
+
+func (r *Runtime) clearFlag(a mem.Addr) { r.Dev.Mem.Write(a, 0) }
+
+func (r *Runtime) writeTime(a mem.Addr, t time.Duration) {
+	us := uint64(t / time.Microsecond)
+	for i := 0; i < 4; i++ {
+		r.Dev.Mem.Write(a.Add(i), uint16(us>>(16*i)))
+	}
+}
+
+func (r *Runtime) readTime(a mem.Addr) time.Duration {
+	var us uint64
+	for i := 0; i < 4; i++ {
+		us |= uint64(r.Dev.Mem.Read(a.Add(i))) << (16 * i)
+	}
+	return time.Duration(us) * time.Microsecond
+}
+
+// --- lifecycle hooks ---
+
+// OnBoot implements kernel.Hooks.
+func (r *Runtime) OnBoot(c *kernel.Ctx) {
+	r.LoadBoot(c)
+	r.blockSkipDepth = 0
+	r.regionIdx = 0
+	r.curTask = r.Current()
+}
+
+// CurrentTask implements kernel.Hooks.
+func (r *Runtime) CurrentTask() *task.Task { return r.Current() }
+
+// BeginTask implements kernel.Hooks: enter region 0 (privatize or
+// recover).
+func (r *Runtime) BeginTask(c *kernel.Ctx, t *task.Task) {
+	r.curTask = t
+	r.blockSkipDepth = 0
+	r.enterRegion(c, 0)
+}
+
+// Transition implements kernel.Hooks: one FRAM write bumps the task's
+// instance counter, invalidating all of its flags at once.
+func (r *Runtime) Transition(c *kernel.Ctx, next *task.Task) {
+	t := r.curTask
+	c.ChargeMemAccess(mem.FRAM, true, true) // instance counter bump
+	if len(t.Meta.DMAs) > 0 {
+		c.ChargeMemAccess(mem.FRAM, true, true) // privatization-buffer bump pointer reset
+	}
+	r.CommitTransition(c, next, func() {
+		ctr := r.instCtr[t.ID]
+		v := r.Dev.Mem.Read(ctr) + 1
+		if v == 0 {
+			v = 1 // skip the never-set sentinel on wraparound
+		}
+		r.Dev.Mem.Write(ctr, v)
+		if len(t.Meta.DMAs) > 0 {
+			r.Dev.Mem.Write(r.privBufNext, 0)
+		}
+	})
+	r.curTask = nil
+}
+
+// --- variable access (direct to master; regions provide the undo log) ---
+
+// Load implements kernel.Hooks.
+func (r *Runtime) Load(c *kernel.Ctx, v *task.NVVar, i int) uint16 {
+	c.ChargeMemAccess(mem.FRAM, false, false)
+	return r.Dev.Mem.Read(r.MasterAddr(v).Add(i))
+}
+
+// Store implements kernel.Hooks.
+func (r *Runtime) Store(c *kernel.Ctx, v *task.NVVar, i int, val uint16) {
+	c.ChargeMemAccess(mem.FRAM, true, false)
+	r.Dev.Mem.Write(r.MasterAddr(v).Add(i), val)
+}
+
+// AddrOf implements kernel.Hooks.
+func (r *Runtime) AddrOf(v *task.NVVar) mem.Addr { return r.MasterAddr(v) }
+
+// --- I/O sites ---
+
+// CallIO implements kernel.Hooks.
+func (r *Runtime) CallIO(c *kernel.Ctx, s *task.IOSite, idx int) uint16 {
+	sm := r.sites[s]
+	if sm == nil {
+		panic(fmt.Sprintf("core: I/O site %q not attached (missing from analysis?)", s.Name))
+	}
+	if idx < 0 || idx >= s.Instances {
+		panic(fmt.Sprintf("core: site %q instance %d out of range (declare .Loop(n))", s.Name, idx))
+	}
+	taskID := r.siteTask[s]
+
+	// An enclosing completed block skips everything inside (§3.3.1:
+	// higher scope, higher precedence).
+	if r.blockSkipDepth > 0 {
+		return r.restoreValue(c, s, sm, idx)
+	}
+
+	if s.Sem != task.Always {
+		c.ChargeOverheadCycles(mcu.FlagCheckCycles)
+		done := r.flagSet(sm.flags.Add(idx), taskID)
+		if done && r.depsChanged(c, s, sm, idx) {
+			done = false
+		}
+		if done && s.Sem == task.Timely {
+			c.ChargeOverheadCycles(mcu.TimeCompareCycles)
+			last := r.readTime(sm.ts.Add(4 * idx))
+			if c.Now()-last > s.Window {
+				done = false
+			}
+		}
+		if done {
+			return r.restoreValue(c, s, sm, idx)
+		}
+	}
+	return r.executeSite(c, s, sm, idx, taskID)
+}
+
+// restoreValue skips a completed operation, restoring its private value.
+func (r *Runtime) restoreValue(c *kernel.Ctx, s *task.IOSite, sm *siteMeta, idx int) uint16 {
+	r.NoteIOSkip(s)
+	if !s.Returns {
+		return 0
+	}
+	if !r.cfg.ValuePrivatization {
+		// Ablation: no stored value; re-execute instead (unsafe).
+		return r.executeSite(c, s, sm, idx, r.siteTask[s])
+	}
+	c.ChargeMemAccess(mem.FRAM, false, true)
+	return r.Dev.Mem.Read(sm.vals.Add(idx))
+}
+
+// depsChanged compares stored dependence snapshots against the current
+// generation counters.
+func (r *Runtime) depsChanged(c *kernel.Ctx, s *task.IOSite, sm *siteMeta, idx int) bool {
+	changed := false
+	for di, dep := range s.DependsOn {
+		c.ChargeOverheadCycles(mcu.FlagCheckCycles)
+		dm := r.sites[dep]
+		if dm == nil {
+			continue
+		}
+		snap := r.Dev.Mem.Read(sm.snaps.Add(idx*len(s.DependsOn) + di))
+		if snap != r.Dev.Mem.Read(dm.gen) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// executeSite runs the operation and makes its completion durable: private
+// value, timestamp, lock flag, generation bump and dependence snapshots
+// are charged first and applied together; then the operation's work is
+// committed in the ledger (its durable flag means no future attempt will
+// redo it).
+func (r *Runtime) executeSite(c *kernel.Ctx, s *task.IOSite, sm *siteMeta, idx, taskID int) uint16 {
+	mark := r.Dev.Ledger.Mark()
+	val := r.ExecIO(c, s, idx)
+
+	if s.Returns && r.cfg.ValuePrivatization {
+		c.ChargeMemAccess(mem.FRAM, true, true)
+	}
+	if s.Sem == task.Timely {
+		c.ChargeOverheadCycles(mcu.TimestampCycles)
+	}
+	c.ChargeOverheadCycles(mcu.FlagSetCycles) // lock flag
+	c.ChargeOverheadCycles(mcu.FlagSetCycles) // generation bump
+	c.ChargeOverheadCycles(int64(len(s.DependsOn)) * mcu.FlagSetCycles)
+
+	// Apply the durable state after the charges survived.
+	if s.Returns && r.cfg.ValuePrivatization {
+		r.Dev.Mem.Write(sm.vals.Add(idx), val)
+	}
+	if s.Sem == task.Timely {
+		r.writeTime(sm.ts.Add(4*idx), c.Now())
+	}
+	if s.Sem != task.Always {
+		r.setFlag(sm.flags.Add(idx), taskID)
+	}
+	r.Dev.Mem.Write(sm.gen, r.Dev.Mem.Read(sm.gen)+1)
+	for di, dep := range s.DependsOn {
+		if dm := r.sites[dep]; dm != nil {
+			r.Dev.Mem.Write(sm.snaps.Add(idx*len(s.DependsOn)+di), r.Dev.Mem.Read(dm.gen))
+		}
+	}
+	if s.Sem != task.Always {
+		r.Dev.Ledger.CommitSince(mark)
+	}
+	return val
+}
+
+// --- I/O blocks ---
+
+// IOBlock implements kernel.Hooks.
+func (r *Runtime) IOBlock(c *kernel.Ctx, b *task.IOBlock, body func()) {
+	bm := r.blocks[b]
+	if bm == nil {
+		panic(fmt.Sprintf("core: I/O block %q not attached", b.Name))
+	}
+	if r.blockSkipDepth > 0 {
+		// An outer completed block dominates: skip this block too.
+		r.blockSkipDepth++
+		body()
+		r.blockSkipDepth--
+		return
+	}
+	taskID := r.blockTask[b]
+
+	c.ChargeOverheadCycles(mcu.FlagCheckCycles)
+	done := r.flagSet(bm.flag, taskID)
+	valid := true
+	if done && b.Sem == task.Timely {
+		c.ChargeOverheadCycles(mcu.TimeCompareCycles)
+		valid = c.Now()-r.readTime(bm.ts) <= b.Window
+	}
+	if done && valid && b.Sem != task.Always {
+		// Completed and still valid: members restore their outputs.
+		r.Dev.Trace("block-skip", "%s", b.Name)
+		r.blockSkipDepth++
+		body()
+		r.blockSkipDepth--
+		return
+	}
+	if done && !valid {
+		// Violation: block semantics override member semantics — every
+		// member (including nested blocks) re-executes (§4.2.1).
+		r.Dev.Trace("block-violation", "%s", b.Name)
+		r.invalidateBlock(c, b)
+	}
+
+	mark := r.Dev.Ledger.Mark()
+	body()
+
+	if b.Sem == task.Timely {
+		c.ChargeOverheadCycles(mcu.TimestampCycles)
+	}
+	c.ChargeOverheadCycles(mcu.FlagSetCycles)
+	if b.Sem == task.Timely {
+		r.writeTime(bm.ts, c.Now())
+	}
+	if b.Sem != task.Always {
+		r.setFlag(bm.flag, taskID)
+		r.Dev.Ledger.CommitSince(mark)
+	}
+}
+
+// invalidateBlock clears the lock flags of every member site and nested
+// block, forcing re-execution under the block's semantics.
+func (r *Runtime) invalidateBlock(c *kernel.Ctx, b *task.IOBlock) {
+	for _, s := range b.Members {
+		sm := r.sites[s]
+		if sm == nil {
+			continue
+		}
+		c.ChargeOverheadCycles(mcu.FlagSetCycles)
+		for i := 0; i < s.Instances; i++ {
+			r.clearFlag(sm.flags.Add(i))
+		}
+	}
+	for _, sub := range b.SubBlocks {
+		if bm := r.blocks[sub]; bm != nil {
+			c.ChargeOverheadCycles(mcu.FlagSetCycles)
+			r.clearFlag(bm.flag)
+		}
+		r.invalidateBlock(c, sub)
+	}
+}
+
+// --- DMA ---
+
+// DMACopy implements kernel.Hooks: classify, apply the matching
+// re-execution semantic, then cross into the next privatization region.
+func (r *Runtime) DMACopy(c *kernel.Ctx, d *task.DMASite, src, dst task.Loc, words int) {
+	dm := r.dmas[d]
+	if dm == nil {
+		panic(fmt.Sprintf("core: DMA site %q not attached", d.Name))
+	}
+	srcA, dstA := c.ResolveLoc(src), c.ResolveLoc(dst)
+	if err := dma.Validate(srcA, dstA, words); err != nil {
+		panic(err)
+	}
+	kind := dma.Classify(srcA.Bank, dstA.Bank)
+	if d.Exclude {
+		// Programmer-excluded: handled as Always at compile time (§4.3);
+		// no classification or privatization work at run time.
+		kind = task.DMAVolatileToVolatile
+	} else {
+		c.ChargeOverheadCycles(mcu.FlagCheckCycles) // runtime classification
+	}
+
+	depsChanged := r.dmaDepsChanged(c, d, dm)
+
+	switch kind {
+	case task.DMAToNonVolatile:
+		// Single: completion is the following region's flag.
+		reg := r.regions[regionKey{dm.taskID, dm.regionAfter}]
+		c.ChargeOverheadCycles(mcu.FlagCheckCycles)
+		done := r.flagSet(reg.flag, dm.taskID) && !depsChanged
+		if done {
+			r.NoteDMASkip(d)
+		} else {
+			mark := r.Dev.Ledger.Mark()
+			r.ExecDMA(c, d, srcA, dstA, words)
+			r.snapDMADeps(c, d, dm)
+			if r.flagSet(reg.flag, dm.taskID) {
+				// A dependence change re-executed a completed transfer:
+				// the old region snapshot is stale. Clear the flag so the
+				// region re-privatizes with the fresh data instead of
+				// restoring the previous instance's copies (§4.3.1).
+				c.ChargeOverheadCycles(mcu.FlagSetCycles)
+				r.clearFlag(reg.flag)
+			}
+			r.enterRegion(c, dm.regionAfter)
+			r.Dev.Ledger.CommitSince(mark)
+			return
+		}
+
+	case task.DMANonVolatileToVolatile:
+		// Private: snapshot the source once, then always copy from the
+		// snapshot — later writes to the source cannot corrupt
+		// re-executions (§4.3 case ii).
+		c.ChargeOverheadCycles(mcu.FlagCheckCycles)
+		haveSnap := r.flagSet(dm.privFlag, dm.taskID) && !depsChanged
+		off := int(r.Dev.Mem.Read(dm.privOff))
+		if !haveSnap {
+			off = r.claimPrivBuf(c, d, dm, words)
+			mark := r.Dev.Ledger.Mark()
+			c.RawDMA(srcA, r.privBuf.Add(off), words, true) // phase 1: snapshot
+			c.ChargeOverheadCycles(mcu.FlagSetCycles)
+			c.ChargeMemAccess(mem.FRAM, true, true)
+			r.setFlag(dm.privFlag, dm.taskID)
+			r.Dev.Mem.Write(dm.privOff, uint16(off))
+			r.snapDMADeps(c, d, dm)
+			r.Dev.Ledger.CommitSince(mark)
+		}
+		// Phase 2: privatization buffer → destination (repeats after
+		// every reboot because the destination is volatile).
+		r.ExecDMA(c, d, r.privBuf.Add(off), dstA, words)
+
+	case task.DMAVolatileToVolatile:
+		// Always: repetition is harmless.
+		r.ExecDMA(c, d, srcA, dstA, words)
+	}
+
+	r.enterRegion(c, dm.regionAfter)
+}
+
+func (r *Runtime) dmaDepsChanged(c *kernel.Ctx, d *task.DMASite, dm *dmaMeta) bool {
+	changed := false
+	for di, dep := range d.DependsOn {
+		c.ChargeOverheadCycles(mcu.FlagCheckCycles)
+		sm := r.sites[dep]
+		if sm == nil {
+			continue
+		}
+		if r.Dev.Mem.Read(dm.snaps.Add(di)) != r.Dev.Mem.Read(sm.gen) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (r *Runtime) snapDMADeps(c *kernel.Ctx, d *task.DMASite, dm *dmaMeta) {
+	for di, dep := range d.DependsOn {
+		sm := r.sites[dep]
+		if sm == nil {
+			continue
+		}
+		c.ChargeOverheadCycles(mcu.FlagSetCycles)
+		r.Dev.Mem.Write(dm.snaps.Add(di), r.Dev.Mem.Read(sm.gen))
+	}
+}
+
+// claimPrivBuf reserves words of the shared privatization buffer for a DMA
+// snapshot. The claim is idempotent per task instance: a power failure
+// inside the snapshot retries into the same chunk instead of leaking a
+// new claim (a leak would exhaust the buffer under repeated failures).
+// The bump pointer is persistent and resets at task commit.
+func (r *Runtime) claimPrivBuf(c *kernel.Ctx, d *task.DMASite, dm *dmaMeta, words int) int {
+	c.ChargeOverheadCycles(mcu.FlagCheckCycles)
+	if r.flagSet(dm.claimFlag, dm.taskID) {
+		c.ChargeMemAccess(mem.FRAM, false, true)
+		return int(r.Dev.Mem.Read(dm.privOff))
+	}
+	c.ChargeMemAccess(mem.FRAM, false, true)
+	off := int(r.Dev.Mem.Read(r.privBufNext))
+	if off+words > r.cfg.PrivBufWords {
+		panic(fmt.Sprintf("core: DMA %q needs %d words but the privatization buffer has %d/%d free; "+
+			"increase Config.PrivBufWords (the paper flags this as a compile-time check, §6)",
+			d.Name, words, r.cfg.PrivBufWords-off, r.cfg.PrivBufWords))
+	}
+	// Charge the three claim writes, then apply them together.
+	c.ChargeMemAccess(mem.FRAM, true, true)
+	c.ChargeMemAccess(mem.FRAM, true, true)
+	c.ChargeOverheadCycles(mcu.FlagSetCycles)
+	r.Dev.Mem.Write(r.privBufNext, uint16(off+words))
+	r.Dev.Mem.Write(dm.privOff, uint16(off))
+	r.setFlag(dm.claimFlag, dm.taskID)
+	return off
+}
+
+// --- regional privatization ---
+
+// enterRegion privatizes (first entry) or recovers (re-entry) the region's
+// non-volatile variables; the flag write is what makes the preceding DMA
+// count as complete (§4.4).
+func (r *Runtime) enterRegion(c *kernel.Ctx, idx int) {
+	r.regionIdx = idx
+	if !r.cfg.RegionalPrivatization {
+		return
+	}
+	t := r.curTask
+	rm := r.regions[regionKey{t.ID, idx}]
+	if rm == nil {
+		panic(fmt.Sprintf("core: task %q has no region %d (stale analysis?)", t.Name, idx))
+	}
+	c.ChargeOverheadCycles(mcu.FlagCheckCycles)
+	if r.flagSet(rm.flag, t.ID) {
+		// Recovery: restore every region range from its private copy,
+		// undoing partial work from the interrupted attempt.
+		r.Dev.Trace("region-restore", "%s region %d (%d ranges)", t.Name, idx, len(rm.vars))
+		for vi, rv := range rm.vars {
+			c.ChargeOverheadCycles(int64(rv.Words()) * mcu.CommitWordCycles)
+			master := r.MasterAddr(rv.Var).Add(rv.Lo)
+			for w := 0; w < rv.Words(); w++ {
+				r.Dev.Mem.Write(master.Add(w), r.Dev.Mem.Read(rm.copies[vi].Add(w)))
+			}
+		}
+		return
+	}
+	// Privatization: snapshot every region range, then set the flag.
+	// Charges happen first; the snapshot and flag apply together so an
+	// interrupted privatization simply reruns.
+	for _, rv := range rm.vars {
+		c.ChargeOverheadCycles(int64(rv.Words()) * mcu.PrivatizeWordCycles)
+	}
+	c.ChargeOverheadCycles(mcu.FlagSetCycles)
+	r.Dev.Trace("region-privatize", "%s region %d (%d ranges)", t.Name, idx, len(rm.vars))
+	for vi, rv := range rm.vars {
+		master := r.MasterAddr(rv.Var).Add(rv.Lo)
+		for w := 0; w < rv.Words(); w++ {
+			r.Dev.Mem.Write(rm.copies[vi].Add(w), r.Dev.Mem.Read(master.Add(w)))
+		}
+	}
+	r.setFlag(rm.flag, t.ID)
+}
+
+// RegionIndex exposes the current region for tests.
+func (r *Runtime) RegionIndex() int { return r.regionIdx }

@@ -1,0 +1,55 @@
+// Package dma holds the DMA-copy classification logic EaseIO applies at
+// run time (§4.3 of the paper): the re-execution semantic of a transfer
+// follows from the volatility of its endpoints.
+//
+// The mechanical transfer itself (word-stepped, interruptible, bypassing
+// the runtime's variable interposition) lives in the kernel's RawDMA; this
+// package is the policy side.
+package dma
+
+import (
+	"fmt"
+
+	"easeio/internal/mem"
+	"easeio/internal/task"
+)
+
+// Classify returns the runtime semantic for a copy from src to dst:
+//
+//   - destination non-volatile → Single: the data persists, so a
+//     completed copy never needs repeating (§4.3 case i);
+//   - non-volatile source, volatile destination → Private: the copy must
+//     repeat after every reboot, and the source must be snapshotted into a
+//     privatization buffer so later writes to it cannot corrupt the
+//     re-execution (§4.3 case ii);
+//   - volatile to volatile → Always: repetition is harmless (§4.3 case iii).
+func Classify(src, dst mem.Bank) task.DMAKind {
+	switch {
+	case !dst.Volatile():
+		return task.DMAToNonVolatile
+	case !src.Volatile():
+		return task.DMANonVolatileToVolatile
+	default:
+		return task.DMAVolatileToVolatile
+	}
+}
+
+// Validate sanity-checks a transfer descriptor before execution.
+func Validate(src, dst mem.Addr, words int) error {
+	if words <= 0 {
+		return fmt.Errorf("dma: transfer of %d words", words)
+	}
+	if src.Word < 0 || dst.Word < 0 {
+		return fmt.Errorf("dma: negative word offset (src=%v dst=%v)", src, dst)
+	}
+	if src.Bank == dst.Bank {
+		lo, hi := src.Word, dst.Word
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if hi < lo+words {
+			return fmt.Errorf("dma: overlapping transfer %v->%v (%d words)", src, dst, words)
+		}
+	}
+	return nil
+}

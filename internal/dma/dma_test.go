@@ -1,0 +1,53 @@
+package dma
+
+import (
+	"testing"
+
+	"easeio/internal/mem"
+	"easeio/internal/task"
+)
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		src, dst mem.Bank
+		want     task.DMAKind
+	}{
+		// Destination non-volatile ⇒ Single (§4.3 case i).
+		{mem.FRAM, mem.FRAM, task.DMAToNonVolatile},
+		{mem.SRAM, mem.FRAM, task.DMAToNonVolatile},
+		{mem.LEARAM, mem.FRAM, task.DMAToNonVolatile},
+		// NV source, volatile destination ⇒ Private (case ii).
+		{mem.FRAM, mem.SRAM, task.DMANonVolatileToVolatile},
+		{mem.FRAM, mem.LEARAM, task.DMANonVolatileToVolatile},
+		// Volatile to volatile ⇒ Always (case iii).
+		{mem.SRAM, mem.SRAM, task.DMAVolatileToVolatile},
+		{mem.SRAM, mem.LEARAM, task.DMAVolatileToVolatile},
+		{mem.LEARAM, mem.SRAM, task.DMAVolatileToVolatile},
+	}
+	for _, c := range cases {
+		if got := Classify(c.src, c.dst); got != c.want {
+			t.Errorf("Classify(%v, %v) = %v, want %v", c.src, c.dst, got, c.want)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	ok := Validate(mem.Addr{Bank: mem.FRAM, Word: 0}, mem.Addr{Bank: mem.FRAM, Word: 100}, 50)
+	if ok != nil {
+		t.Errorf("valid transfer rejected: %v", ok)
+	}
+	if Validate(mem.Addr{}, mem.Addr{}, 0) == nil {
+		t.Error("zero-length transfer accepted")
+	}
+	if Validate(mem.Addr{Bank: mem.FRAM, Word: -1}, mem.Addr{Bank: mem.FRAM, Word: 100}, 5) == nil {
+		t.Error("negative offset accepted")
+	}
+	// Overlapping same-bank ranges.
+	if Validate(mem.Addr{Bank: mem.FRAM, Word: 0}, mem.Addr{Bank: mem.FRAM, Word: 10}, 20) == nil {
+		t.Error("overlapping transfer accepted")
+	}
+	// Same offsets in different banks never overlap.
+	if err := Validate(mem.Addr{Bank: mem.FRAM, Word: 0}, mem.Addr{Bank: mem.LEARAM, Word: 0}, 20); err != nil {
+		t.Errorf("cross-bank transfer rejected: %v", err)
+	}
+}

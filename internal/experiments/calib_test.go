@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestCalibrationReport prints the phase-1 and phase-2 sweeps at reduced
+// run counts. It is a reporting aid (run with -v) and a regression check
+// on the headline qualitative results.
+func TestCalibrationReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration sweep skipped in -short mode")
+	}
+	cfg := Config{Runs: 300, BaseSeed: 7}
+
+	uni, err := UniTask(cfg)
+	if err != nil {
+		t.Fatalf("unitask: %v", err)
+	}
+	t.Logf("\n%s", uni.RenderFigure7())
+	t.Logf("\n%s", uni.RenderTable4())
+	t.Logf("\n%s", uni.RenderFigure8())
+
+	multi, err := MultiTask(cfg)
+	if err != nil {
+		t.Fatalf("multitask: %v", err)
+	}
+	t.Logf("\n%s", multi.RenderFigure10())
+	t.Logf("\n%s", multi.RenderFigure11())
+	t.Logf("\n%s", multi.RenderFigure12())
+}
+
+// TestSensitivitySweep asserts the extension's headline: EaseIO's speedup
+// is largest in the harshest environment and decays toward parity as
+// failures become rare.
+func TestSensitivitySweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sensitivity sweep skipped in -short mode")
+	}
+	cfg := DefaultSensitivityConfig()
+	cfg.Runs = 120
+	points, err := Sensitivity(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", RenderSensitivity(points))
+	first, last := points[0], points[len(points)-1]
+	if first.Speedup() < 1.3 {
+		t.Errorf("harsh-environment speedup = %.2f, want ≥ 1.3", first.Speedup())
+	}
+	if last.Speedup() >= first.Speedup() {
+		t.Errorf("speedup should decay: harsh %.2f vs mild %.2f", first.Speedup(), last.Speedup())
+	}
+	if last.Speedup() < 0.9 {
+		t.Errorf("mild-environment speedup = %.2f; EaseIO should approach parity, not lose badly", last.Speedup())
+	}
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"easeio/internal/apps"
+	"easeio/internal/stats"
+	"easeio/internal/units"
+)
+
+func fakeSummary(app, rt string) stats.Summary {
+	return stats.Summary{
+		App: app, Runtime: rt, Runs: 10,
+		Work: [stats.NumBuckets]stats.Totals{
+			{T: 10 * time.Millisecond, E: 5 * units.Microjoule},
+			{T: 2 * time.Millisecond, E: units.Microjoule},
+			{T: 3 * time.Millisecond, E: 2 * units.Microjoule},
+		},
+		MeanEnergy:    8 * units.Microjoule,
+		PowerFailures: 7,
+		IORepeats:     3,
+	}
+}
+
+func TestUniTaskDataset(t *testing.T) {
+	d := &UniTaskData{Cases: UniTaskCases()}
+	for range d.Cases {
+		row := make([]stats.Summary, len(UniTaskKinds))
+		for ki, k := range UniTaskKinds {
+			row[ki] = fakeSummary("x", k.String())
+		}
+		d.Summaries = append(d.Summaries, row)
+	}
+	ds := d.Dataset()
+	if ds.Name != "unitask" {
+		t.Errorf("name = %q", ds.Name)
+	}
+	if len(ds.Rows) != len(d.Cases)*len(UniTaskKinds) {
+		t.Errorf("rows = %d", len(ds.Rows))
+	}
+	csv := ds.CSV()
+	if !strings.HasPrefix(csv, "config,app_ms,") {
+		t.Errorf("csv header: %q", strings.SplitN(csv, "\n", 2)[0])
+	}
+	if lines := strings.Count(csv, "\n"); lines != len(ds.Rows)+1 {
+		t.Errorf("csv lines = %d", lines)
+	}
+	if !strings.Contains(ds.Render(), "Phase 1") {
+		t.Error("render missing title")
+	}
+}
+
+func TestWorkRowColumnsAligned(t *testing.T) {
+	row := workRow("label", fakeSummary("a", "rt"))
+	if len(row) != len(workHeader) {
+		t.Fatalf("row has %d cells, header %d", len(row), len(workHeader))
+	}
+	if row[0] != "label" || row[1] != "10.00" || row[7] != "8.0" {
+		t.Errorf("row = %v", row)
+	}
+}
+
+func TestTable5Dataset(t *testing.T) {
+	d := &Table5Data{Rows: []Table5Row{{
+		Kind:      EaseIO,
+		Cont:      map[apps.BufferMode]time.Duration{apps.SingleBuffer: 5 * time.Millisecond},
+		Int:       map[apps.BufferMode]time.Duration{apps.SingleBuffer: 7 * time.Millisecond},
+		Correct:   map[apps.BufferMode]bool{apps.SingleBuffer: true},
+		Incorrect: map[apps.BufferMode]int{apps.SingleBuffer: 0},
+		Runs:      10,
+	}}}
+	ds := d.Dataset()
+	if len(ds.Rows) != 1 || ds.Rows[0][0] != "EaseIO" || ds.Rows[0][1] != "single" {
+		t.Errorf("rows = %v", ds.Rows)
+	}
+}
+
+func TestRenderTable1(t *testing.T) {
+	out := RenderTable1(Table1())
+	for _, want := range []string{"EaseIO", "Alpaca", "JustDo", "Semantic-aware", "Yes"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table 1 missing %q", want)
+		}
+	}
+	if len(Table1()) != 4 {
+		t.Errorf("rows = %d", len(Table1()))
+	}
+}
+
+func TestTableRenderer(t *testing.T) {
+	out := Table([]string{"a", "long-header"}, [][]string{{"1", "2"}, {"333", "4"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// All lines align to the same width structure.
+	if !strings.HasPrefix(lines[1], "---") {
+		t.Errorf("separator: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "1") || !strings.Contains(lines[3], "333") {
+		t.Errorf("rows: %q %q", lines[2], lines[3])
+	}
+}
+
+func TestStackedBarShapes(t *testing.T) {
+	var w [stats.NumBuckets]stats.Totals
+	w[stats.App] = stats.Totals{T: 10 * time.Millisecond}
+	w[stats.Overhead] = stats.Totals{T: 1 * time.Millisecond}
+	w[stats.Wasted] = stats.Totals{T: 5 * time.Millisecond}
+	bar := StackedBar("X", w, 16*time.Millisecond, 32)
+	if !strings.Contains(bar, "#") || !strings.Contains(bar, "o") || !strings.Contains(bar, "x") {
+		t.Errorf("bar missing segments: %q", bar)
+	}
+	if !strings.Contains(bar, "16.00ms") {
+		t.Errorf("bar missing total: %q", bar)
+	}
+	// Zero scale must not divide by zero.
+	_ = StackedBar("Y", w, 0, 32)
+}

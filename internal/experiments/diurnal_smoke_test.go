@@ -1,0 +1,34 @@
+package experiments
+
+import "testing"
+
+// TestDiurnal exercises the solar-day throughput harness and pins its
+// structural properties; the relative ordering is noisy at these run
+// counts and is reported, not asserted.
+func TestDiurnal(t *testing.T) {
+	cfg := DefaultDiurnalConfig()
+	cfg.Runs = 3
+	rows, err := Diurnal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", RenderDiurnal(rows))
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Completions <= 0 {
+			t.Errorf("%s: no completions in a day", r.Runtime)
+		}
+		if r.Failures <= 0 {
+			t.Errorf("%s: a cloudy day must cause failures", r.Runtime)
+		}
+		if r.OnFraction <= 0 || r.OnFraction >= 1 {
+			t.Errorf("%s: on fraction = %.2f", r.Runtime, r.OnFraction)
+		}
+	}
+	ds := DiurnalDataset(rows)
+	if len(ds.Rows) != 3 || ds.CSV() == "" {
+		t.Error("dataset export broken")
+	}
+}

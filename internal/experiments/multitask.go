@@ -1,0 +1,121 @@
+// Phase 2 of the evaluation (§5.4): the FIR filter and the DNN weather
+// classifier, including the "EaseIO/Op." Exclude configuration. One sweep
+// feeds Figure 10 (time breakdown), Figure 11 (energy) and Figure 12 (FIR
+// correctness).
+
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"easeio/internal/apps"
+	"easeio/internal/stats"
+)
+
+// MultiTaskKinds are the configurations compared in phase 2, in the
+// paper's legend order.
+var MultiTaskKinds = []RuntimeKind{EaseIOOp, EaseIO, InK, Alpaca}
+
+// MultiTaskCase is one phase-2 benchmark.
+type MultiTaskCase struct {
+	Label string
+	// New builds the app; excludeOps enables the application's Exclude
+	// annotations (used only for the EaseIOOp configuration).
+	New func(excludeOps bool) (*apps.Bench, error)
+}
+
+// MultiTaskCases returns the two phase-2 benchmarks.
+func MultiTaskCases() []MultiTaskCase {
+	return []MultiTaskCase{
+		{Label: "FIR Filter", New: func(ex bool) (*apps.Bench, error) {
+			cfg := apps.DefaultFIRConfig()
+			cfg.ExcludeCoef = ex
+			return apps.NewFIRApp(cfg)
+		}},
+		{Label: "Weather App.", New: func(ex bool) (*apps.Bench, error) {
+			cfg := apps.DefaultWeatherConfig()
+			cfg.ExcludeWeights = ex
+			return apps.NewWeatherApp(cfg)
+		}},
+	}
+}
+
+// MultiTaskData is the phase-2 sweep result: [case][kind] summaries.
+type MultiTaskData struct {
+	Cases     []MultiTaskCase
+	Summaries [][]stats.Summary
+}
+
+// MultiTask runs the phase-2 sweep.
+func MultiTask(cfg Config) (*MultiTaskData, error) {
+	cases := MultiTaskCases()
+	out := &MultiTaskData{Cases: cases, Summaries: make([][]stats.Summary, len(cases))}
+	for ci, c := range cases {
+		out.Summaries[ci] = make([]stats.Summary, len(MultiTaskKinds))
+		for ki, k := range MultiTaskKinds {
+			factory := func() (*apps.Bench, error) { return c.New(k == EaseIOOp) }
+			s, err := RunMany(cfg, factory, k)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", c.Label, k, err)
+			}
+			out.Summaries[ci][ki] = s
+		}
+	}
+	return out, nil
+}
+
+// RenderFigure10 prints the phase-2 execution-time breakdown.
+func (d *MultiTaskData) RenderFigure10() string {
+	var b strings.Builder
+	b.WriteString("Figure 10 — execution time, runtime overhead and wasted work (multi-task)\n")
+	for ci, c := range d.Cases {
+		fmt.Fprintf(&b, "%s:\n", c.Label)
+		scale := BarScale(d.Summaries[ci])
+		for ki, k := range MultiTaskKinds {
+			b.WriteString(StackedBar(k.String(), d.Summaries[ci][ki].Work, scale, 48))
+			b.WriteByte('\n')
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderFigure11 prints average energy for the multi-task apps.
+func (d *MultiTaskData) RenderFigure11() string {
+	header := []string{"App"}
+	for _, k := range MultiTaskKinds {
+		header = append(header, k.String()+" (µJ)")
+	}
+	rows := make([][]string, len(d.Cases))
+	for ci, c := range d.Cases {
+		row := []string{c.Label}
+		for ki := range MultiTaskKinds {
+			row = append(row, fmtUJ(d.Summaries[ci][ki].MeanEnergy))
+		}
+		rows[ci] = row
+	}
+	return "Figure 11 — average energy per execution (multi-task)\n" + Table(header, rows)
+}
+
+// RenderFigure12 prints FIR correctness counts, like Figure 12.
+func (d *MultiTaskData) RenderFigure12() string {
+	fir := d.Summaries[0]
+	header := []string{"Runtime", "Correct", "Incorrect", "Incorrect %"}
+	// The paper's Figure 12 compares EaseIO, InK and Alpaca.
+	rows := [][]string{}
+	for ki, k := range MultiTaskKinds {
+		if k == EaseIOOp {
+			continue
+		}
+		s := fir[ki]
+		rows = append(rows, []string{
+			k.String(),
+			fmt.Sprintf("%d", s.CorrectRuns),
+			fmt.Sprintf("%d", s.IncorrectRuns),
+			pct(s.IncorrectRuns, s.Runs),
+		})
+	}
+	return "Figure 12 — correct and incorrect executions of the FIR filter\n" +
+		Table(header, rows)
+}

@@ -1,0 +1,97 @@
+// Text rendering for experiment results: aligned tables and horizontal
+// stacked bars, so `easeio-bench` output reads like the paper's figures.
+
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"easeio/internal/stats"
+)
+
+// Table renders rows of cells with aligned columns.
+func Table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// StackedBar renders one App/Overhead/Wasted bar like Figures 7 and 10:
+// '#' application work, 'o' runtime overhead, 'x' wasted work.
+func StackedBar(label string, w [stats.NumBuckets]stats.Totals, scale time.Duration, width int) string {
+	if scale <= 0 {
+		scale = time.Millisecond
+	}
+	seg := func(d time.Duration, ch byte) string {
+		n := int(int64(d) * int64(width) / int64(scale))
+		if d > 0 && n == 0 {
+			n = 1
+		}
+		return strings.Repeat(string(ch), n)
+	}
+	total := w[stats.App].T + w[stats.Overhead].T + w[stats.Wasted].T
+	return fmt.Sprintf("%-11s |%s%s%s| %6.2fms (app %.2f, ovh %.2f, wasted %.2f)",
+		label,
+		seg(w[stats.App].T, '#'), seg(w[stats.Overhead].T, 'o'), seg(w[stats.Wasted].T, 'x'),
+		ms(total), ms(w[stats.App].T), ms(w[stats.Overhead].T), ms(w[stats.Wasted].T))
+}
+
+// BarScale returns a common scale (max total time) for a set of
+// summaries.
+func BarScale(sums []stats.Summary) time.Duration {
+	var max time.Duration
+	for _, s := range sums {
+		if t := s.MeanTotalTime(); t > max {
+			max = t
+		}
+	}
+	if max == 0 {
+		return time.Millisecond
+	}
+	return max
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func fmtMS(d time.Duration) string { return fmt.Sprintf("%.2f", ms(d)) }
+
+func fmtUJ(e interface{ Microjoules() float64 }) string {
+	return fmt.Sprintf("%.1f", e.Microjoules())
+}
+
+func pct(part, whole int) string {
+	if whole == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.0f%%", 100*float64(part)/float64(whole))
+}

@@ -1,0 +1,155 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5). Each experiment has one entry point returning a
+// structured result plus a text renderer that prints the same rows or
+// series the paper reports.
+//
+// All experiments follow the paper's methodology: each configuration is
+// executed Runs times with pseudo-random seeds (the paper uses 1000,
+// §5.3) under the timer-driven power-failure emulation, and the results
+// are averaged (Figures) or summed (Table 4 counts).
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"easeio/internal/alpaca"
+	"easeio/internal/apps"
+	"easeio/internal/core"
+	"easeio/internal/ink"
+	"easeio/internal/kernel"
+	"easeio/internal/power"
+	"easeio/internal/stats"
+)
+
+// RuntimeKind selects one of the compared runtimes.
+type RuntimeKind int
+
+// The compared runtimes. EaseIOOp is EaseIO with the application's
+// Exclude annotations enabled ("EaseIO/Op." in Figures 10, 11 and 13);
+// the runtime itself is identical.
+const (
+	Alpaca RuntimeKind = iota
+	InK
+	EaseIO
+	EaseIOOp
+)
+
+// String names the runtime as the paper's figures do.
+func (k RuntimeKind) String() string {
+	switch k {
+	case Alpaca:
+		return "Alpaca"
+	case InK:
+		return "InK"
+	case EaseIO:
+		return "EaseIO"
+	case EaseIOOp:
+		return "EaseIO/Op."
+	default:
+		return fmt.Sprintf("RuntimeKind(%d)", int(k))
+	}
+}
+
+// NewRuntime instantiates a fresh runtime of the given kind.
+func NewRuntime(k RuntimeKind) kernel.Hooks {
+	switch k {
+	case Alpaca:
+		return alpaca.New()
+	case InK:
+		return ink.New()
+	case EaseIO, EaseIOOp:
+		return core.New()
+	default:
+		panic(fmt.Sprintf("experiments: unknown runtime %d", int(k)))
+	}
+}
+
+// AppFactory builds a fresh application instance for one run.
+type AppFactory func() (*apps.Bench, error)
+
+// SupplyFactory builds a fresh power supply for one run.
+type SupplyFactory func() power.Supply
+
+// TimerSupply is the default supply factory: the paper's [5 ms, 20 ms]
+// soft-reset emulation.
+func TimerSupply() power.Supply { return power.NewTimer(power.DefaultTimerConfig()) }
+
+// Config controls an experiment sweep.
+type Config struct {
+	// Runs is the number of seeded executions per configuration.
+	Runs int
+	// BaseSeed offsets the per-run seeds (seed = BaseSeed + run index).
+	BaseSeed int64
+	// Supply builds the power supply (defaults to TimerSupply).
+	Supply SupplyFactory
+	// Workers bounds parallel simulation (defaults to GOMAXPROCS).
+	Workers int
+}
+
+// DefaultConfig matches the paper's 1000-run sweeps.
+func DefaultConfig() Config { return Config{Runs: 1000, BaseSeed: 1} }
+
+func (c Config) fill() Config {
+	if c.Runs <= 0 {
+		c.Runs = 1000
+	}
+	if c.Supply == nil {
+		c.Supply = TimerSupply
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// RunOne executes one seeded run of the app under the runtime kind.
+func RunOne(newApp AppFactory, kind RuntimeKind, supply power.Supply, seed int64) (*stats.Run, error) {
+	bench, err := newApp()
+	if err != nil {
+		return nil, err
+	}
+	dev := kernel.NewDevice(supply, seed)
+	if err := kernel.RunApp(dev, NewRuntime(kind), bench.App); err != nil {
+		return nil, fmt.Errorf("experiments: %s on %s (seed %d): %w",
+			bench.App.Name, kind, seed, err)
+	}
+	dev.Run.Runtime = kind.String() // distinguish EaseIO/Op. in reports
+	return dev.Run, nil
+}
+
+// RunMany executes cfg.Runs seeded runs in parallel and aggregates them.
+func RunMany(cfg Config, newApp AppFactory, kind RuntimeKind) (stats.Summary, error) {
+	cfg = cfg.fill()
+	runs := make([]*stats.Run, cfg.Runs)
+	errs := make([]error, cfg.Runs)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Workers)
+	for i := 0; i < cfg.Runs; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			runs[i], errs[i] = RunOne(newApp, kind, cfg.Supply(), cfg.BaseSeed+int64(i))
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return stats.Summary{}, err
+		}
+	}
+	return stats.Aggregate(runs), nil
+}
+
+// GoldenTime returns the continuous-power execution time of the app under
+// the runtime — the pure application + overhead baseline.
+func GoldenTime(newApp AppFactory, kind RuntimeKind) (stats.Summary, error) {
+	run, err := RunOne(newApp, kind, power.Continuous{}, 0)
+	if err != nil {
+		return stats.Summary{}, err
+	}
+	return stats.Aggregate([]*stats.Run{run}), nil
+}

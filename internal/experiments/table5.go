@@ -1,0 +1,96 @@
+// Table 5 (§5.4.4): execution time and correctness of the weather
+// classifier with double-buffered versus single-buffered DNN layers,
+// under continuous and intermittent power.
+
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"easeio/internal/apps"
+)
+
+// Table5Kinds are the runtimes in the paper's row order.
+var Table5Kinds = []RuntimeKind{Alpaca, InK, EaseIO}
+
+// Table5Row is one runtime's measurements.
+type Table5Row struct {
+	Kind RuntimeKind
+	// Cont and Int are continuous and intermittent execution times, per
+	// buffer mode.
+	Cont, Int map[apps.BufferMode]time.Duration
+	// Correct reports whether all intermittent runs were correct, per
+	// buffer mode.
+	Correct map[apps.BufferMode]bool
+	// Incorrect counts incorrect intermittent runs, per buffer mode.
+	Incorrect map[apps.BufferMode]int
+	Runs      int
+}
+
+// Table5Data holds the full table.
+type Table5Data struct {
+	Rows []Table5Row
+}
+
+// Table5 regenerates the table.
+func Table5(cfg Config) (*Table5Data, error) {
+	modes := []apps.BufferMode{apps.DoubleBuffer, apps.SingleBuffer}
+	out := &Table5Data{}
+	for _, k := range Table5Kinds {
+		row := Table5Row{
+			Kind:      k,
+			Cont:      map[apps.BufferMode]time.Duration{},
+			Int:       map[apps.BufferMode]time.Duration{},
+			Correct:   map[apps.BufferMode]bool{},
+			Incorrect: map[apps.BufferMode]int{},
+		}
+		for _, mode := range modes {
+			factory := func() (*apps.Bench, error) {
+				wcfg := apps.DefaultWeatherConfig()
+				wcfg.Buffers = mode
+				return apps.NewWeatherApp(wcfg)
+			}
+			golden, err := GoldenTime(factory, k)
+			if err != nil {
+				return nil, fmt.Errorf("table5 %s/%s continuous: %w", k, mode, err)
+			}
+			sum, err := RunMany(cfg, factory, k)
+			if err != nil {
+				return nil, fmt.Errorf("table5 %s/%s intermittent: %w", k, mode, err)
+			}
+			row.Cont[mode] = golden.MeanOnTime
+			row.Int[mode] = sum.MeanOnTime
+			row.Correct[mode] = sum.IncorrectRuns == 0
+			row.Incorrect[mode] = sum.IncorrectRuns
+			row.Runs = sum.Runs
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Render prints the table in the paper's layout.
+func (d *Table5Data) Render() string {
+	header := []string{"Runtime",
+		"Double Cont.(ms)", "Double Int.(ms)", "Double Corr.",
+		"Single Cont.(ms)", "Single Int.(ms)", "Single Corr."}
+	mark := func(ok bool, bad int) string {
+		if ok {
+			return "ok"
+		}
+		return fmt.Sprintf("FAIL (%d)", bad)
+	}
+	rows := make([][]string, len(d.Rows))
+	for i, r := range d.Rows {
+		rows[i] = []string{
+			r.Kind.String(),
+			fmtMS(r.Cont[apps.DoubleBuffer]), fmtMS(r.Int[apps.DoubleBuffer]),
+			mark(r.Correct[apps.DoubleBuffer], r.Incorrect[apps.DoubleBuffer]),
+			fmtMS(r.Cont[apps.SingleBuffer]), fmtMS(r.Int[apps.SingleBuffer]),
+			mark(r.Correct[apps.SingleBuffer], r.Incorrect[apps.SingleBuffer]),
+		}
+	}
+	return "Table 5 — weather classifier with double- vs single-buffered DNN\n" +
+		Table(header, rows)
+}

@@ -1,0 +1,133 @@
+// Phase 1 of the evaluation (§5.3): three uni-task applications, one per
+// re-execution semantic. One sweep feeds Figure 7 (execution-time
+// breakdown), Table 4 (power failures and redundant I/O) and Figure 8
+// (energy).
+
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"easeio/internal/apps"
+	"easeio/internal/stats"
+)
+
+// UniTaskKinds are the runtimes compared in phase 1.
+var UniTaskKinds = []RuntimeKind{Alpaca, InK, EaseIO}
+
+// UniTaskCase is one uni-task benchmark configuration.
+type UniTaskCase struct {
+	// Label matches the paper's column naming in Table 4.
+	Label string
+	// Fig identifies the Figure 7 panel (a, b, c).
+	Fig string
+	// New builds the application.
+	New AppFactory
+}
+
+// UniTaskCases returns the three phase-1 benchmarks.
+func UniTaskCases() []UniTaskCase {
+	return []UniTaskCase{
+		{Label: "Single (DMA)", Fig: "7a", New: func() (*apps.Bench, error) {
+			return apps.NewDMAApp(apps.DefaultDMAConfig())
+		}},
+		{Label: "Timely (Temp.)", Fig: "7b", New: func() (*apps.Bench, error) {
+			return apps.NewTempApp(apps.DefaultTempConfig())
+		}},
+		{Label: "Always (LEA)", Fig: "7c", New: func() (*apps.Bench, error) {
+			return apps.NewLEAApp(apps.DefaultLEAConfig())
+		}},
+	}
+}
+
+// UniTaskData is the phase-1 sweep result: [case][runtime] summaries.
+type UniTaskData struct {
+	Cases     []UniTaskCase
+	Summaries [][]stats.Summary
+}
+
+// UniTask runs the phase-1 sweep.
+func UniTask(cfg Config) (*UniTaskData, error) {
+	cases := UniTaskCases()
+	out := &UniTaskData{Cases: cases, Summaries: make([][]stats.Summary, len(cases))}
+	for ci, c := range cases {
+		out.Summaries[ci] = make([]stats.Summary, len(UniTaskKinds))
+		for ki, k := range UniTaskKinds {
+			s, err := RunMany(cfg, c.New, k)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", c.Label, k, err)
+			}
+			out.Summaries[ci][ki] = s
+		}
+	}
+	return out, nil
+}
+
+// RenderFigure7 prints the three panels of Figure 7 as stacked bars.
+func (d *UniTaskData) RenderFigure7() string {
+	var b strings.Builder
+	for ci, c := range d.Cases {
+		fmt.Fprintf(&b, "Figure %s — %s: total execution time, runtime overhead, wasted work\n",
+			c.Fig, c.Label)
+		scale := BarScale(d.Summaries[ci])
+		for ki, k := range UniTaskKinds {
+			b.WriteString(StackedBar(k.String(), d.Summaries[ci][ki].Work, scale, 48))
+			b.WriteByte('\n')
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderTable4 prints power-failure and redundant-I/O counts summed over
+// all runs, like Table 4.
+func (d *UniTaskData) RenderTable4() string {
+	header := []string{"Runtime"}
+	for _, c := range d.Cases {
+		header = append(header, c.Label+" PF", c.Label+" Re-exe.")
+	}
+	rows := make([][]string, len(UniTaskKinds))
+	for ki, k := range UniTaskKinds {
+		row := []string{k.String()}
+		for ci := range d.Cases {
+			s := d.Summaries[ci][ki]
+			row = append(row,
+				fmt.Sprintf("%d", s.PowerFailures),
+				fmt.Sprintf("%d", s.IORepeats+s.DMARepeats))
+		}
+		rows[ki] = row
+	}
+	var b strings.Builder
+	b.WriteString("Table 4 — power failures and redundant I/O re-executions (sums over all runs)\n")
+	b.WriteString(Table(header, rows))
+	// Reduction lines, as the paper reports per semantic.
+	ease := len(UniTaskKinds) - 1
+	for ci, c := range d.Cases {
+		base := d.Summaries[ci][0].IORepeats + d.Summaries[ci][0].DMARepeats
+		e := d.Summaries[ci][ease].IORepeats + d.Summaries[ci][ease].DMARepeats
+		if base > 0 {
+			fmt.Fprintf(&b, "%s: EaseIO avoids %s of Alpaca's redundant I/O\n",
+				c.Label, pct(base-e, base))
+		}
+	}
+	return b.String()
+}
+
+// RenderFigure8 prints average per-run energy, like Figure 8.
+func (d *UniTaskData) RenderFigure8() string {
+	header := []string{"Semantic"}
+	for _, k := range UniTaskKinds {
+		header = append(header, k.String()+" (µJ)")
+	}
+	rows := make([][]string, len(d.Cases))
+	for ci, c := range d.Cases {
+		row := []string{c.Label}
+		for ki := range UniTaskKinds {
+			row = append(row, fmtUJ(d.Summaries[ci][ki].MeanEnergy))
+		}
+		rows[ci] = row
+	}
+	return "Figure 8 — average energy per execution with controlled power failures\n" +
+		Table(header, rows)
+}

@@ -1,0 +1,176 @@
+package frontend
+
+import (
+	"testing"
+	"time"
+
+	"easeio/internal/mem"
+	"easeio/internal/task"
+)
+
+func findingCodes(fs []Finding) map[string]Severity {
+	out := map[string]Severity{}
+	for _, f := range fs {
+		out[f.Code] = f.Severity
+	}
+	return out
+}
+
+func TestLintExcludeMutableSource(t *testing.T) {
+	a := task.NewApp("excl")
+	buf := a.NVBuf("buf", 8)
+	d := a.DMA("fetch").Excluded()
+	var fin *task.Task
+	a.AddTask("t", func(e task.Exec) {
+		e.Store(buf, 1) // the source is written
+		e.DMACopy(d, task.VarLoc(buf, 0), task.RawLoc(uint8(mem.LEARAM), 0), 8)
+		e.Next(fin)
+	})
+	fin = a.AddTask("fin", func(e task.Exec) { e.Done() })
+
+	fs, err := Lint(a, LintConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	codes := findingCodes(fs)
+	if codes["exclude-mutable-source"] != Error {
+		t.Errorf("expected exclude-mutable-source error; got %v", fs)
+	}
+}
+
+func TestLintExcludeUnmarkedSource(t *testing.T) {
+	a := task.NewApp("excl2")
+	buf := a.NVBuf("buf", 8) // never written, but not declared Const
+	d := a.DMA("fetch").Excluded()
+	var fin *task.Task
+	a.AddTask("t", func(e task.Exec) {
+		e.DMACopy(d, task.VarLoc(buf, 0), task.RawLoc(uint8(mem.LEARAM), 0), 8)
+		e.Next(fin)
+	})
+	fin = a.AddTask("fin", func(e task.Exec) { e.Done() })
+	fs, err := Lint(a, LintConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	codes := findingCodes(fs)
+	if sev, ok := codes["exclude-unmarked-source"]; !ok || sev != Warning {
+		t.Errorf("expected exclude-unmarked-source warning; got %v", fs)
+	}
+}
+
+func TestLintExcludeConstSourceClean(t *testing.T) {
+	a := task.NewApp("excl3")
+	coef := a.NVConst("coef", []uint16{1, 2, 3, 4})
+	d := a.DMA("fetch").Excluded()
+	var fin *task.Task
+	a.AddTask("t", func(e task.Exec) {
+		e.DMACopy(d, task.VarLoc(coef, 0), task.RawLoc(uint8(mem.LEARAM), 0), 4)
+		e.Next(fin)
+	})
+	fin = a.AddTask("fin", func(e task.Exec) { e.Done() })
+	fs, err := Lint(a, LintConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fs {
+		if f.Code == "exclude-mutable-source" || f.Code == "exclude-unmarked-source" {
+			t.Errorf("const source flagged: %v", f)
+		}
+	}
+}
+
+func TestLintPrivBufferOverflow(t *testing.T) {
+	a := task.NewApp("bufsize")
+	b1 := a.NVBuf("b1", 80)
+	b2 := a.NVBuf("b2", 60)
+	d1, d2 := a.DMA("f1"), a.DMA("f2")
+	var fin *task.Task
+	a.AddTask("big", func(e task.Exec) {
+		e.DMACopy(d1, task.VarLoc(b1, 0), task.RawLoc(uint8(mem.LEARAM), 0), 80)
+		e.DMACopy(d2, task.VarLoc(b2, 0), task.RawLoc(uint8(mem.LEARAM), 200), 60)
+		e.Next(fin)
+	})
+	fin = a.AddTask("fin", func(e task.Exec) { e.Done() })
+
+	fs, err := Lint(a, LintConfig{PrivBufWords: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if findingCodes(fs)["priv-buffer-overflow"] != Error {
+		t.Errorf("expected priv-buffer-overflow (needs 140 > 100): %v", fs)
+	}
+
+	fs, err = Lint(a, LintConfig{PrivBufWords: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, bad := findingCodes(fs)["priv-buffer-overflow"]; bad {
+		t.Errorf("fitting buffer flagged: %v", fs)
+	}
+}
+
+func TestLintDeadTimelyInsideSingleBlock(t *testing.T) {
+	a := task.NewApp("deadann")
+	s := a.TimelyIO("temp", 10*time.Millisecond, true,
+		func(task.Exec, int) uint16 { return 0 })
+	blk := a.Block("blk", task.Single)
+	var fin *task.Task
+	a.AddTask("t", func(e task.Exec) {
+		e.IOBlock(blk, func() { e.CallIO(s) })
+		e.Next(fin)
+	})
+	fin = a.AddTask("fin", func(e task.Exec) { e.Done() })
+	fs, err := Lint(a, LintConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := findingCodes(fs)["timely-inside-single-block"]; !ok {
+		t.Errorf("expected timely-inside-single-block warning: %v", fs)
+	}
+}
+
+func TestLintAlwaysLoopSite(t *testing.T) {
+	a := task.NewApp("loopalways")
+	s := a.IO("s", task.Always, false, func(task.Exec, int) uint16 { return 0 }).Loop(4)
+	var fin *task.Task
+	a.AddTask("t", func(e task.Exec) {
+		for i := 0; i < 4; i++ {
+			e.CallIOAt(s, i)
+		}
+		e.Next(fin)
+	})
+	fin = a.AddTask("fin", func(e task.Exec) { e.Done() })
+	fs, err := Lint(a, LintConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := findingCodes(fs)["always-loop-site"]; !ok {
+		t.Errorf("expected always-loop-site warning: %v", fs)
+	}
+}
+
+func TestLintBenchmarksClean(t *testing.T) {
+	// The repository's own benchmark apps must pass their lint (errors
+	// only; warnings allowed).
+	a := task.NewApp("selfcheck")
+	coef := a.NVConst("coef", []uint16{1, 2})
+	d := a.DMA("fetch").Excluded()
+	var fin *task.Task
+	a.AddTask("t", func(e task.Exec) {
+		e.DMACopy(d, task.VarLoc(coef, 0), task.RawLoc(uint8(mem.LEARAM), 0), 2)
+		e.Next(fin)
+	})
+	fin = a.AddTask("fin", func(e task.Exec) { e.Done() })
+	fs, err := Lint(a, LintConfig{PrivBufWords: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fs {
+		if f.Severity == Error {
+			t.Errorf("unexpected error finding: %v", f)
+		}
+		if f.String() == "" {
+			t.Error("empty rendering")
+		}
+	}
+}

@@ -1,0 +1,218 @@
+// Ctx is the execution context handed to task bodies. It implements
+// task.Exec by charging costs against the device and delegating
+// consistency-sensitive operations to the runtime's hooks.
+
+package kernel
+
+import (
+	"math/rand"
+	"time"
+
+	"easeio/internal/lea"
+	"easeio/internal/mcu"
+	"easeio/internal/mem"
+	"easeio/internal/task"
+	"easeio/internal/units"
+)
+
+// chargeSlice bounds a single charge step so that power failures land with
+// fine granularity inside long operations (50 µs = 50 cycles at 1 MHz).
+const chargeSlice = 50 * time.Microsecond
+
+// Ctx carries one attempt's execution state.
+type Ctx struct {
+	Dev *Device
+	RT  Hooks
+
+	// transitioned is set by Next/Done; the engine uses it to detect task
+	// bodies that fall off the end without transitioning.
+	transitioned bool
+
+	// wastedDepth > 0 routes charges straight to the Wasted bucket (used
+	// while re-executing already-completed I/O).
+	wastedDepth int
+}
+
+// PushWasted enters wasted-charging mode (see Ledger.ChargeWasted).
+func (c *Ctx) PushWasted() { c.wastedDepth++ }
+
+// PopWasted leaves wasted-charging mode.
+func (c *Ctx) PopWasted() {
+	if c.wastedDepth == 0 {
+		panic("kernel: unbalanced PopWasted")
+	}
+	c.wastedDepth--
+}
+
+var _ task.Exec = (*Ctx)(nil)
+
+// Charge advances time and drains energy, splitting long operations into
+// slices and panicking with the power-failure sentinel the moment the
+// supply gives out. State changes paid for by a charge must be applied
+// *after* Charge returns.
+func (c *Ctx) Charge(dt time.Duration, e units.Energy, overhead bool) {
+	d := c.Dev
+	for dt > 0 {
+		step := dt
+		if step > chargeSlice {
+			step = chargeSlice
+		}
+		se := units.Energy(int64(e) * int64(step) / int64(dt))
+		e -= se
+		dt -= step
+		d.Clock.Run(step)
+		if c.wastedDepth > 0 {
+			d.Ledger.ChargeWasted(step, se)
+		} else {
+			d.Ledger.Charge(overhead, step, se)
+		}
+		if d.Supply.Step(d.Clock.Now(), d.Clock.OnTime(), step, se) {
+			panic(powerFailure{})
+		}
+	}
+}
+
+// ChargeCycles charges n CPU cycles of useful work.
+func (c *Ctx) ChargeCycles(n int64) {
+	c.Charge(mcu.Cycles(n), mcu.CyclesEnergy(n), false)
+}
+
+// ChargeOverheadCycles charges n CPU cycles of runtime bookkeeping.
+func (c *Ctx) ChargeOverheadCycles(n int64) {
+	c.Charge(mcu.Cycles(n), mcu.CyclesEnergy(n), true)
+}
+
+// ChargeMemAccess charges one 16-bit access to the given bank.
+func (c *Ctx) ChargeMemAccess(b mem.Bank, write, overhead bool) {
+	var cyc int64
+	var e units.Energy
+	switch {
+	case b == mem.FRAM && write:
+		cyc, e = mcu.FRAMWriteCycles, mcu.FRAMWriteEnergy
+	case b == mem.FRAM:
+		cyc, e = mcu.FRAMReadCycles, mcu.FRAMReadEnergy
+	default:
+		cyc, e = mcu.SRAMAccessCycles, mcu.SRAMAccessEnergy
+	}
+	c.Charge(mcu.Cycles(cyc), e, overhead)
+}
+
+// --- task.Exec: computation and memory ---
+
+// Compute implements task.Exec.
+func (c *Ctx) Compute(n int64) { c.RT.Compute(c, n) }
+
+// Load implements task.Exec.
+func (c *Ctx) Load(v *task.NVVar) uint16 { return c.RT.Load(c, v, 0) }
+
+// Store implements task.Exec.
+func (c *Ctx) Store(v *task.NVVar, val uint16) { c.RT.Store(c, v, 0, val) }
+
+// LoadAt implements task.Exec.
+func (c *Ctx) LoadAt(v *task.NVVar, i int) uint16 { return c.RT.Load(c, v, i) }
+
+// StoreAt implements task.Exec.
+func (c *Ctx) StoreAt(v *task.NVVar, i int, val uint16) { c.RT.Store(c, v, i, val) }
+
+// --- task.Exec: I/O ---
+
+// CallIO implements task.Exec.
+func (c *Ctx) CallIO(s *task.IOSite) uint16 { return c.RT.CallIO(c, s, 0) }
+
+// CallIOAt implements task.Exec.
+func (c *Ctx) CallIOAt(s *task.IOSite, idx int) uint16 { return c.RT.CallIO(c, s, idx) }
+
+// IOBlock implements task.Exec.
+func (c *Ctx) IOBlock(b *task.IOBlock, body func()) { c.RT.IOBlock(c, b, body) }
+
+// DMACopy implements task.Exec.
+func (c *Ctx) DMACopy(d *task.DMASite, src, dst task.Loc, words int) {
+	c.RT.DMACopy(c, d, src, dst, words)
+}
+
+// ResolveLoc turns a blueprint location into a concrete memory address,
+// resolving variables to their master copies (the addresses the DMA
+// controller sees).
+func (c *Ctx) ResolveLoc(l task.Loc) mem.Addr {
+	if l.Var != nil {
+		return c.RT.AddrOf(l.Var).Add(l.Off)
+	}
+	return mem.Addr{Bank: mem.Bank(l.RawBank), Word: l.RawWord}
+}
+
+// RawDMA performs the mechanical DMA transfer: setup charge, then one
+// charge + one word moved at a time, so a power failure cuts the copy
+// mid-transfer with word granularity. It bypasses the runtime's variable
+// interposition entirely — exactly like hardware DMA bypasses the CPU.
+func (c *Ctx) RawDMA(src, dst mem.Addr, words int, overhead bool) {
+	c.Charge(mcu.Cycles(mcu.DMASetupCycles), mcu.CyclesEnergy(mcu.DMASetupCycles), overhead)
+	for i := 0; i < words; i++ {
+		c.Charge(mcu.Cycles(mcu.DMAWordCycles), mcu.DMAWordEnergy, overhead)
+		c.Dev.Mem.Write(dst.Add(i), c.Dev.Mem.Read(src.Add(i)))
+	}
+}
+
+// --- task.Exec: LEA ---
+
+func (c *Ctx) chargeLEA(macs int64) {
+	c.Charge(mcu.Cycles(mcu.LEASetupCycles+macs*mcu.LEAMACCycles),
+		mcu.CyclesEnergy(mcu.LEASetupCycles)+units.Energy(macs)*mcu.LEAMACEnergy, false)
+}
+
+// LEAFir implements task.Exec.
+func (c *Ctx) LEAFir(inOff, coefOff, outOff, inLen, taps int) {
+	c.chargeLEA(int64(inLen-taps+1) * int64(taps))
+	lea.Fir(c.Dev.Mem, inOff, coefOff, outOff, inLen, taps)
+}
+
+// LEARelu implements task.Exec.
+func (c *Ctx) LEARelu(off, n int) {
+	c.chargeLEA(int64(n))
+	lea.Relu(c.Dev.Mem, off, n)
+}
+
+// LEADot implements task.Exec.
+func (c *Ctx) LEADot(aOff, bOff, n int) int32 {
+	c.chargeLEA(int64(n))
+	return lea.Dot(c.Dev.Mem, aOff, bOff, n)
+}
+
+// LEAMacs implements task.Exec.
+func (c *Ctx) LEAMacs(n int64) { c.chargeLEA(n) }
+
+// ReadLEA implements task.Exec.
+func (c *Ctx) ReadLEA(off int) uint16 {
+	c.ChargeMemAccess(mem.LEARAM, false, false)
+	return c.Dev.Mem.Read(mem.Addr{Bank: mem.LEARAM, Word: off})
+}
+
+// WriteLEA implements task.Exec.
+func (c *Ctx) WriteLEA(off int, val uint16) {
+	c.ChargeMemAccess(mem.LEARAM, true, false)
+	c.Dev.Mem.Write(mem.Addr{Bank: mem.LEARAM, Word: off}, val)
+}
+
+// --- task.Exec: environment ---
+
+// Op implements task.Exec: a peripheral operation's latency and energy.
+func (c *Ctx) Op(dt time.Duration, e units.Energy) { c.Charge(dt, e, false) }
+
+// Now implements task.Exec.
+func (c *Ctx) Now() time.Duration { return c.Dev.Clock.Now() }
+
+// Rand implements task.Exec.
+func (c *Ctx) Rand() *rand.Rand { return c.Dev.Rand }
+
+// --- task.Exec: control flow ---
+
+// Next implements task.Exec.
+func (c *Ctx) Next(t *task.Task) {
+	c.transitioned = true
+	c.RT.Transition(c, t)
+}
+
+// Done implements task.Exec.
+func (c *Ctx) Done() {
+	c.transitioned = true
+	c.RT.Transition(c, nil)
+}

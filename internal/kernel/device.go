@@ -1,0 +1,117 @@
+// Package kernel is the execution engine of the simulator: it owns the
+// device (memory, clock, energy supply), charges every operation's time
+// and energy, injects power failures as non-local exits, and drives
+// task-based runtimes through boot/attempt/commit cycles.
+//
+// The central invariant: costs are charged *before* the state change they
+// pay for, and big operations are charged in slices. A power failure can
+// therefore land between the energy being spent and the effect becoming
+// durable — the window in which all of the paper's problems (wasted I/O,
+// idempotence bugs, unsafe execution) live.
+package kernel
+
+import (
+	"fmt"
+	"math/rand"
+
+	"easeio/internal/mem"
+	"easeio/internal/power"
+	"easeio/internal/stats"
+	"easeio/internal/task"
+	"easeio/internal/timekeeper"
+)
+
+// Device aggregates the hardware model for one simulated run.
+type Device struct {
+	Mem    *mem.Memory
+	Clock  *timekeeper.Clock
+	Supply power.Supply
+	Ledger *Ledger
+	// Rand drives the physical-value processes of peripherals. It is
+	// measurement-world state: sampling it costs nothing.
+	Rand *rand.Rand
+	// Run accumulates the run's statistics.
+	Run *stats.Run
+	// Tracer, when non-nil, receives the execution timeline (see trace.go).
+	Tracer Tracer
+}
+
+// NewDevice assembles a fresh device around the given supply, seeding both
+// the supply and the peripheral randomness.
+func NewDevice(supply power.Supply, seed int64) *Device {
+	supply.Reset(seed)
+	return &Device{
+		Mem:    mem.New(),
+		Clock:  timekeeper.New(),
+		Supply: supply,
+		Ledger: &Ledger{},
+		Rand:   rand.New(rand.NewSource(seed ^ 0x5ea10)),
+		Run:    &stats.Run{Seed: seed},
+	}
+}
+
+// powerFailure is the panic sentinel that unwinds an interrupted attempt.
+type powerFailure struct{}
+
+// Hooks is the interface a task-based runtime implements. The kernel
+// calls lifecycle hooks; task bodies reach the data hooks through Ctx.
+type Hooks interface {
+	// Name identifies the runtime ("Alpaca", "InK", "EaseIO").
+	Name() string
+
+	// Attach instantiates the app on the device: allocate master copies
+	// of task-shared variables and runtime metadata. Called once per run
+	// before execution starts.
+	Attach(dev *Device, app *task.App) error
+
+	// OnBoot runs the runtime's recovery path after (re)boot.
+	OnBoot(c *Ctx)
+
+	// CurrentTask returns the task to execute next, or nil when the app
+	// has finished.
+	CurrentTask() *task.Task
+
+	// BeginTask runs the runtime's task-entry work (privatization).
+	BeginTask(c *Ctx, t *task.Task)
+
+	// Transition commits the current task and installs next (nil = app
+	// done).
+	Transition(c *Ctx, next *task.Task)
+
+	// Compute charges n cycles of application CPU work; runtimes that
+	// track fine-grained progress (JustDo logging) interpose here, the
+	// task-based ones charge it straight through.
+	Compute(c *Ctx, n int64)
+
+	// Load and Store access word i of a task-shared variable through the
+	// runtime's consistency machinery.
+	Load(c *Ctx, v *task.NVVar, i int) uint16
+	Store(c *Ctx, v *task.NVVar, i int, val uint16)
+
+	// AddrOf resolves a variable to its master (committed) non-volatile
+	// address — the address DMA transfers use, bypassing privatization.
+	AddrOf(v *task.NVVar) mem.Addr
+
+	// CallIO executes or skips the I/O site instance idx.
+	CallIO(c *Ctx, s *task.IOSite, idx int) uint16
+
+	// IOBlock wraps body in the block's atomic scope.
+	IOBlock(c *Ctx, b *task.IOBlock, body func())
+
+	// DMACopy performs the transfer with the runtime's safety machinery.
+	DMACopy(c *Ctx, d *task.DMASite, src, dst task.Loc, words int)
+}
+
+// ReadVar reads word i of v directly from its master address, outside the
+// simulation's cost model. Experiment harnesses use it to inspect final
+// memory (the "logic analyzer" view).
+func ReadVar(dev *Device, rt Hooks, v *task.NVVar, i int) uint16 {
+	a := rt.AddrOf(v)
+	return dev.Mem.Read(a.Add(i))
+}
+
+// String summarizes the device.
+func (d *Device) String() string {
+	return fmt.Sprintf("device{t=%v on=%v boots=%d}",
+		d.Clock.Now(), d.Clock.OnTime(), d.Clock.Boots())
+}

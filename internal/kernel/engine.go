@@ -1,0 +1,124 @@
+// The engine: boots the device, runs task attempts, turns power failures
+// into reboots, and finishes when the runtime reports the app done.
+
+package kernel
+
+import (
+	"fmt"
+	"time"
+
+	"easeio/internal/mcu"
+	"easeio/internal/power"
+	"easeio/internal/task"
+)
+
+// maxBoots bounds a run so that a non-terminating configuration (a task
+// whose energy cost exceeds the budget — the paper's "non-termination
+// bug") surfaces as an error instead of an infinite loop.
+const maxBoots = 200_000
+
+// RunApp executes app on dev under runtime rt until completion. It
+// returns an error for structural failures (attach errors, tasks that do
+// not transition, non-termination); power failures are not errors — they
+// are the phenomenon under study.
+func RunApp(dev *Device, rt Hooks, app *task.App) error {
+	if err := app.Validate(); err != nil {
+		return err
+	}
+	if err := rt.Attach(dev, app); err != nil {
+		return fmt.Errorf("kernel: attach %s to %s: %w", app.Name, rt.Name(), err)
+	}
+	dev.Run.App = app.Name
+	dev.Run.Runtime = rt.Name()
+
+	ctx := &Ctx{Dev: dev, RT: rt}
+	for {
+		failed, err := bootAndRun(ctx)
+		if err != nil {
+			return err
+		}
+		if !failed {
+			break
+		}
+		dev.Run.PowerFailures++
+		dev.Ledger.FailAttempt()
+		dev.Mem.PowerFailure()
+		dev.Trace("power-failure", "#%d", dev.Run.PowerFailures)
+		off := dev.Supply.Recharge(dev.Clock.Now())
+		dev.Clock.Off(off)
+		dev.Trace("recharge", "off for %v", off)
+		if h, ok := dev.Supply.(*power.Harvested); ok && h.Dead() {
+			dev.Run.Stuck = true
+			finish(dev, rt, app)
+			return nil
+		}
+		if dev.Clock.Boots() > maxBoots {
+			return fmt.Errorf("kernel: %s/%s did not terminate within %d boots (non-termination bug)",
+				app.Name, rt.Name(), maxBoots)
+		}
+	}
+	finish(dev, rt, app)
+	return nil
+}
+
+// bootAndRun charges the boot path, runs the runtime's recovery hook, and
+// executes tasks until the app completes or a power failure unwinds the
+// attempt. Failures during boot itself are recovered exactly like
+// mid-task failures: a supply too weak to even boot surfaces as
+// non-termination, which is the physically correct outcome.
+func bootAndRun(ctx *Ctx) (failed bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(powerFailure); ok {
+				failed = true
+				return
+			}
+			panic(r)
+		}
+	}()
+	ctx.wastedDepth = 0
+	ctx.Dev.Clock.Boot()
+	ctx.Dev.Trace("boot", "#%d", ctx.Dev.Clock.Boots())
+	ctx.ChargeOverheadCycles(mcu.BootCycles)
+	ctx.RT.OnBoot(ctx)
+	for {
+		t := ctx.RT.CurrentTask()
+		if t == nil {
+			return false, nil
+		}
+		ctx.Dev.Run.TaskAttempts++
+		ctx.transitioned = false
+		ctx.Dev.Trace("task-begin", "%s (attempt %d)", t.Name, ctx.Dev.Run.TaskAttempts)
+		ctx.RT.BeginTask(ctx, t)
+		t.Body(ctx)
+		if !ctx.transitioned {
+			return false, fmt.Errorf("kernel: task %q returned without Next/Done", t.Name)
+		}
+		ctx.Dev.Run.TaskCommits++
+		ctx.Dev.Trace("task-commit", "%s", t.Name)
+	}
+}
+
+// finish exports the ledger and evaluates output correctness.
+func finish(dev *Device, rt Hooks, app *task.App) {
+	dev.Ledger.Export(dev.Run)
+	dev.Run.WallTime = dev.Clock.Now()
+	dev.Run.OnTime = dev.Clock.OnTime()
+	if app.CheckOutput != nil && !dev.Run.Stuck {
+		dev.Run.Correct = app.CheckOutput(func(v *task.NVVar, i int) uint16 {
+			return ReadVar(dev, rt, v, i)
+		})
+	} else {
+		dev.Run.Correct = !dev.Run.Stuck
+	}
+}
+
+// GoldenOnTime runs app once under continuous power on a fresh device and
+// returns the pure execution time — the App bar in Figures 7 and 10.
+func GoldenOnTime(newRT func() Hooks, app *task.App, seed int64) (time.Duration, error) {
+	dev := NewDevice(power.Continuous{}, seed)
+	if err := RunApp(dev, newRT(), app); err != nil {
+		return 0, err
+	}
+	return dev.Clock.OnTime(), nil
+}

@@ -1,0 +1,63 @@
+package kernel
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"easeio/internal/energy"
+	"easeio/internal/power"
+	"easeio/internal/task"
+	"easeio/internal/units"
+)
+
+func TestRenderGantt(t *testing.T) {
+	a := simpleApp(func(e task.Exec) {
+		e.Compute(8000)
+		e.Done()
+	})
+	dev := NewDevice(power.NewSchedule(3*time.Millisecond), 1)
+	buf := &TraceBuffer{}
+	dev.Tracer = buf
+	if err := RunApp(dev, &testRT{}, a); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	RenderGantt(buf, 80, &sb)
+	out := sb.String()
+	for _, want := range []string{"power", "taska", "X", "C", "."} {
+		if !strings.Contains(out, want) {
+			t.Errorf("gantt missing %q:\n%s", want, out)
+		}
+	}
+	// Degenerate inputs must not panic.
+	var empty strings.Builder
+	RenderGantt(&TraceBuffer{}, 80, &empty)
+	if !strings.Contains(empty.String(), "no events") {
+		t.Error("empty buffer rendering")
+	}
+	RenderGantt(buf, 1, &strings.Builder{}) // width clamp
+}
+
+func TestStuckHarvestedRun(t *testing.T) {
+	// A harvester below leakage power: the first recharge never reaches
+	// the boot threshold and the run is abandoned as Stuck.
+	a := simpleApp(func(e task.Exec) {
+		e.Compute(50_000)
+		e.Done()
+	})
+	h := power.NewHarvested(energy.Constant{P: 1 * units.Microwatt})
+	h.MaxOff = 50 * time.Millisecond
+	h.Cap.C = 1000 * units.Nanofarad // tiny: drains mid-task
+	h.StartAtVon = true
+	dev := NewDevice(h, 1)
+	if err := RunApp(dev, &testRT{}, a); err != nil {
+		t.Fatal(err)
+	}
+	if !dev.Run.Stuck {
+		t.Fatal("run should be stuck")
+	}
+	if dev.Run.Correct {
+		t.Error("a stuck run must not report correct output")
+	}
+}

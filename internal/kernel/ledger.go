@@ -1,0 +1,101 @@
+// Work-accounting ledger: every charged cost lands in a pending attempt
+// pool and moves to a committed bucket when the enclosing task — or, for
+// EaseIO, the enclosing I/O span — commits.
+
+package kernel
+
+import (
+	"time"
+
+	"easeio/internal/stats"
+	"easeio/internal/units"
+)
+
+// Ledger tracks committed and pending work for one run.
+//
+// Pending work belongs to the current task attempt. When the attempt is
+// interrupted by a power failure the pending pool drains into the Wasted
+// bucket; when the task commits it drains into App and Overhead. EaseIO
+// additionally commits completed I/O operations mid-task (their lock flag
+// is durable, so their work is never redone even if the surrounding
+// attempt fails); it does so through spans.
+type Ledger struct {
+	committed [stats.NumBuckets]stats.Totals
+	pending   [2]stats.Totals // index 0 = useful, 1 = overhead
+}
+
+// SpanMark captures the pending pool at the start of a commitable span.
+type SpanMark struct {
+	useful, overhead stats.Totals
+}
+
+// Charge adds work to the pending pool.
+func (l *Ledger) Charge(overhead bool, dt time.Duration, e units.Energy) {
+	i := 0
+	if overhead {
+		i = 1
+	}
+	l.pending[i].Add(stats.Totals{T: dt, E: e})
+}
+
+// ChargeWasted commits work directly to the Wasted bucket. Redundant
+// re-executions of already-completed I/O use this path: whether or not the
+// surrounding attempt eventually commits, that work would not exist under
+// continuous power.
+func (l *Ledger) ChargeWasted(dt time.Duration, e units.Energy) {
+	l.committed[stats.Wasted].Add(stats.Totals{T: dt, E: e})
+}
+
+// Mark opens a span over subsequently charged work.
+func (l *Ledger) Mark() SpanMark {
+	return SpanMark{useful: l.pending[0], overhead: l.pending[1]}
+}
+
+// CommitSince commits all work charged after m: useful work moves to App,
+// overhead to Overhead. Work already committed by nested spans is not
+// double-counted because committing removes it from the pending pool.
+func (l *Ledger) CommitSince(m SpanMark) {
+	du := l.pending[0].Sub(m.useful)
+	do := l.pending[1].Sub(m.overhead)
+	if du.T < 0 || do.T < 0 {
+		// A span must not straddle a power failure; marks are only valid
+		// within one attempt.
+		panic("kernel: ledger span crossed an attempt boundary")
+	}
+	l.committed[stats.App].Add(du)
+	l.committed[stats.Overhead].Add(do)
+	l.pending[0] = m.useful
+	l.pending[1] = m.overhead
+}
+
+// CommitAttempt commits everything pending: called when a task reaches its
+// transition.
+func (l *Ledger) CommitAttempt() {
+	l.committed[stats.App].Add(l.pending[0])
+	l.committed[stats.Overhead].Add(l.pending[1])
+	l.pending[0], l.pending[1] = stats.Totals{}, stats.Totals{}
+}
+
+// FailAttempt moves everything pending into Wasted: called when a power
+// failure interrupts an attempt.
+func (l *Ledger) FailAttempt() {
+	l.committed[stats.Wasted].Add(l.pending[0])
+	l.committed[stats.Wasted].Add(l.pending[1])
+	l.pending[0], l.pending[1] = stats.Totals{}, stats.Totals{}
+}
+
+// Committed returns the committed totals for bucket b.
+func (l *Ledger) Committed(b stats.Bucket) stats.Totals { return l.committed[b] }
+
+// Pending returns the (useful, overhead) work charged in the current
+// attempt that has not committed yet.
+func (l *Ledger) Pending() (useful, overhead stats.Totals) {
+	return l.pending[0], l.pending[1]
+}
+
+// Export copies the committed buckets into a run record.
+func (l *Ledger) Export(r *stats.Run) {
+	for b := stats.Bucket(0); b < stats.NumBuckets; b++ {
+		r.Work[b] = l.committed[b]
+	}
+}

@@ -1,0 +1,90 @@
+// Execution tracing: an optional, measurement-world event stream used by
+// easeio-sim's -trace flag and by tests that assert on runtime behaviour.
+// Tracing costs the simulated device nothing.
+
+package kernel
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// TraceEvent is one timeline entry.
+type TraceEvent struct {
+	// Wall and OnTime timestamp the event (persistent and powered-on
+	// clocks).
+	Wall, OnTime time.Duration
+	// Boot is the boot number the event happened in.
+	Boot int
+	// Kind classifies the event ("boot", "power-failure", "task-begin",
+	// "task-commit", "io-exec", "io-skip", "dma-exec", "dma-skip",
+	// "region-privatize", "region-restore", "block-skip", ...).
+	Kind string
+	// Detail names the task/site/region involved.
+	Detail string
+}
+
+// String renders one line of the timeline.
+func (e TraceEvent) String() string {
+	return fmt.Sprintf("%10v on=%-10v boot=%-3d %-16s %s",
+		e.Wall.Round(time.Microsecond), e.OnTime.Round(time.Microsecond),
+		e.Boot, e.Kind, e.Detail)
+}
+
+// Tracer receives the event stream.
+type Tracer interface {
+	Event(TraceEvent)
+}
+
+// TraceBuffer is a Tracer that retains events in memory.
+type TraceBuffer struct {
+	Events []TraceEvent
+}
+
+// Event implements Tracer.
+func (b *TraceBuffer) Event(e TraceEvent) { b.Events = append(b.Events, e) }
+
+// Count returns how many events of the given kind were recorded.
+func (b *TraceBuffer) Count(kind string) int {
+	n := 0
+	for _, e := range b.Events {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// Dump writes the timeline to w.
+func (b *TraceBuffer) Dump(w io.Writer) {
+	for _, e := range b.Events {
+		fmt.Fprintln(w, e)
+	}
+}
+
+// TraceWriter is a Tracer that streams events to an io.Writer.
+type TraceWriter struct{ W io.Writer }
+
+// Event implements Tracer.
+func (t TraceWriter) Event(e TraceEvent) { fmt.Fprintln(t.W, e) }
+
+// Trace emits an event if a tracer is attached to the device. Runtimes
+// and the engine call it at decision points; the fmt.Sprintf cost is only
+// paid when tracing is on.
+func (d *Device) Trace(kind, format string, args ...any) {
+	if d.Tracer == nil {
+		return
+	}
+	detail := format
+	if len(args) > 0 {
+		detail = fmt.Sprintf(format, args...)
+	}
+	d.Tracer.Event(TraceEvent{
+		Wall:   d.Clock.Now(),
+		OnTime: d.Clock.OnTime(),
+		Boot:   d.Clock.Boots(),
+		Kind:   kind,
+		Detail: detail,
+	})
+}

@@ -1,0 +1,65 @@
+package kernel
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"easeio/internal/power"
+	"easeio/internal/task"
+)
+
+func TestTraceBufferRecordsLifecycle(t *testing.T) {
+	a := simpleApp(func(e task.Exec) {
+		e.Compute(8000)
+		e.Done()
+	})
+	dev := NewDevice(power.NewSchedule(3*time.Millisecond), 1)
+	buf := &TraceBuffer{}
+	dev.Tracer = buf
+	if err := RunApp(dev, &testRT{}, a); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Count("boot") != 2 {
+		t.Errorf("boot events = %d, want 2", buf.Count("boot"))
+	}
+	if buf.Count("power-failure") != 1 {
+		t.Errorf("power-failure events = %d, want 1", buf.Count("power-failure"))
+	}
+	if buf.Count("task-begin") < 2 || buf.Count("task-commit") != 1 {
+		t.Errorf("task events: begin=%d commit=%d", buf.Count("task-begin"), buf.Count("task-commit"))
+	}
+	// Events are time-ordered and render non-empty lines.
+	var prev time.Duration
+	var sb strings.Builder
+	buf.Dump(&sb)
+	for _, e := range buf.Events {
+		if e.Wall < prev {
+			t.Fatalf("events out of order: %v after %v", e.Wall, prev)
+		}
+		prev = e.Wall
+	}
+	if !strings.Contains(sb.String(), "power-failure") {
+		t.Error("dump missing failure event")
+	}
+}
+
+func TestTraceCostsNothing(t *testing.T) {
+	runOnce := func(traced bool) time.Duration {
+		a := simpleApp(func(e task.Exec) {
+			e.Compute(5000)
+			e.Done()
+		})
+		dev := NewDevice(power.Continuous{}, 1)
+		if traced {
+			dev.Tracer = &TraceBuffer{}
+		}
+		if err := RunApp(dev, &testRT{}, a); err != nil {
+			t.Fatal(err)
+		}
+		return dev.Clock.OnTime()
+	}
+	if runOnce(false) != runOnce(true) {
+		t.Error("tracing changed simulated time")
+	}
+}

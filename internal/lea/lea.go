@@ -1,0 +1,132 @@
+// Package lea models the MSP430FR5994's Low Energy Accelerator: a vector
+// math coprocessor operating on a dedicated 4 KB volatile RAM (LEA-RAM).
+//
+// The kernels here are the data-plane only — they compute real results on
+// int16 fixed-point samples so that the evaluation's correctness checks
+// (Figure 12, Table 5) compare actual numbers, not placeholders. Cycle and
+// energy costs are charged by the execution kernel before these functions
+// run; a power failure therefore aborts a vector command before it
+// touches LEA-RAM, matching the command-granularity behaviour of the real
+// accelerator.
+package lea
+
+import "easeio/internal/mem"
+
+func leaAddr(off int) mem.Addr { return mem.Addr{Bank: mem.LEARAM, Word: off} }
+
+// readS16 reads an int16 sample from LEA-RAM.
+func readS16(m *mem.Memory, off int) int16 { return int16(m.Read(leaAddr(off))) }
+
+// writeS16 writes an int16 sample to LEA-RAM.
+func writeS16(m *mem.Memory, off int, v int16) { m.Write(leaAddr(off), uint16(v)) }
+
+// sat16 saturates an accumulator to int16, as the LEA's fixed-point
+// pipeline does.
+func sat16(v int64) int16 {
+	switch {
+	case v > 32767:
+		return 32767
+	case v < -32768:
+		return -32768
+	default:
+		return int16(v)
+	}
+}
+
+// sat32 saturates an accumulator to int32 (the LEA's MAC result width).
+func sat32(v int64) int32 {
+	switch {
+	case v > 2147483647:
+		return 2147483647
+	case v < -2147483648:
+		return -2147483648
+	default:
+		return int32(v)
+	}
+}
+
+// Fir computes a direct-form FIR convolution over LEA-RAM:
+//
+//	out[i] = sat( Σ_{j<taps} coef[j]·in[i+j] >> 15 )  for i ≤ inLen−taps
+//
+// using Q15 fixed-point coefficients, mirroring the LEA's FIR command.
+func Fir(m *mem.Memory, inOff, coefOff, outOff, inLen, taps int) {
+	if taps <= 0 || inLen < taps {
+		return
+	}
+	for i := 0; i <= inLen-taps; i++ {
+		var acc int64
+		for j := 0; j < taps; j++ {
+			acc += int64(readS16(m, inOff+i+j)) * int64(readS16(m, coefOff+j))
+		}
+		writeS16(m, outOff+i, sat16(acc>>15))
+	}
+}
+
+// FirOutLen returns the number of output samples Fir produces.
+func FirOutLen(inLen, taps int) int {
+	if taps <= 0 || inLen < taps {
+		return 0
+	}
+	return inLen - taps + 1
+}
+
+// Relu clamps n int16 samples at LEA-RAM offset off to be non-negative.
+func Relu(m *mem.Memory, off, n int) {
+	for i := 0; i < n; i++ {
+		if readS16(m, off+i) < 0 {
+			writeS16(m, off+i, 0)
+		}
+	}
+}
+
+// Dot returns the int32 dot product of two n-sample int16 vectors in
+// LEA-RAM.
+func Dot(m *mem.Memory, aOff, bOff, n int) int32 {
+	var acc int64
+	for i := 0; i < n; i++ {
+		acc += int64(readS16(m, aOff+i)) * int64(readS16(m, bOff+i))
+	}
+	return sat32(acc)
+}
+
+// Reference implementations over plain slices, used by the applications to
+// compute golden (continuous-power) results without a device.
+
+// FirRef computes the same FIR convolution over plain int16 slices.
+func FirRef(in, coef []int16) []int16 {
+	taps := len(coef)
+	if taps == 0 || len(in) < taps {
+		return nil
+	}
+	out := make([]int16, len(in)-taps+1)
+	for i := range out {
+		var acc int64
+		for j := 0; j < taps; j++ {
+			acc += int64(in[i+j]) * int64(coef[j])
+		}
+		out[i] = sat16(acc >> 15)
+	}
+	return out
+}
+
+// ReluRef clamps a copy of in to be non-negative.
+func ReluRef(in []int16) []int16 {
+	out := make([]int16, len(in))
+	for i, v := range in {
+		if v < 0 {
+			v = 0
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// DotRef returns the dot product of two equal-length int16 slices.
+func DotRef(a, b []int16) int32 {
+	var acc int64
+	for i := range a {
+		acc += int64(a[i]) * int64(b[i])
+	}
+	return sat32(acc)
+}

@@ -1,0 +1,151 @@
+package lea
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"easeio/internal/mem"
+)
+
+func loadLEA(m *mem.Memory, off int, data []int16) {
+	for i, v := range data {
+		m.Write(mem.Addr{Bank: mem.LEARAM, Word: off + i}, uint16(v))
+	}
+}
+
+func readLEA(m *mem.Memory, off, n int) []int16 {
+	out := make([]int16, n)
+	for i := range out {
+		out[i] = int16(m.Read(mem.Addr{Bank: mem.LEARAM, Word: off + i}))
+	}
+	return out
+}
+
+func TestFirMatchesReference(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		taps := 2 + rng.Intn(15)
+		n := taps + rng.Intn(60)
+		in := make([]int16, n)
+		coef := make([]int16, taps)
+		for i := range in {
+			in[i] = int16(rng.Intn(8000) - 4000)
+		}
+		for i := range coef {
+			coef[i] = int16(rng.Intn(8000) - 4000)
+		}
+		m := mem.New()
+		loadLEA(m, 0, in)
+		loadLEA(m, 200, coef)
+		Fir(m, 0, 200, 400, n, taps)
+		got := readLEA(m, 400, FirOutLen(n, taps))
+		want := FirRef(in, coef)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 40})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFirKnownValues(t *testing.T) {
+	// Unity Q15 coefficient (32767) acting as identity (up to the >>15).
+	in := []int16{100, -200, 300, -400}
+	coef := []int16{32767}
+	got := FirRef(in, coef)
+	want := []int16{99, -200, 299, -400} // (x·32767)>>15 loses ~1 LSB on positives
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("out[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFirSaturation(t *testing.T) {
+	in := []int16{32767, 32767, 32767, 32767}
+	coef := []int16{32767, 32767, 32767, 32767}
+	got := FirRef(in, coef)
+	if len(got) != 1 || got[0] != 32767 {
+		t.Errorf("saturating FIR = %v, want [32767]", got)
+	}
+	neg := FirRef([]int16{-32768, -32768}, []int16{32767, 32767})
+	if neg[0] != -32768 {
+		t.Errorf("negative saturation = %d", neg[0])
+	}
+}
+
+func TestFirDegenerate(t *testing.T) {
+	m := mem.New()
+	Fir(m, 0, 0, 0, 0, 0) // must not panic
+	if FirOutLen(5, 10) != 0 {
+		t.Error("input shorter than taps yields no output")
+	}
+	if FirOutLen(10, 10) != 1 {
+		t.Error("input equal to taps yields one output")
+	}
+	if FirRef(nil, nil) != nil {
+		t.Error("nil ref inputs yield nil")
+	}
+}
+
+func TestRelu(t *testing.T) {
+	m := mem.New()
+	loadLEA(m, 10, []int16{-5, 0, 7, -32768, 32767})
+	Relu(m, 10, 5)
+	got := readLEA(m, 10, 5)
+	want := []int16{0, 0, 7, 0, 32767}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("relu[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	ref := ReluRef([]int16{-5, 0, 7, -32768, 32767})
+	for i := range want {
+		if ref[i] != want[i] {
+			t.Errorf("ReluRef[%d] = %d, want %d", i, ref[i], want[i])
+		}
+	}
+}
+
+func TestDot(t *testing.T) {
+	a := []int16{1, 2, 3}
+	b := []int16{4, -5, 6}
+	want := int32(1*4 - 2*5 + 3*6)
+	if got := DotRef(a, b); got != want {
+		t.Errorf("DotRef = %d, want %d", got, want)
+	}
+	m := mem.New()
+	loadLEA(m, 0, a)
+	loadLEA(m, 100, b)
+	if got := Dot(m, 0, 100, 3); got != want {
+		t.Errorf("Dot = %d, want %d", got, want)
+	}
+}
+
+func TestDotMatchesReference(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(100)
+		a := make([]int16, n)
+		b := make([]int16, n)
+		for i := range a {
+			a[i] = int16(rng.Uint32())
+			b[i] = int16(rng.Uint32())
+		}
+		m := mem.New()
+		loadLEA(m, 0, a)
+		loadLEA(m, 512, b)
+		return Dot(m, 0, 512, n) == DotRef(a, b)
+	}, &quick.Config{MaxCount: 30})
+	if err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,65 @@
+package mcu
+
+import (
+	"testing"
+	"time"
+
+	"easeio/internal/units"
+)
+
+func TestCycleArithmetic(t *testing.T) {
+	if Cycles(1) != time.Microsecond {
+		t.Errorf("1 cycle = %v at 1 MHz", Cycles(1))
+	}
+	if Cycles(1000) != time.Millisecond {
+		t.Errorf("1000 cycles = %v", Cycles(1000))
+	}
+	if CyclesEnergy(1) != CycleEnergy {
+		t.Error("single-cycle energy")
+	}
+	// Active power implied by the constants ≈ 0.354 mW.
+	perSecond := CyclesEnergy(ClockHz)
+	mw := perSecond.Millijoules() // mJ per second = mW
+	if mw < 0.2 || mw > 0.6 {
+		t.Errorf("implied CPU power = %.3f mW, expected MSP430-like ~0.35", mw)
+	}
+}
+
+func TestCostOrdering(t *testing.T) {
+	// FRAM writes cost more than reads; peripherals more than SRAM.
+	if FRAMWriteEnergy <= FRAMReadEnergy {
+		t.Error("FRAM write must cost more than read")
+	}
+	if FRAMReadEnergy <= SRAMAccessEnergy {
+		t.Error("FRAM read must cost more than SRAM access")
+	}
+	// DMA moves a word cheaper than a CPU copy loop would.
+	dmaWord := CyclesEnergy(DMAWordCycles)
+	_ = dmaWord
+	if DMAWordCycles >= CPUCopyWordCycle {
+		t.Error("DMA must be faster per word than a CPU copy")
+	}
+	if LeakagePower <= 0 {
+		t.Error("leakage must be positive")
+	}
+	var _ units.Energy = DMAWordEnergy
+}
+
+func TestBookkeepingCostsPositive(t *testing.T) {
+	for name, c := range map[string]int64{
+		"FlagCheck":      FlagCheckCycles,
+		"FlagSet":        FlagSetCycles,
+		"Timestamp":      TimestampCycles,
+		"TimeCompare":    TimeCompareCycles,
+		"TaskTransition": TaskTransitionCycles,
+		"CommitWord":     CommitWordCycles,
+		"PrivatizeWord":  PrivatizeWordCycles,
+		"Boot":           BootCycles,
+		"LEASetup":       LEASetupCycles,
+		"DMASetup":       DMASetupCycles,
+	} {
+		if c <= 0 {
+			t.Errorf("%s cycles = %d", name, c)
+		}
+	}
+}

@@ -1,0 +1,276 @@
+// Package mem models the banked memory of an MSP430FR5994-class device:
+// a large non-volatile FRAM bank, a small volatile SRAM bank, and the
+// volatile LEA-RAM the vector accelerator operates on.
+//
+// Memory is word-addressed (16-bit words, matching the MSP430). The model
+// is deliberately a plain state machine: it stores words, clears volatile
+// banks on power failure, and counts accesses. Time and energy accounting
+// belongs to the execution kernel, which charges costs *before* touching
+// memory so that a power failure can cut an operation between the charge
+// and the state change — the property idempotence bugs depend on.
+package mem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Bank identifies one of the device's memory banks.
+type Bank uint8
+
+// The device's banks.
+const (
+	// FRAM is the non-volatile main memory (persists across power failures).
+	FRAM Bank = iota
+	// SRAM is the volatile main memory (cleared on power failure).
+	SRAM
+	// LEARAM is the volatile RAM the LEA vector accelerator reads and
+	// writes (cleared on power failure).
+	LEARAM
+
+	numBanks
+)
+
+// String returns the conventional name of the bank.
+func (b Bank) String() string {
+	switch b {
+	case FRAM:
+		return "FRAM"
+	case SRAM:
+		return "SRAM"
+	case LEARAM:
+		return "LEA-RAM"
+	default:
+		return fmt.Sprintf("Bank(%d)", uint8(b))
+	}
+}
+
+// Volatile reports whether the bank loses its contents on power failure.
+func (b Bank) Volatile() bool { return b != FRAM }
+
+// Addr names a word inside a bank.
+type Addr struct {
+	Bank Bank
+	Word int // word offset within the bank
+}
+
+// Add returns the address n words past a.
+func (a Addr) Add(n int) Addr { return Addr{a.Bank, a.Word + n} }
+
+// String formats the address as BANK+offset.
+func (a Addr) String() string { return fmt.Sprintf("%s+0x%04x", a.Bank, a.Word) }
+
+// Sizes of the modeled banks, in 16-bit words. They match the
+// MSP430FR5994: 256 KB FRAM, 4 KB SRAM, 4 KB LEA-RAM.
+const (
+	FRAMWords   = 256 * 1024 / 2
+	SRAMWords   = 4 * 1024 / 2
+	LEARAMWords = 4 * 1024 / 2
+)
+
+// Counters tallies accesses to one bank.
+type Counters struct {
+	Reads  int64
+	Writes int64
+}
+
+// Memory is the full banked memory of one device.
+type Memory struct {
+	banks     [numBanks][]uint16
+	alloc     [numBanks]int // bump-allocator watermark, in words
+	counts    [numBanks]Counters
+	highWater [numBanks]int // 1 + highest word ever written
+	regions   []Region      // allocation records for accounting
+}
+
+// Region records one allocation, for memory-overhead accounting (Table 6).
+type Region struct {
+	Name  string
+	Owner string // "app" or a runtime name; used to attribute overhead
+	Addr  Addr
+	Words int
+}
+
+// New returns a zeroed memory with MSP430FR5994 bank sizes.
+func New() *Memory {
+	m := &Memory{}
+	m.banks[FRAM] = make([]uint16, FRAMWords)
+	m.banks[SRAM] = make([]uint16, SRAMWords)
+	m.banks[LEARAM] = make([]uint16, LEARAMWords)
+	return m
+}
+
+// Size returns the capacity of the bank in words.
+func (m *Memory) Size(b Bank) int { return len(m.banks[b]) }
+
+// Allocated returns the bump-allocator watermark of the bank in words.
+func (m *Memory) Allocated(b Bank) int { return m.alloc[b] }
+
+// Alloc reserves n words in bank b and records the allocation under the
+// given name and owner. It panics if the bank is exhausted: the simulated
+// applications have fixed, known footprints, so exhaustion is a programming
+// error, not a runtime condition.
+func (m *Memory) Alloc(b Bank, owner, name string, n int) Addr {
+	if n < 0 {
+		panic(fmt.Sprintf("mem: negative allocation %q (%d words)", name, n))
+	}
+	if m.alloc[b]+n > len(m.banks[b]) {
+		panic(fmt.Sprintf("mem: %s exhausted allocating %q (%d words, %d free)",
+			b, name, n, len(m.banks[b])-m.alloc[b]))
+	}
+	a := Addr{b, m.alloc[b]}
+	m.alloc[b] += n
+	m.regions = append(m.regions, Region{Name: name, Owner: owner, Addr: a, Words: n})
+	return a
+}
+
+// Regions returns a copy of the allocation records.
+func (m *Memory) Regions() []Region {
+	out := make([]Region, len(m.regions))
+	copy(out, m.regions)
+	return out
+}
+
+// OwnerWords returns the number of words allocated in bank b attributed to
+// the given owner.
+func (m *Memory) OwnerWords(b Bank, owner string) int {
+	total := 0
+	for _, r := range m.regions {
+		if r.Addr.Bank == b && r.Owner == owner {
+			total += r.Words
+		}
+	}
+	return total
+}
+
+// Owners returns the distinct owners that have allocations, sorted.
+func (m *Memory) Owners() []string {
+	set := map[string]bool{}
+	for _, r := range m.regions {
+		set[r.Owner] = true
+	}
+	out := make([]string, 0, len(set))
+	for o := range set {
+		out = append(out, o)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (m *Memory) check(a Addr, what string) {
+	if a.Bank >= numBanks {
+		panic(fmt.Sprintf("mem: %s of invalid bank %d", what, a.Bank))
+	}
+	if a.Word < 0 || a.Word >= len(m.banks[a.Bank]) {
+		panic(fmt.Sprintf("mem: %s out of range: %s", what, a))
+	}
+}
+
+// Read returns the word at a and counts the access.
+func (m *Memory) Read(a Addr) uint16 {
+	m.check(a, "read")
+	m.counts[a.Bank].Reads++
+	return m.banks[a.Bank][a.Word]
+}
+
+// Write stores v at a and counts the access.
+func (m *Memory) Write(a Addr, v uint16) {
+	m.check(a, "write")
+	m.counts[a.Bank].Writes++
+	if a.Word+1 > m.highWater[a.Bank] {
+		m.highWater[a.Bank] = a.Word + 1
+	}
+	m.banks[a.Bank][a.Word] = v
+}
+
+// HighWater returns 1 + the highest word offset ever written in bank b —
+// the bank's effective footprint (used by the Table 6 memory report for
+// volatile banks, which have no allocator).
+func (m *Memory) HighWater(b Bank) int { return m.highWater[b] }
+
+// ReadBlock copies n words starting at a into dst (which must have length
+// ≥ n). It counts n reads.
+func (m *Memory) ReadBlock(a Addr, dst []uint16, n int) {
+	m.check(a, "block read")
+	m.check(a.Add(n-1), "block read end")
+	m.counts[a.Bank].Reads += int64(n)
+	copy(dst[:n], m.banks[a.Bank][a.Word:a.Word+n])
+}
+
+// WriteBlock stores the first n words of src starting at a and counts
+// n writes.
+func (m *Memory) WriteBlock(a Addr, src []uint16, n int) {
+	m.check(a, "block write")
+	m.check(a.Add(n-1), "block write end")
+	m.counts[a.Bank].Writes += int64(n)
+	if a.Word+n > m.highWater[a.Bank] {
+		m.highWater[a.Bank] = a.Word + n
+	}
+	copy(m.banks[a.Bank][a.Word:a.Word+n], src[:n])
+}
+
+// Counts returns the access counters of bank b.
+func (m *Memory) Counts(b Bank) Counters { return m.counts[b] }
+
+// PowerFailure clears every volatile bank, exactly what a real power
+// failure does to SRAM and LEA-RAM. FRAM contents survive.
+func (m *Memory) PowerFailure() {
+	for b := Bank(0); b < numBanks; b++ {
+		if !b.Volatile() {
+			continue
+		}
+		clear(m.banks[b])
+	}
+}
+
+// Snapshot captures the full contents of one bank.
+type Snapshot struct {
+	Bank  Bank
+	Words []uint16
+}
+
+// Snapshot returns a copy of the current contents of bank b.
+func (m *Memory) Snapshot(b Bank) Snapshot {
+	words := make([]uint16, len(m.banks[b]))
+	copy(words, m.banks[b])
+	return Snapshot{Bank: b, Words: words}
+}
+
+// Restore overwrites bank contents from a snapshot taken earlier.
+func (m *Memory) Restore(s Snapshot) {
+	if len(s.Words) != len(m.banks[s.Bank]) {
+		panic(fmt.Sprintf("mem: restore size mismatch for %s: %d vs %d",
+			s.Bank, len(s.Words), len(m.banks[s.Bank])))
+	}
+	copy(m.banks[s.Bank], s.Words)
+}
+
+// Diff reports the word offsets (up to max) at which the snapshot and the
+// current bank contents differ. A nil result means the bank matches the
+// snapshot exactly.
+func (m *Memory) Diff(s Snapshot, max int) []int {
+	var diffs []int
+	for i, w := range m.banks[s.Bank] {
+		if w != s.Words[i] {
+			diffs = append(diffs, i)
+			if len(diffs) >= max {
+				break
+			}
+		}
+	}
+	return diffs
+}
+
+// EqualRange reports whether the n words starting at a equal want.
+func (m *Memory) EqualRange(a Addr, want []uint16) bool {
+	if a.Word+len(want) > len(m.banks[a.Bank]) {
+		return false
+	}
+	got := m.banks[a.Bank][a.Word : a.Word+len(want)]
+	for i := range want {
+		if got[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}

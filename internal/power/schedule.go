@@ -1,0 +1,51 @@
+// Schedule: a fully deterministic Supply that fails at listed on-times.
+// Behavioral tests use it to place a power failure at an exact point in a
+// task — e.g. right after a DMA completes, inside the window where
+// idempotence bugs live.
+
+package power
+
+import (
+	"time"
+
+	"easeio/internal/units"
+)
+
+// Schedule fails exactly at the given cumulative on-times, with a fixed
+// off-time after each failure. Once the list is exhausted the supply never
+// fails again.
+type Schedule struct {
+	// FailAt lists cumulative on-times at which the supply cuts power. It
+	// must be sorted ascending.
+	FailAt []time.Duration
+	// Off is the recharge time after every failure.
+	Off time.Duration
+
+	next int
+}
+
+// NewSchedule returns a scheduled supply with the given failure points and
+// a 1 ms recharge time.
+func NewSchedule(failAt ...time.Duration) *Schedule {
+	return &Schedule{FailAt: failAt, Off: time.Millisecond}
+}
+
+// Name implements Supply.
+func (s *Schedule) Name() string { return "schedule" }
+
+// Reset implements Supply. The schedule is seed-independent by design.
+func (s *Schedule) Reset(int64) { s.next = 0 }
+
+// Step implements Supply.
+func (s *Schedule) Step(_, onTime, _ time.Duration, _ units.Energy) bool {
+	return s.next < len(s.FailAt) && onTime >= s.FailAt[s.next]
+}
+
+// Recharge implements Supply.
+func (s *Schedule) Recharge(time.Duration) time.Duration {
+	s.next++
+	return s.Off
+}
+
+// Remaining returns how many scheduled failures have not fired yet.
+func (s *Schedule) Remaining() int { return len(s.FailAt) - s.next }

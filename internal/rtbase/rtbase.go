@@ -1,0 +1,202 @@
+// Package rtbase carries the machinery every task-based runtime in this
+// repository shares: master copies of task-shared variables in FRAM, the
+// persistent task pointer, pseudo-atomic commit application, and the
+// measurement-side bookkeeping of I/O executions, repeats and skips.
+//
+// Commit protocol note: real runtimes make their commit step
+// failure-atomic with redo logs (Alpaca) or buffer-index flips (InK). We
+// model that correctness property — not the log structure — by charging a
+// commit's full cost first (interruptible) and applying its state changes
+// only after the charge survives. A power failure mid-commit therefore
+// leaves masters untouched and the task re-executes cleanly, which is the
+// behaviour the real protocols guarantee.
+package rtbase
+
+import (
+	"fmt"
+
+	"easeio/internal/kernel"
+	"easeio/internal/mcu"
+	"easeio/internal/mem"
+	"easeio/internal/task"
+)
+
+// doneSentinel is the task-pointer value meaning "application finished".
+const doneSentinel = 0xFFFF
+
+// ioKey identifies one dynamic instance of an I/O or DMA site.
+type ioKey struct {
+	site     int // site or DMA ID
+	idx      int // loop instance
+	taskID   int
+	taskInst int // how many times the task had committed when this ran
+	isDMA    bool
+}
+
+// Base is embedded by each runtime implementation.
+type Base struct {
+	Dev *kernel.Device
+	App *task.App
+
+	// RTName attributes metadata allocations in the memory report.
+	RTName string
+
+	addrs   map[*task.NVVar]mem.Addr
+	taskPtr mem.Addr
+	cur     int // volatile cache of the task pointer
+
+	// Measurement-world bookkeeping (never charged). execCount counts
+	// execution attempts per dynamic instance (Table 4's "Re-exe."
+	// counts every re-execution, completed or not); completed marks
+	// instances whose operation finished at least once (re-executing
+	// those is truly redundant work, charged to the Wasted bucket).
+	execCount map[ioKey]int
+	completed map[ioKey]bool
+	taskInst  map[int]int
+}
+
+// Init allocates the master copies and the persistent task pointer.
+func (b *Base) Init(dev *kernel.Device, app *task.App, rtName string) error {
+	if err := app.Validate(); err != nil {
+		return err
+	}
+	for _, t := range app.Tasks {
+		if !t.Meta.Analyzed {
+			return fmt.Errorf("rtbase: task %q not analyzed; run frontend.Analyze first", t.Name)
+		}
+	}
+	b.Dev = dev
+	b.App = app
+	b.RTName = rtName
+	b.addrs = make(map[*task.NVVar]mem.Addr, len(app.Vars))
+	b.execCount = make(map[ioKey]int)
+	b.completed = make(map[ioKey]bool)
+	b.taskInst = make(map[int]int)
+	for _, v := range app.Vars {
+		a := dev.Mem.Alloc(mem.FRAM, "app", v.Name, v.Words)
+		for i, w := range v.Init {
+			dev.Mem.Write(a.Add(i), w)
+		}
+		b.addrs[v] = a
+	}
+	b.taskPtr = dev.Mem.Alloc(mem.FRAM, rtName, "taskptr", 1)
+	entry := app.Entry()
+	b.Dev.Mem.Write(b.taskPtr, uint16(entry.ID))
+	b.cur = entry.ID
+	return nil
+}
+
+// Compute charges application CPU work straight through — the default
+// for task-based runtimes, whose recovery granularity is the task.
+func (b *Base) Compute(c *kernel.Ctx, n int64) { c.ChargeCycles(n) }
+
+// MasterAddr returns the FRAM address of a variable's master copy.
+func (b *Base) MasterAddr(v *task.NVVar) mem.Addr {
+	a, ok := b.addrs[v]
+	if !ok {
+		panic(fmt.Sprintf("rtbase: variable %q not attached", v.Name))
+	}
+	return a
+}
+
+// LoadBoot re-reads the persistent task pointer after a (re)boot.
+func (b *Base) LoadBoot(c *kernel.Ctx) {
+	c.ChargeMemAccess(mem.FRAM, false, true)
+	b.cur = int(b.Dev.Mem.Read(b.taskPtr))
+}
+
+// Current returns the task the pointer designates, or nil when done.
+func (b *Base) Current() *task.Task {
+	if b.cur == doneSentinel {
+		return nil
+	}
+	return b.App.Tasks[b.cur]
+}
+
+// CurrentID returns the raw task pointer value.
+func (b *Base) CurrentID() int { return b.cur }
+
+// CommitTransition finalizes the running task: extra carries the runtime's
+// own commit writes (applied pseudo-atomically with the pointer update).
+// next == nil ends the application.
+func (b *Base) CommitTransition(c *kernel.Ctx, next *task.Task, extra func()) {
+	c.ChargeOverheadCycles(mcu.TaskTransitionCycles)
+	c.ChargeMemAccess(mem.FRAM, true, true)
+	if extra != nil {
+		extra()
+	}
+	b.taskInst[b.cur]++
+	id := doneSentinel
+	if next != nil {
+		id = next.ID
+	}
+	b.Dev.Mem.Write(b.taskPtr, uint16(id))
+	b.cur = id
+	b.Dev.Ledger.CommitAttempt()
+}
+
+// noteIO records an execution attempt of site s (instance idx) in the
+// current task instance. It reports whether the execution is redundant —
+// the operation already completed in a previous energy cycle. Any
+// re-execution (completed or not) counts toward the Table 4 "Re-exe."
+// statistic.
+func (b *Base) noteIO(s *task.IOSite, idx int) (k ioKey, redundant bool) {
+	k = ioKey{site: s.ID, idx: idx, taskID: b.cur, taskInst: b.taskInst[b.cur]}
+	b.execCount[k]++
+	b.Dev.Run.IOExecs++
+	b.Dev.Run.CountIO(s.Name)
+	if b.execCount[k] > 1 {
+		b.Dev.Run.IORepeats++
+	}
+	return k, b.completed[k]
+}
+
+// NoteIOSkip records that the runtime avoided re-executing site s.
+func (b *Base) NoteIOSkip(s *task.IOSite) {
+	b.Dev.Run.IOSkips++
+	b.Dev.Trace("io-skip", "%s", s.Name)
+}
+
+// noteDMA records a DMA execution attempt (see noteIO).
+func (b *Base) noteDMA(d *task.DMASite) (k ioKey, redundant bool) {
+	k = ioKey{site: d.ID, taskID: b.cur, taskInst: b.taskInst[b.cur], isDMA: true}
+	b.execCount[k]++
+	b.Dev.Run.DMAExecs++
+	if b.execCount[k] > 1 {
+		b.Dev.Run.DMARepeats++
+	}
+	return k, b.completed[k]
+}
+
+// NoteDMASkip records an avoided DMA re-execution.
+func (b *Base) NoteDMASkip(d *task.DMASite) {
+	b.Dev.Run.DMASkips++
+	b.Dev.Trace("dma-skip", "%s", d.Name)
+}
+
+// ExecIO runs the site's operation with redundancy accounting: executions
+// of an operation that already completed charge directly to the Wasted
+// bucket (work a continuous-power execution would not perform).
+func (b *Base) ExecIO(c *kernel.Ctx, s *task.IOSite, idx int) uint16 {
+	k, redundant := b.noteIO(s, idx)
+	if redundant {
+		c.PushWasted()
+		defer c.PopWasted()
+	}
+	b.Dev.Trace("io-exec", "%s[%d] (redundant=%v)", s.Name, idx, redundant)
+	v := s.Exec(c, idx)
+	b.completed[k] = true
+	return v
+}
+
+// ExecDMA performs the raw transfer with redundancy accounting.
+func (b *Base) ExecDMA(c *kernel.Ctx, d *task.DMASite, src, dst mem.Addr, words int) {
+	k, redundant := b.noteDMA(d)
+	if redundant {
+		c.PushWasted()
+		defer c.PopWasted()
+	}
+	b.Dev.Trace("dma-exec", "%s %v->%v %dw (redundant=%v)", d.Name, src, dst, words, redundant)
+	c.RawDMA(src, dst, words, false)
+	b.completed[k] = true
+}

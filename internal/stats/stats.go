@@ -1,0 +1,238 @@
+// Package stats defines the measurement records the simulator produces and
+// the aggregation used by the experiment harnesses.
+//
+// The paper's five metrics (§5.2) map onto these records as follows:
+// wasted work → the Wasted bucket; energy consumption → the energy ledger;
+// execution correctness → Correct; runtime overhead → the Overhead bucket;
+// memory overhead → the allocator report in internal/experiments.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"easeio/internal/units"
+)
+
+// Bucket classifies charged work.
+type Bucket uint8
+
+const (
+	// App is useful application work that was committed.
+	App Bucket = iota
+	// Overhead is runtime bookkeeping (privatization, commits, flag
+	// checks, timestamps) that was committed.
+	Overhead
+	// Wasted is work lost to power failures: everything charged during an
+	// attempt that did not commit.
+	Wasted
+
+	// NumBuckets is the number of work buckets.
+	NumBuckets
+)
+
+// String names the bucket as the paper's figures do.
+func (b Bucket) String() string {
+	switch b {
+	case App:
+		return "App"
+	case Overhead:
+		return "Overhead"
+	case Wasted:
+		return "Wasted"
+	default:
+		return fmt.Sprintf("Bucket(%d)", uint8(b))
+	}
+}
+
+// Totals is a (time, energy) pair.
+type Totals struct {
+	T time.Duration
+	E units.Energy
+}
+
+// Add accumulates o into t.
+func (t *Totals) Add(o Totals) {
+	t.T += o.T
+	t.E += o.E
+}
+
+// Sub returns t − o.
+func (t Totals) Sub(o Totals) Totals { return Totals{t.T - o.T, t.E - o.E} }
+
+// Run records one complete execution of one application under one runtime.
+type Run struct {
+	App     string
+	Runtime string
+	Seed    int64
+
+	// Work holds committed totals per bucket.
+	Work [NumBuckets]Totals
+
+	// PowerFailures counts reboots forced by the supply.
+	PowerFailures int
+	// TaskAttempts counts task executions started; TaskCommits counts
+	// those that reached their transition.
+	TaskAttempts int
+	TaskCommits  int
+
+	// IOExecs counts peripheral operations actually performed; IORepeats
+	// counts the subset that re-did an operation a previous energy cycle
+	// had already completed (the paper's "redundant I/O"); IOSkips counts
+	// operations EaseIO avoided thanks to re-execution semantics.
+	IOExecs   int
+	IORepeats int
+	IOSkips   int
+
+	// DMAExecs/DMARepeats/DMASkips mirror the I/O counters for DMA
+	// transfers.
+	DMAExecs   int
+	DMARepeats int
+	DMASkips   int
+
+	// PerSite maps I/O site names to execution counts.
+	PerSite map[string]int
+
+	// WallTime is total simulated wall-clock time (on + off); OnTime is
+	// the powered-on portion (the "execution time" in Figures 7 and 10).
+	WallTime time.Duration
+	OnTime   time.Duration
+
+	// Correct reports whether the run's output matched the golden
+	// (continuous-power) result. Stuck is set when an energy-driven run
+	// could not recharge and was abandoned.
+	Correct bool
+	Stuck   bool
+}
+
+// TotalEnergy returns the energy committed across all buckets.
+func (r *Run) TotalEnergy() units.Energy {
+	var e units.Energy
+	for _, w := range r.Work {
+		e += w.E
+	}
+	return e
+}
+
+// CountIO increments the per-site execution counter.
+func (r *Run) CountIO(site string) {
+	if r.PerSite == nil {
+		r.PerSite = make(map[string]int)
+	}
+	r.PerSite[site]++
+}
+
+// Summary is the aggregate of many runs (the paper averages 1000 seeded
+// executions per configuration, §5.3).
+type Summary struct {
+	App     string
+	Runtime string
+	Runs    int
+
+	// Mean work per bucket.
+	Work [NumBuckets]Totals
+
+	// Sums of the run counters (Table 4 reports sums over all runs).
+	PowerFailures int
+	IOExecs       int
+	IORepeats     int
+	IOSkips       int
+	DMAExecs      int
+	DMARepeats    int
+	DMASkips      int
+
+	// MeanEnergy is the average total committed energy per run.
+	MeanEnergy units.Energy
+	// MeanOnTime is the average powered-on execution time per run.
+	MeanOnTime time.Duration
+	// MeanWallTime is the average wall-clock time per run, including
+	// recharge (off) periods — the time-to-completion a harvested
+	// deployment observes (Figure 13).
+	MeanWallTime time.Duration
+	// P50TotalTime and P95TotalTime are percentiles of per-run committed
+	// total time — the tail a deployment provisions for.
+	P50TotalTime, P95TotalTime time.Duration
+
+	// CorrectRuns / IncorrectRuns split the runs by output correctness
+	// (Figure 12).
+	CorrectRuns   int
+	IncorrectRuns int
+	StuckRuns     int
+}
+
+// Aggregate folds a set of runs into a Summary. All runs must share the
+// same app and runtime; it panics otherwise, since mixing configurations
+// is a harness bug.
+func Aggregate(runs []*Run) Summary {
+	if len(runs) == 0 {
+		return Summary{}
+	}
+	s := Summary{App: runs[0].App, Runtime: runs[0].Runtime, Runs: len(runs)}
+	var work [NumBuckets]Totals
+	var energy units.Energy
+	var onTime, wallTime time.Duration
+	for _, r := range runs {
+		if r.App != s.App || r.Runtime != s.Runtime {
+			panic(fmt.Sprintf("stats: mixed aggregate: %s/%s vs %s/%s",
+				r.App, r.Runtime, s.App, s.Runtime))
+		}
+		for b := Bucket(0); b < NumBuckets; b++ {
+			work[b].Add(r.Work[b])
+		}
+		energy += r.TotalEnergy()
+		onTime += r.OnTime
+		wallTime += r.WallTime
+		s.PowerFailures += r.PowerFailures
+		s.IOExecs += r.IOExecs
+		s.IORepeats += r.IORepeats
+		s.IOSkips += r.IOSkips
+		s.DMAExecs += r.DMAExecs
+		s.DMARepeats += r.DMARepeats
+		s.DMASkips += r.DMASkips
+		if r.Stuck {
+			s.StuckRuns++
+		} else if r.Correct {
+			s.CorrectRuns++
+		} else {
+			s.IncorrectRuns++
+		}
+	}
+	n := int64(len(runs))
+	for b := Bucket(0); b < NumBuckets; b++ {
+		s.Work[b] = Totals{work[b].T / time.Duration(n), work[b].E / units.Energy(n)}
+	}
+	s.MeanEnergy = energy / units.Energy(n)
+	s.MeanOnTime = onTime / time.Duration(n)
+	s.MeanWallTime = wallTime / time.Duration(n)
+
+	totals := make([]time.Duration, len(runs))
+	for i, r := range runs {
+		totals[i] = r.Work[App].T + r.Work[Overhead].T + r.Work[Wasted].T
+	}
+	sort.Slice(totals, func(i, j int) bool { return totals[i] < totals[j] })
+	s.P50TotalTime = percentile(totals, 50)
+	s.P95TotalTime = percentile(totals, 95)
+	return s
+}
+
+// MeanTotalTime returns the mean committed time across buckets — the total
+// bar height in Figures 7 and 10.
+func (s Summary) MeanTotalTime() time.Duration {
+	return s.Work[App].T + s.Work[Overhead].T + s.Work[Wasted].T
+}
+
+// percentile returns the p-th percentile (nearest-rank) of a sorted slice.
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := (p*len(sorted) + 99) / 100
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}

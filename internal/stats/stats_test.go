@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"testing"
+	"time"
+
+	"easeio/internal/units"
+)
+
+func mkRun(app, rt string, seed int64) *Run {
+	r := &Run{App: app, Runtime: rt, Seed: seed, Correct: true}
+	r.Work[App] = Totals{T: 10 * time.Millisecond, E: 10 * units.Microjoule}
+	r.Work[Overhead] = Totals{T: 2 * time.Millisecond, E: 2 * units.Microjoule}
+	r.Work[Wasted] = Totals{T: 4 * time.Millisecond, E: 4 * units.Microjoule}
+	r.PowerFailures = 3
+	r.IOExecs = 5
+	r.IORepeats = 2
+	r.OnTime = 16 * time.Millisecond
+	r.WallTime = 20 * time.Millisecond
+	return r
+}
+
+func TestBucketStrings(t *testing.T) {
+	if App.String() != "App" || Overhead.String() != "Overhead" || Wasted.String() != "Wasted" {
+		t.Error("bucket names")
+	}
+	if Bucket(9).String() != "Bucket(9)" {
+		t.Error("unknown bucket")
+	}
+}
+
+func TestTotalsArithmetic(t *testing.T) {
+	a := Totals{T: time.Millisecond, E: units.Microjoule}
+	b := Totals{T: 2 * time.Millisecond, E: 3 * units.Microjoule}
+	a.Add(b)
+	if a.T != 3*time.Millisecond || a.E != 4*units.Microjoule {
+		t.Errorf("Add: %+v", a)
+	}
+	d := a.Sub(b)
+	if d.T != time.Millisecond || d.E != units.Microjoule {
+		t.Errorf("Sub: %+v", d)
+	}
+}
+
+func TestRunHelpers(t *testing.T) {
+	r := mkRun("a", "rt", 1)
+	if got := r.TotalEnergy(); got != 16*units.Microjoule {
+		t.Errorf("TotalEnergy = %v", got)
+	}
+	r.CountIO("Temp")
+	r.CountIO("Temp")
+	if r.PerSite["Temp"] != 2 {
+		t.Errorf("PerSite = %v", r.PerSite)
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	runs := []*Run{mkRun("a", "rt", 1), mkRun("a", "rt", 2)}
+	runs[1].Correct = false
+	runs[1].Work[Wasted].T = 8 * time.Millisecond
+	s := Aggregate(runs)
+	if s.Runs != 2 || s.App != "a" || s.Runtime != "rt" {
+		t.Errorf("summary header: %+v", s)
+	}
+	if s.PowerFailures != 6 || s.IOExecs != 10 || s.IORepeats != 4 {
+		t.Errorf("sums: %+v", s)
+	}
+	if s.Work[Wasted].T != 6*time.Millisecond { // mean of 4 and 8
+		t.Errorf("mean wasted = %v", s.Work[Wasted].T)
+	}
+	if s.CorrectRuns != 1 || s.IncorrectRuns != 1 {
+		t.Errorf("correctness split: %+v", s)
+	}
+	if s.MeanOnTime != 16*time.Millisecond || s.MeanWallTime != 20*time.Millisecond {
+		t.Errorf("times: on=%v wall=%v", s.MeanOnTime, s.MeanWallTime)
+	}
+	if got := s.MeanTotalTime(); got != 18*time.Millisecond {
+		t.Errorf("MeanTotalTime = %v", got)
+	}
+}
+
+func TestAggregateStuck(t *testing.T) {
+	r := mkRun("a", "rt", 1)
+	r.Stuck = true
+	s := Aggregate([]*Run{r})
+	if s.StuckRuns != 1 || s.CorrectRuns != 0 {
+		t.Errorf("stuck handling: %+v", s)
+	}
+}
+
+func TestAggregateEmptyAndMixed(t *testing.T) {
+	if s := Aggregate(nil); s.Runs != 0 {
+		t.Error("empty aggregate")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("mixed aggregate must panic")
+		}
+	}()
+	Aggregate([]*Run{mkRun("a", "rt", 1), mkRun("b", "rt", 2)})
+}
+
+func TestAggregatePercentiles(t *testing.T) {
+	var runs []*Run
+	for i := 1; i <= 100; i++ {
+		r := &Run{App: "a", Runtime: "rt", Correct: true}
+		r.Work[App] = Totals{T: time.Duration(i) * time.Millisecond}
+		runs = append(runs, r)
+	}
+	s := Aggregate(runs)
+	if s.P50TotalTime != 50*time.Millisecond {
+		t.Errorf("p50 = %v", s.P50TotalTime)
+	}
+	if s.P95TotalTime != 95*time.Millisecond {
+		t.Errorf("p95 = %v", s.P95TotalTime)
+	}
+	one := Aggregate(runs[:1])
+	if one.P50TotalTime != time.Millisecond || one.P95TotalTime != time.Millisecond {
+		t.Errorf("single-run percentiles: %v %v", one.P50TotalTime, one.P95TotalTime)
+	}
+}

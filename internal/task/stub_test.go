@@ -1,0 +1,68 @@
+package task
+
+import (
+	"testing"
+	"time"
+
+	"easeio/internal/units"
+)
+
+// TestExecStub pins the stub's semantics so tests in other packages can
+// rely on it.
+func TestExecStub(t *testing.T) {
+	s := &ExecStub{}
+	s.Compute(100)
+	s.LEAMacs(50)
+	if s.Cycles != 150 {
+		t.Errorf("cycles = %d", s.Cycles)
+	}
+
+	v := &NVVar{Name: "v", Words: 3, Init: []uint16{7}}
+	if s.Load(v) != 7 {
+		t.Error("init not honored")
+	}
+	s.Store(v, 9)
+	s.StoreAt(v, 2, 4)
+	if s.Load(v) != 9 || s.LoadAt(v, 2) != 4 {
+		t.Error("stores lost")
+	}
+
+	s.Op(2*time.Millisecond, 3*units.Microjoule)
+	if s.ChargedTime != 2*time.Millisecond || s.ChargedEnergy != 3*units.Microjoule {
+		t.Error("op charges")
+	}
+	if s.Now() != 2*time.Millisecond {
+		t.Error("op must advance the clock")
+	}
+
+	site := &IOSite{Name: "s", Exec: func(e Exec, idx int) uint16 { return uint16(idx + 1) }}
+	if s.CallIO(site) != 1 || s.CallIOAt(site, 4) != 5 {
+		t.Error("site dispatch")
+	}
+	ran := false
+	s.IOBlock(&IOBlock{}, func() { ran = true })
+	if !ran {
+		t.Error("block body skipped")
+	}
+	s.DMACopy(&DMASite{}, Loc{}, Loc{}, 1) // no-op, must not panic
+	s.LEAFir(0, 0, 0, 0, 0)
+	s.LEARelu(0, 0)
+	if s.LEADot(0, 0, 0) != 0 || s.ReadLEA(0) != 0 {
+		t.Error("LEA stubs")
+	}
+	s.WriteLEA(0, 1)
+	if s.Rand() == nil || s.Rand() != s.Rand() {
+		t.Error("rand identity")
+	}
+
+	tk := &Task{Name: "next"}
+	s.Next(tk)
+	if !s.Transitioned || s.NextTask != tk {
+		t.Error("next")
+	}
+	s2 := &ExecStub{}
+	s2.Done()
+	if !s2.Transitioned {
+		t.Error("done")
+	}
+}

@@ -1,0 +1,54 @@
+package timekeeper
+
+import (
+	"testing"
+	"time"
+)
+
+func TestClockAccounting(t *testing.T) {
+	c := New()
+	c.Boot()
+	c.Run(5 * time.Millisecond)
+	if c.Now() != 5*time.Millisecond || c.Uptime() != 5*time.Millisecond {
+		t.Errorf("after run: now=%v uptime=%v", c.Now(), c.Uptime())
+	}
+	c.Off(3 * time.Millisecond)
+	if c.Now() != 8*time.Millisecond {
+		t.Errorf("off must advance wall time: %v", c.Now())
+	}
+	if c.OnTime() != 5*time.Millisecond {
+		t.Errorf("off must not advance on-time: %v", c.OnTime())
+	}
+	if c.OffTime() != 3*time.Millisecond {
+		t.Errorf("off time = %v", c.OffTime())
+	}
+	c.Boot()
+	if c.Uptime() != 0 {
+		t.Errorf("boot must reset uptime: %v", c.Uptime())
+	}
+	if c.Boots() != 2 {
+		t.Errorf("boots = %d", c.Boots())
+	}
+	// Wall time persists across boots — the property Timely semantics
+	// depend on.
+	if c.Now() != 8*time.Millisecond {
+		t.Errorf("boot must not reset wall time: %v", c.Now())
+	}
+}
+
+func TestClockNegativePanics(t *testing.T) {
+	c := New()
+	for _, f := range []func(){
+		func() { c.Run(-time.Millisecond) },
+		func() { c.Off(-time.Millisecond) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic on negative duration")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,151 @@
+package units
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEnergyConversions(t *testing.T) {
+	cases := []struct {
+		e    Energy
+		uj   float64
+		mj   float64
+		text string
+	}{
+		{1, 1e-6, 1e-9, "1pJ"},
+		{Microjoule, 1, 1e-3, "1.000µJ"},
+		{2500 * Nanojoule, 2.5, 2.5e-3, "2.500µJ"},
+		{Millijoule, 1000, 1, "1.000mJ"},
+		{3 * Joule, 3e6, 3000, "3.000J"},
+	}
+	for _, c := range cases {
+		if got := c.e.Microjoules(); got != c.uj {
+			t.Errorf("%v.Microjoules() = %v, want %v", int64(c.e), got, c.uj)
+		}
+		if got := c.e.Millijoules(); got != c.mj {
+			t.Errorf("%v.Millijoules() = %v, want %v", int64(c.e), got, c.mj)
+		}
+		if got := c.e.String(); got != c.text {
+			t.Errorf("%v.String() = %q, want %q", int64(c.e), got, c.text)
+		}
+	}
+}
+
+func TestEnergyFromJoulesRoundTrip(t *testing.T) {
+	if got := EnergyFromJoules(0.001); got != Millijoule {
+		t.Errorf("EnergyFromJoules(0.001) = %v, want %v", got, Millijoule)
+	}
+	if got := EnergyFromJoules(2.5e-6); got != 2500*Nanojoule {
+		t.Errorf("EnergyFromJoules(2.5e-6) = %v, want 2.5µJ", got)
+	}
+}
+
+func TestVoltageAndCapacitanceFormatting(t *testing.T) {
+	if got := VoltageFromVolts(3.3).String(); got != "3.300V" {
+		t.Errorf("voltage string = %q", got)
+	}
+	if got := (1 * Millifarad).String(); got != "1.000mF" {
+		t.Errorf("capacitance string = %q", got)
+	}
+	if got := (22 * Microfarad).String(); got != "22.000µF" {
+		t.Errorf("capacitance string = %q", got)
+	}
+	if got := (470 * Nanofarad).String(); got != "470nF" {
+		t.Errorf("capacitance string = %q", got)
+	}
+}
+
+func TestPowerFormatting(t *testing.T) {
+	cases := []struct {
+		p    Power
+		text string
+	}{
+		{500 * Nanowatt, "500nW"},
+		{354 * Microwatt, "354.000µW"},
+		{3 * Milliwatt, "3.000mW"},
+		{2 * Watt, "2.000W"},
+	}
+	for _, c := range cases {
+		if got := c.p.String(); got != c.text {
+			t.Errorf("%d.String() = %q, want %q", int64(c.p), got, c.text)
+		}
+	}
+}
+
+func TestEnergyOver(t *testing.T) {
+	// 1 mW for 1 ms = 1 µJ.
+	if got := EnergyOver(Milliwatt, time.Millisecond); got != Microjoule {
+		t.Errorf("1mW over 1ms = %v, want 1µJ", got)
+	}
+	// 354 pJ per µs at 0.354 mW.
+	if got := EnergyOver(354*Microwatt, time.Microsecond); got != 354 {
+		t.Errorf("354µW over 1µs = %v pJ, want 354", int64(got))
+	}
+	// Long durations must not overflow: 1 W for one hour = 3600 J.
+	if got := EnergyOver(Watt, time.Hour); got != 3600*Joule {
+		t.Errorf("1W over 1h = %v, want 3600J", got)
+	}
+	if got := EnergyOver(Milliwatt, 0); got != 0 {
+		t.Errorf("zero duration = %v, want 0", got)
+	}
+}
+
+func TestEnergyOverAdditivity(t *testing.T) {
+	// Splitting an interval must not lose more than rounding error.
+	err := quick.Check(func(pRaw int32, usA, usB uint16) bool {
+		p := Power(int64(pRaw%1_000_000) + 1_000_000) // 1–2 mW
+		a := time.Duration(usA) * time.Microsecond
+		b := time.Duration(usB) * time.Microsecond
+		whole := EnergyOver(p, a+b)
+		split := EnergyOver(p, a) + EnergyOver(p, b)
+		diff := whole - split
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= 2 // ≤ 2 pJ rounding
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDurationToDeliver(t *testing.T) {
+	if got := DurationToDeliver(Microjoule, Milliwatt); got != time.Millisecond {
+		t.Errorf("1µJ at 1mW = %v, want 1ms", got)
+	}
+	if got := DurationToDeliver(Microjoule, 0); got < time.Hour {
+		t.Errorf("zero power should take effectively forever, got %v", got)
+	}
+}
+
+func TestStoredEnergy(t *testing.T) {
+	// ½ · 1mF · (3.3V)² = 5.445 mJ.
+	got := StoredEnergy(Millifarad, VoltageFromVolts(3.3))
+	want := EnergyFromJoules(0.5 * 1e-3 * 3.3 * 3.3)
+	if diff := got - want; diff < -10 || diff > 10 { // ≤ 10 pJ float rounding
+		t.Errorf("StoredEnergy = %v, want %v", got, want)
+	}
+}
+
+func TestVoltageForEnergyInvertsStoredEnergy(t *testing.T) {
+	err := quick.Check(func(mv uint16) bool {
+		v := Voltage(int64(mv)+1000) * Millivolt // 1–66.5 V
+		c := 10 * Microfarad
+		back := VoltageForEnergy(c, StoredEnergy(c, v))
+		diff := int64(back - v)
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= int64(v)/1000+1 // within 0.1 %
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+	if VoltageForEnergy(Microfarad, 0) != 0 {
+		t.Error("zero energy should give zero voltage")
+	}
+	if VoltageForEnergy(0, Microjoule) != 0 {
+		t.Error("zero capacitance should give zero voltage")
+	}
+}
