@@ -1,0 +1,25 @@
+# Developer entry points. `make check` is the pre-commit gauntlet: it
+# vets the whole module and runs the concurrency-sensitive packages
+# (the sweep engine and the kernel's device-reuse path) under the race
+# detector in addition to the plain test suite.
+
+GO ?= go
+
+.PHONY: build test race vet bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -short ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./internal/experiments/... ./internal/kernel/...
+
+bench:
+	$(GO) test -run '^$$' -bench BenchmarkSweepThroughput -benchtime 10x .
+
+check: build vet test race

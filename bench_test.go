@@ -7,6 +7,7 @@
 package easeio
 
 import (
+	"runtime"
 	"testing"
 	"time"
 
@@ -322,6 +323,43 @@ func BenchmarkAblationValuePrivatization(b *testing.B) {
 					b.ReportMetric(float64(unsafeRuns), "unsafe/120")
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkSweepThroughput compares the sweep engine's pooled
+// device-reuse path against the legacy rebuild-per-run path on the DMA
+// bench, reporting runs per second and heap allocations per run. Both
+// paths run single-worker so the comparison isolates per-run setup cost
+// rather than scheduling, and the copy is shortened from the default so
+// that per-word simulation work does not drown the setup cost the
+// benchmark exists to measure.
+func BenchmarkSweepThroughput(b *testing.B) {
+	const sweep = 32
+	dmaCfg := apps.DefaultDMAConfig()
+	dmaCfg.Words = 1000
+	dmaApp := func() (*apps.Bench, error) { return apps.NewDMAApp(dmaCfg) }
+	for _, rebuild := range []bool{false, true} {
+		name := "pooled"
+		if rebuild {
+			name = "rebuild"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := experiments.Config{Runs: sweep, BaseSeed: 1, Workers: 1, Rebuild: rebuild}
+			var ms0, ms1 runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&ms0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.RunMany(cfg, dmaApp, experiments.EaseIO); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			runtime.ReadMemStats(&ms1)
+			totalRuns := float64(b.N) * sweep
+			b.ReportMetric(totalRuns/b.Elapsed().Seconds(), "runs/s")
+			b.ReportMetric(float64(ms1.Mallocs-ms0.Mallocs)/totalRuns, "allocs/run")
 		})
 	}
 }

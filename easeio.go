@@ -192,17 +192,8 @@ func Run(app *App, rt Runtime, opts ...Option) (*Result, error) {
 	if o.supply == nil {
 		o.supply = power.NewTimer(power.DefaultTimerConfig())
 	}
-	needAnalysis := false
-	for _, t := range app.Tasks {
-		if !t.Meta.Analyzed {
-			needAnalysis = true
-			break
-		}
-	}
-	if needAnalysis {
-		if err := frontend.Analyze(app); err != nil {
-			return nil, err
-		}
+	if err := ensureAnalyzed(app); err != nil {
+		return nil, err
 	}
 	dev := kernel.NewDevice(o.supply, o.seed)
 	dev.Tracer = o.tracer
@@ -211,6 +202,54 @@ func Run(app *App, rt Runtime, opts ...Option) (*Result, error) {
 	}
 	return dev.Run, nil
 }
+
+// ensureAnalyzed runs the front-end unless the app already carries a
+// frozen program or hand-set analysis metadata.
+func ensureAnalyzed(app *App) error {
+	if app.Program() != nil {
+		return nil
+	}
+	for _, t := range app.Tasks {
+		if !t.Meta.Analyzed {
+			return frontend.Analyze(app)
+		}
+	}
+	return nil
+}
+
+// Session runs one application under one runtime instance many times,
+// reusing the simulated device between runs: the app is the analyzed
+// blueprint, the session holds the per-run instance state. Compared to
+// calling Run in a loop, a session skips re-analysis, re-allocation and
+// re-attachment for every seed — the engine behind the experiment
+// harness's sweeps.
+type Session struct {
+	s *kernel.Session
+}
+
+// NewSession creates a session for app under rt. The app is analyzed by
+// the compiler front-end if it has not been already. Seed-independent
+// options (supply, tracer) apply to every run; WithSeed is ignored — the
+// seed is per-run, passed to Session.Run.
+func NewSession(app *App, rt Runtime, opts ...Option) (*Session, error) {
+	o := Options{}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.supply == nil {
+		o.supply = power.NewTimer(power.DefaultTimerConfig())
+	}
+	if err := ensureAnalyzed(app); err != nil {
+		return nil, err
+	}
+	s := kernel.NewSession(rt, app, o.supply)
+	s.Tracer = o.tracer
+	return &Session{s: s}, nil
+}
+
+// Run executes the application once with the given seed and returns the
+// run's statistics.
+func (s *Session) Run(seed int64) (*Result, error) { return s.s.Run(seed) }
 
 // ReadVar reads word i of a variable's committed master copy through a
 // runtime that has completed a run — the "logic analyzer" view of final

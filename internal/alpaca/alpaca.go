@@ -63,11 +63,24 @@ func (r *Runtime) Attach(dev *kernel.Device, app *task.App) error {
 	r.active = make(map[*task.NVVar]mem.Addr)
 	r.dirty = make(map[*task.NVVar]bool)
 	for _, t := range app.Tasks {
-		for _, v := range t.Meta.WAR {
+		for _, v := range r.Meta(t).WAR {
 			k := privKey{t.ID, v.ID}
 			r.priv[k] = dev.Mem.Alloc(mem.FRAM, "Alpaca", "priv:"+t.Name+":"+v.Name, v.Words)
 		}
 	}
+	return nil
+}
+
+var _ kernel.Resetter = (*Runtime)(nil)
+
+// Reset implements kernel.Resetter. Alpaca's only nonzero durable attach
+// state is what rtbase owns; the private buffers start unwritten, and the
+// volatile privatization maps rebuild at task entry.
+func (r *Runtime) Reset(dev *kernel.Device) error {
+	r.ResetRun(dev)
+	clear(r.active)
+	clear(r.dirty)
+	r.curTask = nil
 	return nil
 }
 
@@ -89,7 +102,7 @@ func (r *Runtime) BeginTask(c *kernel.Ctx, t *task.Task) {
 	clear(r.active)
 	clear(r.dirty)
 	r.curTask = t
-	for _, v := range t.Meta.WAR {
+	for _, v := range r.Meta(t).WAR {
 		p := r.priv[privKey{t.ID, v.ID}]
 		c.ChargeOverheadCycles(int64(v.Words) * mcu.PrivatizeWordCycles)
 		master := r.MasterAddr(v)
@@ -110,7 +123,7 @@ func (r *Runtime) Transition(c *kernel.Ctx, next *task.Task) {
 	}
 	var commits []commitEntry
 	if r.curTask != nil {
-		for _, v := range r.curTask.Meta.WAR {
+		for _, v := range r.Meta(r.curTask).WAR {
 			p, ok := r.active[v]
 			if !ok || !r.dirty[v] {
 				continue

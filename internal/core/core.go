@@ -182,7 +182,8 @@ func (r *Runtime) Attach(dev *kernel.Device, app *task.App) error {
 	// Ownership: each site/block/DMA must belong to exactly one task, so
 	// that flag versioning against the task instance counter is sound.
 	for _, t := range app.Tasks {
-		for _, s := range t.Meta.Sites {
+		m := r.Meta(t)
+		for _, s := range m.Sites {
 			if owner, dup := r.siteTask[s]; dup && owner != t.ID {
 				return fmt.Errorf("core: I/O site %q used by tasks %q and %q; "+
 					"declare one site per task (the paper's compiler names flags per function×task)",
@@ -190,13 +191,14 @@ func (r *Runtime) Attach(dev *kernel.Device, app *task.App) error {
 			}
 			r.siteTask[s] = t.ID
 		}
-		for _, b := range t.Meta.Blocks {
+		for _, b := range m.Blocks {
 			r.blockTask[b] = t.ID
 		}
 	}
 
 	for _, t := range app.Tasks {
-		for _, s := range t.Meta.Sites {
+		m := r.Meta(t)
+		for _, s := range m.Sites {
 			sm := &siteMeta{}
 			n := s.Instances
 			sm.flags = dev.Mem.Alloc(mem.FRAM, rtName, "lock:"+s.Name, n)
@@ -212,14 +214,14 @@ func (r *Runtime) Attach(dev *kernel.Device, app *task.App) error {
 			}
 			r.sites[s] = sm
 		}
-		for _, b := range t.Meta.Blocks {
+		for _, b := range m.Blocks {
 			bm := &blockMeta{flag: dev.Mem.Alloc(mem.FRAM, rtName, "blk:"+b.Name, 1)}
 			if b.Sem == task.Timely {
 				bm.ts = dev.Mem.Alloc(mem.FRAM, rtName, "blkts:"+b.Name, 4)
 			}
 			r.blocks[b] = bm
 		}
-		for i, reg := range t.Meta.Regions {
+		for i, reg := range m.Regions {
 			rm := &regionMeta{
 				flag: dev.Mem.Alloc(mem.FRAM, rtName, fmt.Sprintf("reg:%s:%d", t.Name, i), 1),
 			}
@@ -233,7 +235,7 @@ func (r *Runtime) Attach(dev *kernel.Device, app *task.App) error {
 			}
 			r.regions[regionKey{t.ID, i}] = rm
 		}
-		for _, d := range t.Meta.DMAs {
+		for _, d := range m.DMAs {
 			dm := &dmaMeta{taskID: t.ID}
 			dm.privFlag = dev.Mem.Alloc(mem.FRAM, rtName, "dmaflag:"+d.Name, 1)
 			dm.claimFlag = dev.Mem.Alloc(mem.FRAM, rtName, "dmaclaim:"+d.Name, 1)
@@ -241,7 +243,7 @@ func (r *Runtime) Attach(dev *kernel.Device, app *task.App) error {
 			if len(d.DependsOn) > 0 {
 				dm.snaps = dev.Mem.Alloc(mem.FRAM, rtName, "dmadep:"+d.Name, len(d.DependsOn))
 			}
-			for i, reg := range t.Meta.Regions {
+			for i, reg := range m.Regions {
 				if reg.EndDMA == d {
 					dm.regionAfter = i + 1
 				}
@@ -263,6 +265,25 @@ func (r *Runtime) Attach(dev *kernel.Device, app *task.App) error {
 	if len(app.DMAs) > 0 {
 		r.privBufNext = dev.Mem.Alloc(mem.FRAM, rtName, "dmaprivnext", 1)
 	}
+	return nil
+}
+
+var _ kernel.Resetter = (*Runtime)(nil)
+
+// Reset implements kernel.Resetter: returns the attached runtime to its
+// post-Attach state on a device whose memory Device.Reset just cleared.
+// All flag/generation/timestamp/snapshot words and the privatization bump
+// pointer are already zero; the only durable words Attach writes nonzero
+// are the instance counters (1 = "first instance"), which versioned flags
+// compare against, so rewriting those restores the exact attach state.
+func (r *Runtime) Reset(dev *kernel.Device) error {
+	r.ResetRun(dev)
+	for _, a := range r.instCtr {
+		dev.Mem.Write(a, 1)
+	}
+	r.curTask = nil
+	r.regionIdx = 0
+	r.blockSkipDepth = 0
 	return nil
 }
 
@@ -318,8 +339,9 @@ func (r *Runtime) BeginTask(c *kernel.Ctx, t *task.Task) {
 // instance counter, invalidating all of its flags at once.
 func (r *Runtime) Transition(c *kernel.Ctx, next *task.Task) {
 	t := r.curTask
+	hasDMAs := len(r.Meta(t).DMAs) > 0
 	c.ChargeMemAccess(mem.FRAM, true, true) // instance counter bump
-	if len(t.Meta.DMAs) > 0 {
+	if hasDMAs {
 		c.ChargeMemAccess(mem.FRAM, true, true) // privatization-buffer bump pointer reset
 	}
 	r.CommitTransition(c, next, func() {
@@ -329,7 +351,7 @@ func (r *Runtime) Transition(c *kernel.Ctx, next *task.Task) {
 			v = 1 // skip the never-set sentinel on wraparound
 		}
 		r.Dev.Mem.Write(ctr, v)
-		if len(t.Meta.DMAs) > 0 {
+		if hasDMAs {
 			r.Dev.Mem.Write(r.privBufNext, 0)
 		}
 	})

@@ -1,0 +1,133 @@
+// The sweep engine: runs a configuration's seeds on a pool of workers,
+// each owning one pooled device + runtime + app instance (the
+// blueprint/instance split — see kernel.Session). Seeds are split into
+// contiguous shards, one per worker; each worker folds its shard into a
+// private aggregator and the shards merge in worker order, so the final
+// Summary is byte-identical to a sequential sweep regardless of Workers.
+
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"easeio/internal/kernel"
+	"easeio/internal/stats"
+)
+
+// RunMany executes cfg.Runs seeded runs and aggregates them. Runs are
+// sharded over cfg.Workers pooled workers unless cfg.Rebuild asks for the
+// legacy rebuild-per-run path. Failed runs do not abort the sweep: the
+// Summary covers every run that completed, and the error joins all
+// per-run failures (each carrying its app, runtime and seed).
+func RunMany(cfg Config, newApp AppFactory, kind RuntimeKind) (stats.Summary, error) {
+	cfg = cfg.fill()
+	if cfg.Rebuild {
+		return runManyRebuild(cfg, newApp, kind)
+	}
+	return runManyPooled(cfg, newApp, kind)
+}
+
+// shard is a contiguous range of run indices, [lo, hi).
+type shard struct{ lo, hi int }
+
+// shards splits n runs into at most workers contiguous shards of
+// near-equal size.
+func shards(n, workers int) []shard {
+	if workers > n {
+		workers = n
+	}
+	out := make([]shard, 0, workers)
+	lo := 0
+	for w := 0; w < workers; w++ {
+		size := n / workers
+		if w < n%workers {
+			size++
+		}
+		out = append(out, shard{lo, lo + size})
+		lo += size
+	}
+	return out
+}
+
+// runManyPooled is the sharded worker-pool sweep. Each worker builds its
+// own app instance (peripheral models carry mutable per-run state, so
+// instances cannot be shared across goroutines) and reuses one device and
+// runtime for every seed in its shard.
+func runManyPooled(cfg Config, newApp AppFactory, kind RuntimeKind) (stats.Summary, error) {
+	sh := shards(cfg.Runs, cfg.Workers)
+	aggs := make([]*stats.Aggregator, len(sh))
+	errss := make([][]error, len(sh))
+	var wg sync.WaitGroup
+	for w, s := range sh {
+		wg.Add(1)
+		go func(w int, s shard) {
+			defer wg.Done()
+			aggs[w], errss[w] = sweepShard(cfg, newApp, kind, s)
+		}(w, s)
+	}
+	wg.Wait()
+
+	agg := stats.NewAggregator()
+	var errs []error
+	for w := range sh {
+		agg.Merge(aggs[w])
+		errs = append(errs, errss[w]...)
+	}
+	return agg.Summary(), errors.Join(errs...)
+}
+
+// sweepShard runs one worker's contiguous seed range on a single session.
+func sweepShard(cfg Config, newApp AppFactory, kind RuntimeKind, s shard) (*stats.Aggregator, []error) {
+	agg := stats.NewAggregator()
+	bench, err := newApp()
+	if err != nil {
+		return agg, []error{fmt.Errorf("experiments: build app for %s runs %d-%d: %w",
+			kind, s.lo, s.hi-1, err)}
+	}
+	sess := kernel.NewSession(NewRuntime(kind), bench.App, cfg.Supply())
+	var errs []error
+	for i := s.lo; i < s.hi; i++ {
+		seed := cfg.BaseSeed + int64(i)
+		run, err := sess.Run(seed)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("experiments: %s on %s (seed %d): %w",
+				bench.App.Name, kind, seed, err))
+			continue
+		}
+		run.Runtime = kind.String() // distinguish EaseIO/Op. in reports
+		agg.Add(run)
+	}
+	return agg, errs
+}
+
+// runManyRebuild is the predecessor engine: one goroutine and one freshly
+// built app, device and runtime per seed. Kept behind Config.Rebuild as
+// the baseline the sweep-throughput benchmark compares against.
+func runManyRebuild(cfg Config, newApp AppFactory, kind RuntimeKind) (stats.Summary, error) {
+	runs := make([]*stats.Run, cfg.Runs)
+	errs := make([]error, cfg.Runs)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Workers)
+	for i := 0; i < cfg.Runs; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			runs[i], errs[i] = RunOne(newApp, kind, cfg.Supply(), cfg.BaseSeed+int64(i))
+		}(i)
+	}
+	wg.Wait()
+	agg := stats.NewAggregator()
+	var joined []error
+	for i, r := range runs {
+		if errs[i] != nil {
+			joined = append(joined, errs[i])
+			continue
+		}
+		agg.Add(r)
+	}
+	return agg.Summary(), errors.Join(joined...)
+}

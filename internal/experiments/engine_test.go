@@ -1,0 +1,182 @@
+// Tests for the sweep engine's two load-bearing guarantees: the worker
+// count must not change results (sharded shards merge back into the
+// sequential fold), and a reused session must reproduce a fresh device's
+// run exactly (the blueprint/instance split loses no state).
+
+package experiments
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"easeio/internal/apps"
+	"easeio/internal/justdo"
+	"easeio/internal/kernel"
+	"easeio/internal/power"
+	"easeio/internal/stats"
+)
+
+func dmaFactory() (*apps.Bench, error)  { return apps.NewDMAApp(apps.DefaultDMAConfig()) }
+func tempFactory() (*apps.Bench, error) { return apps.NewTempApp(apps.DefaultTempConfig()) }
+func firFactory() (*apps.Bench, error)  { return apps.NewFIRApp(apps.DefaultFIRConfig()) }
+
+// TestRunManyDeterminism checks that identical seeds produce a
+// byte-identical Summary whether the sweep runs on one worker or many,
+// and whether workers pool their devices or rebuild per run.
+func TestRunManyDeterminism(t *testing.T) {
+	cases := []struct {
+		name string
+		new  AppFactory
+		runs int
+	}{
+		{"dma", dmaFactory, 24},
+		{"temp", tempFactory, 24},
+		{"fir", firFactory, 12},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			base := Config{Runs: c.runs, BaseSeed: 11, Workers: 1}
+			seq, err := RunMany(base, c.new, EaseIO)
+			if err != nil {
+				t.Fatal(err)
+			}
+			par := base
+			par.Workers = runtime.GOMAXPROCS(0)
+			got, err := RunMany(par, c.new, EaseIO)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(seq, got) {
+				t.Errorf("Workers=1 vs Workers=%d summaries differ:\n%+v\nvs\n%+v",
+					par.Workers, seq, got)
+			}
+			reb := par
+			reb.Rebuild = true
+			got, err = RunMany(reb, c.new, EaseIO)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(seq, got) {
+				t.Errorf("pooled vs rebuild summaries differ:\n%+v\nvs\n%+v", seq, got)
+			}
+		})
+	}
+}
+
+// TestSessionResetReproducesFreshRun checks the reuse path directly: a
+// session that has already completed a run must, after its in-place
+// reset, produce exactly the stats.Run a fresh device and attach would
+// for the same seed.
+func TestSessionResetReproducesFreshRun(t *testing.T) {
+	factories := map[string]AppFactory{"dma": dmaFactory, "temp": tempFactory}
+	for name, factory := range factories {
+		for _, kind := range []RuntimeKind{Alpaca, InK, EaseIO} {
+			t.Run(name+"/"+kind.String(), func(t *testing.T) {
+				bench, err := factory()
+				if err != nil {
+					t.Fatal(err)
+				}
+				sess := kernel.NewSession(NewRuntime(kind), bench.App, TimerSupply())
+				if _, err := sess.Run(5); err != nil {
+					t.Fatal(err)
+				}
+				reused, err := sess.Run(9)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fresh, err := RunOne(factory, kind, TimerSupply(), 9)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// RunOne relabels the runtime for EaseIO/Op. reporting; the
+				// raw session does not. Normalize before comparing.
+				fresh.Runtime = reused.Runtime
+				if !reflect.DeepEqual(reused, fresh) {
+					t.Errorf("reused device diverged from fresh device:\n%+v\nvs\n%+v",
+						reused, fresh)
+				}
+			})
+		}
+	}
+}
+
+// TestSessionResetJustDo covers the logging runtime's reset path, which
+// the RuntimeKind registry does not reach.
+func TestSessionResetJustDo(t *testing.T) {
+	bench, err := storeDenseApp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := kernel.NewSession(justdo.New(), bench.App, TimerSupply())
+	if _, err := sess.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	reused, err := sess.Run(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bench2, err := storeDenseApp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := kernel.NewDevice(power.NewTimer(power.DefaultTimerConfig()), 9)
+	if err := kernel.RunApp(dev, justdo.New(), bench2.App); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(reused, dev.Run) {
+		t.Errorf("reused JustDo device diverged from fresh device:\n%+v\nvs\n%+v",
+			reused, dev.Run)
+	}
+}
+
+// TestRunManyJoinsErrors checks that a sweep reports every failed seed
+// rather than the first, and still summarizes the runs that completed.
+func TestRunManyJoinsErrors(t *testing.T) {
+	badApp := func() (*apps.Bench, error) { return nil, errStub }
+	sum, err := RunMany(Config{Runs: 8, Workers: 2}, badApp, EaseIO)
+	if err == nil {
+		t.Fatal("expected an error from a factory that always fails")
+	}
+	if sum.Runs != 0 {
+		t.Errorf("summary reports %d runs from a sweep with no successes", sum.Runs)
+	}
+}
+
+var errStub = &stubError{}
+
+type stubError struct{}
+
+func (*stubError) Error() string { return "stub app failure" }
+
+// TestAggregatorMergeMatchesSequential checks the aggregation algebra the
+// engine relies on: folding shards and merging them in order equals one
+// sequential fold.
+func TestAggregatorMergeMatchesSequential(t *testing.T) {
+	runs := make([]*stats.Run, 0, 10)
+	for i := 0; i < 10; i++ {
+		r, err := RunOne(tempFactory, EaseIO, TimerSupply(), int64(100+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs = append(runs, r)
+	}
+	seq := stats.NewAggregator()
+	for _, r := range runs {
+		seq.Add(r)
+	}
+	a, b := stats.NewAggregator(), stats.NewAggregator()
+	for _, r := range runs[:4] {
+		a.Add(r)
+	}
+	for _, r := range runs[4:] {
+		b.Add(r)
+	}
+	merged := stats.NewAggregator()
+	merged.Merge(a)
+	merged.Merge(b)
+	if !reflect.DeepEqual(seq.Summary(), merged.Summary()) {
+		t.Errorf("merged summary differs from sequential summary")
+	}
+}

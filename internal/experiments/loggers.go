@@ -12,6 +12,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -142,9 +143,10 @@ func Loggers(cfg Config) ([]LoggerRow, error) {
 	return out, nil
 }
 
-// runCustom sweeps a runtime outside the RuntimeKind registry.
+// runCustom sweeps a runtime outside the RuntimeKind registry, reusing
+// one session (device + runtime instance) across the seeds.
 func runCustom(cfg Config, newApp AppFactory, newRT func() kernel.Hooks) (time.Duration, stats.Summary, error) {
-	// Continuous baseline.
+	// Continuous baseline on its own runtime instance.
 	bench, err := newApp()
 	if err != nil {
 		return 0, stats.Summary{}, err
@@ -155,19 +157,25 @@ func runCustom(cfg Config, newApp AppFactory, newRT func() kernel.Hooks) (time.D
 	}
 	cont := gdev.Clock.OnTime()
 
-	runs := make([]*stats.Run, cfg.Runs)
-	for i := range runs {
-		bench, err := newApp()
-		if err != nil {
-			return 0, stats.Summary{}, err
-		}
-		dev := kernel.NewDevice(cfg.Supply(), cfg.BaseSeed+int64(i))
-		if err := kernel.RunApp(dev, newRT(), bench.App); err != nil {
-			return 0, stats.Summary{}, err
-		}
-		runs[i] = dev.Run
+	bench, err = newApp()
+	if err != nil {
+		return 0, stats.Summary{}, err
 	}
-	return cont, stats.Aggregate(runs), nil
+	rt := newRT()
+	sess := kernel.NewSession(rt, bench.App, cfg.Supply())
+	agg := stats.NewAggregator()
+	var errs []error
+	for i := 0; i < cfg.Runs; i++ {
+		seed := cfg.BaseSeed + int64(i)
+		run, err := sess.Run(seed)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("experiments: %s on %s (seed %d): %w",
+				bench.App.Name, rt.Name(), seed, err))
+			continue
+		}
+		agg.Add(run)
+	}
+	return cont, agg.Summary(), errors.Join(errs...)
 }
 
 // RenderLoggers prints the comparison.

@@ -12,7 +12,6 @@ package experiments
 import (
 	"fmt"
 	"runtime"
-	"sync"
 
 	"easeio/internal/alpaca"
 	"easeio/internal/apps"
@@ -86,6 +85,10 @@ type Config struct {
 	Supply SupplyFactory
 	// Workers bounds parallel simulation (defaults to GOMAXPROCS).
 	Workers int
+	// Rebuild forces the legacy rebuild-per-run path: a fresh app, device
+	// and runtime for every seed instead of per-worker reuse. Kept for
+	// benchmarking the sweep engine against its predecessor.
+	Rebuild bool
 }
 
 // DefaultConfig matches the paper's 1000-run sweeps.
@@ -117,31 +120,6 @@ func RunOne(newApp AppFactory, kind RuntimeKind, supply power.Supply, seed int64
 	}
 	dev.Run.Runtime = kind.String() // distinguish EaseIO/Op. in reports
 	return dev.Run, nil
-}
-
-// RunMany executes cfg.Runs seeded runs in parallel and aggregates them.
-func RunMany(cfg Config, newApp AppFactory, kind RuntimeKind) (stats.Summary, error) {
-	cfg = cfg.fill()
-	runs := make([]*stats.Run, cfg.Runs)
-	errs := make([]error, cfg.Runs)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, cfg.Workers)
-	for i := 0; i < cfg.Runs; i++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			runs[i], errs[i] = RunOne(newApp, kind, cfg.Supply(), cfg.BaseSeed+int64(i))
-		}(i)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return stats.Summary{}, err
-		}
-	}
-	return stats.Aggregate(runs), nil
 }
 
 // GoldenTime returns the continuous-power execution time of the app under

@@ -25,9 +25,15 @@ import (
 	"easeio/internal/units"
 )
 
-// Analyze computes per-task metadata for every task of the app and fills
-// in I/O block membership. It is idempotent.
+// Analyze runs the compiler front-end over the app exactly once: it
+// computes per-task metadata, fills in I/O block membership, and freezes
+// the result onto the app as a task.Program. A second call on an analyzed
+// app returns immediately — the frozen program is the cache — so building
+// many runtime instances from one blueprint pays the analysis cost once.
 func Analyze(app *task.App) error {
+	if app.Program() != nil {
+		return nil
+	}
 	if err := app.Validate(); err != nil {
 		return err
 	}
@@ -36,20 +42,24 @@ func Analyze(app *task.App) error {
 		b.Members = nil
 		b.SubBlocks = nil
 	}
-	for _, t := range app.Tasks {
-		if err := analyzeTask(app, t); err != nil {
+	metas := make([]*task.TaskMeta, len(app.Tasks))
+	for i, t := range app.Tasks {
+		m, err := analyzeTask(app, t)
+		if err != nil {
 			return fmt.Errorf("frontend: task %q: %w", t.Name, err)
 		}
+		metas[i] = m
 	}
 	completeDependencies(app)
-	return nil
+	_, err := task.FreezeProgram(app, metas)
+	return err
 }
 
 // newAnalysisRand seeds the deterministic randomness analysis runs hand
 // to task bodies that ask for it.
 func newAnalysisRand() *rand.Rand { return rand.New(rand.NewSource(1)) }
 
-func analyzeTask(app *task.App, t *task.Task) error {
+func analyzeTask(app *task.App, t *task.Task) (*task.TaskMeta, error) {
 	rec := &recorder{
 		app:  app,
 		meta: &task.TaskMeta{Analyzed: true},
@@ -59,10 +69,10 @@ func analyzeTask(app *task.App, t *task.Task) error {
 	rec.openRegion(nil)
 
 	if err := rec.run(t); err != nil {
-		return err
+		return nil, err
 	}
 	if !rec.transitioned {
-		return fmt.Errorf("body returned without Next/Done")
+		return nil, fmt.Errorf("body returned without Next/Done")
 	}
 
 	// Close the last region, protect clobber-prone DMA destinations, and
@@ -79,8 +89,7 @@ func analyzeTask(app *task.App, t *task.Task) error {
 		}
 	}
 	rec.finishSets()
-	*t.Meta = *rec.meta
-	return nil
+	return rec.meta, nil
 }
 
 // run executes the body, converting recorder panics into errors.

@@ -64,6 +64,18 @@ func (r *Runtime) Attach(dev *kernel.Device, app *task.App) error {
 	return nil
 }
 
+var _ kernel.Resetter = (*Runtime)(nil)
+
+// Reset implements kernel.Resetter. The zeroed index words already select
+// the master copies, which rtbase rewrites to their initial values; the
+// shadow buffers start unwritten, exactly as after Attach.
+func (r *Runtime) Reset(dev *kernel.Device) error {
+	r.ResetRun(dev)
+	clear(r.dirty)
+	r.cur = nil
+	return nil
+}
+
 // activeAddr returns the committed copy's address (index word 0 = master,
 // 1 = shadow buffer).
 func (r *Runtime) activeAddr(v *task.NVVar) mem.Addr {
@@ -103,7 +115,7 @@ func (r *Runtime) BeginTask(c *kernel.Ctx, t *task.Task) {
 func (r *Runtime) Transition(c *kernel.Ctx, next *task.Task) {
 	var flips []*task.NVVar
 	if r.cur != nil {
-		for _, v := range r.cur.Meta.Writes {
+		for _, v := range r.Meta(r.cur).Writes {
 			if r.dirty[v] {
 				c.ChargeMemAccess(mem.FRAM, true, true)
 				flips = append(flips, v)

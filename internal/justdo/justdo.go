@@ -80,6 +80,16 @@ func (r *Runtime) Attach(dev *kernel.Device, app *task.App) error {
 	return nil
 }
 
+var _ kernel.Resetter = (*Runtime)(nil)
+
+// Reset implements kernel.Resetter. The progress counter and value log
+// start zeroed after Attach, which Device.Reset's memory clear restores.
+func (r *Runtime) Reset(dev *kernel.Device) error {
+	r.ResetRun(dev)
+	r.seq = 0
+	return nil
+}
+
 // OnBoot implements kernel.Hooks.
 func (r *Runtime) OnBoot(c *kernel.Ctx) {
 	r.LoadBoot(c)

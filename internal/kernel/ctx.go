@@ -52,6 +52,13 @@ var _ task.Exec = (*Ctx)(nil)
 // *after* Charge returns.
 func (c *Ctx) Charge(dt time.Duration, e units.Energy, overhead bool) {
 	d := c.Dev
+	if dt > 0 && dt <= chargeSlice {
+		// Single-slice fast path: the vast majority of charges (word
+		// accesses, flag checks, DMA words) fit one slice, where the
+		// pro-rated energy is just e.
+		c.chargeStep(d, dt, e, overhead)
+		return
+	}
 	for dt > 0 {
 		step := dt
 		if step > chargeSlice {
@@ -60,15 +67,21 @@ func (c *Ctx) Charge(dt time.Duration, e units.Energy, overhead bool) {
 		se := units.Energy(int64(e) * int64(step) / int64(dt))
 		e -= se
 		dt -= step
-		d.Clock.Run(step)
-		if c.wastedDepth > 0 {
-			d.Ledger.ChargeWasted(step, se)
-		} else {
-			d.Ledger.Charge(overhead, step, se)
-		}
-		if d.Supply.Step(d.Clock.Now(), d.Clock.OnTime(), step, se) {
-			panic(powerFailure{})
-		}
+		c.chargeStep(d, step, se, overhead)
+	}
+}
+
+// chargeStep applies one slice: advance the clock, book the work, step the
+// supply, and unwind if the supply gives out.
+func (c *Ctx) chargeStep(d *Device, step time.Duration, se units.Energy, overhead bool) {
+	d.Clock.Run(step)
+	if c.wastedDepth > 0 {
+		d.Ledger.ChargeWasted(step, se)
+	} else {
+		d.Ledger.Charge(overhead, step, se)
+	}
+	if d.Supply.Step(d.Clock.Now(), d.Clock.OnTime(), step, se) {
+		panic(powerFailure{})
 	}
 }
 

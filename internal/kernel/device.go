@@ -34,20 +34,59 @@ type Device struct {
 	Run *stats.Run
 	// Tracer, when non-nil, receives the execution timeline (see trace.go).
 	Tracer Tracer
+
+	// randSrc is the reseedable source behind Rand, kept so Reset can
+	// rewind the peripheral randomness without reallocating it.
+	randSrc rand.Source
 }
 
 // NewDevice assembles a fresh device around the given supply, seeding both
 // the supply and the peripheral randomness.
 func NewDevice(supply power.Supply, seed int64) *Device {
 	supply.Reset(seed)
+	src := rand.NewSource(seed ^ 0x5ea10)
 	return &Device{
-		Mem:    mem.New(),
-		Clock:  timekeeper.New(),
-		Supply: supply,
-		Ledger: &Ledger{},
-		Rand:   rand.New(rand.NewSource(seed ^ 0x5ea10)),
-		Run:    &stats.Run{Seed: seed},
+		Mem:     mem.New(),
+		Clock:   timekeeper.New(),
+		Supply:  supply,
+		Ledger:  &Ledger{},
+		Rand:    rand.New(src),
+		Run:     &stats.Run{Seed: seed},
+		randSrc: src,
 	}
+}
+
+// Reset rewinds the device to the state NewDevice(supply, seed) would
+// produce, reusing the existing memory, clock, ledger and randomness
+// allocations. Memory contents are cleared but the allocator and
+// allocation records survive, so a runtime attached to this device keeps
+// its addresses valid: re-running an app only requires the runtime to
+// rewrite its initial durable state (see Resetter).
+func (d *Device) Reset(supply power.Supply, seed int64) {
+	supply.Reset(seed)
+	d.Supply = supply
+	d.Mem.Reset()
+	d.Clock.Reset()
+	d.Ledger.Reset()
+	// Reseeding the source puts Rand in exactly the state rand.New would:
+	// Rand buffers nothing outside its Read method, which nothing uses.
+	d.randSrc.Seed(seed ^ 0x5ea10)
+	d.Run = &stats.Run{Seed: seed}
+	if r, ok := d.Tracer.(interface{ Reset() }); ok && r != nil {
+		r.Reset()
+	}
+}
+
+// Resetter is the optional interface a runtime implements to support
+// device reuse: Reset must return the attached runtime instance to the
+// state it had right after Attach on a device whose memory has just been
+// cleared by Device.Reset — i.e. rewrite every durable word the attach
+// path wrote (variable initial values, instance counters, the task
+// pointer) and clear all per-run volatile bookkeeping. Runtimes that do
+// not implement it are re-attached to a fresh device for every run.
+type Resetter interface {
+	Hooks
+	Reset(dev *Device) error
 }
 
 // powerFailure is the panic sentinel that unwinds an interrupted attempt.

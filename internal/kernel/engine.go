@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"easeio/internal/mcu"
+	"easeio/internal/mem"
 	"easeio/internal/power"
 	"easeio/internal/task"
 )
@@ -28,6 +29,14 @@ func RunApp(dev *Device, rt Hooks, app *task.App) error {
 	if err := rt.Attach(dev, app); err != nil {
 		return fmt.Errorf("kernel: attach %s to %s: %w", app.Name, rt.Name(), err)
 	}
+	return RunAttached(dev, rt, app)
+}
+
+// RunAttached executes app on a device the runtime is already attached to.
+// It is the reuse-path entry point: after Device.Reset plus a runtime
+// Reset (see Resetter), calling RunAttached reproduces exactly the run a
+// fresh device and attach would have produced for the same seed.
+func RunAttached(dev *Device, rt Hooks, app *task.App) error {
 	dev.Run.App = app.Name
 	dev.Run.Runtime = rt.Name()
 
@@ -105,8 +114,15 @@ func finish(dev *Device, rt Hooks, app *task.App) {
 	dev.Run.WallTime = dev.Clock.Now()
 	dev.Run.OnTime = dev.Clock.OnTime()
 	if app.CheckOutput != nil && !dev.Run.Stuck {
+		// Checkers scan variables word by word; memoize the master-address
+		// lookup per variable instead of resolving it per word.
+		var lastV *task.NVVar
+		var lastA mem.Addr
 		dev.Run.Correct = app.CheckOutput(func(v *task.NVVar, i int) uint16 {
-			return ReadVar(dev, rt, v, i)
+			if v != lastV {
+				lastV, lastA = v, rt.AddrOf(v)
+			}
+			return dev.Mem.Read(lastA.Add(i))
 		})
 	} else {
 		dev.Run.Correct = !dev.Run.Stuck

@@ -24,6 +24,10 @@ type Ledger struct {
 	pending   [2]stats.Totals // index 0 = useful, 1 = overhead
 }
 
+// Reset zeroes all committed and pending work, for device reuse across
+// runs.
+func (l *Ledger) Reset() { *l = Ledger{} }
+
 // SpanMark captures the pending pool at the start of a commitable span.
 type SpanMark struct {
 	useful, overhead stats.Totals

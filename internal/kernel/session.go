@@ -1,0 +1,72 @@
+// Session: the blueprint/instance split at the kernel level. An analyzed
+// app is a blueprint shared by every run; the device and the attached
+// runtime are the instance. A Session owns one device + one runtime
+// instance and replays runs across seeds, resetting in place when the
+// runtime supports it instead of rebuilding the world per run.
+
+package kernel
+
+import (
+	"easeio/internal/power"
+	"easeio/internal/stats"
+	"easeio/internal/task"
+)
+
+// Session runs one app under one runtime instance many times, reusing the
+// device between runs. If the runtime implements Resetter, subsequent
+// runs reset the device and runtime in place (no reallocation, no
+// re-attach); otherwise each run rebuilds a fresh device and re-attaches,
+// which is always correct but slower.
+type Session struct {
+	rt     Hooks
+	app    *task.App
+	supply power.Supply
+	// Tracer, when non-nil, is installed on the device before every run.
+	Tracer Tracer
+
+	dev *Device
+}
+
+// NewSession creates a session for app under rt, powered by supply. The
+// app must validate; analysis state is the runtime's concern (Attach
+// reports un-analyzed apps exactly as it does on the rebuild path).
+func NewSession(rt Hooks, app *task.App, supply power.Supply) *Session {
+	return &Session{rt: rt, app: app, supply: supply}
+}
+
+// Device returns the device of the most recent run (nil before the first
+// run). Experiment harnesses use it to inspect final memory.
+func (s *Session) Device() *Device { return s.dev }
+
+// Runtime returns the session's runtime instance.
+func (s *Session) Runtime() Hooks { return s.rt }
+
+// Run executes the app once with the given seed and returns the run's
+// statistics. The first run attaches the runtime to a fresh device; later
+// runs reuse it when the runtime implements Resetter. A structural error
+// (attach failure, non-termination) discards the device so the next call
+// starts from a clean attach.
+func (s *Session) Run(seed int64) (*stats.Run, error) {
+	r, ok := s.rt.(Resetter)
+	if s.dev == nil || !ok {
+		dev := NewDevice(s.supply, seed)
+		dev.Tracer = s.Tracer
+		if err := RunApp(dev, s.rt, s.app); err != nil {
+			s.dev = nil
+			return nil, err
+		}
+		s.dev = dev
+		return dev.Run, nil
+	}
+	s.dev.Tracer = s.Tracer
+	s.dev.Reset(s.supply, seed)
+	if err := r.Reset(s.dev); err != nil {
+		s.dev = nil
+		return nil, err
+	}
+	if err := RunAttached(s.dev, s.rt, s.app); err != nil {
+		s.dev = nil
+		return nil, err
+	}
+	return s.dev.Run, nil
+}

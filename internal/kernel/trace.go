@@ -45,6 +45,10 @@ type TraceBuffer struct {
 // Event implements Tracer.
 func (b *TraceBuffer) Event(e TraceEvent) { b.Events = append(b.Events, e) }
 
+// Reset discards recorded events so the buffer can follow a reused device
+// into its next run (Device.Reset calls this through the Tracer).
+func (b *TraceBuffer) Reset() { b.Events = b.Events[:0] }
+
 // Count returns how many events of the given kind were recorded.
 func (b *TraceBuffer) Count(kind string) int {
 	n := 0

@@ -157,13 +157,19 @@ func (m *Memory) Owners() []string {
 	return out
 }
 
+// check validates an address. The failure path lives in checkFail so that
+// check — and the Read/Write hot paths around it — stay inlinable.
 func (m *Memory) check(a Addr, what string) {
+	if a.Bank >= numBanks || a.Word < 0 || a.Word >= len(m.banks[a.Bank]) {
+		m.checkFail(a, what)
+	}
+}
+
+func (m *Memory) checkFail(a Addr, what string) {
 	if a.Bank >= numBanks {
 		panic(fmt.Sprintf("mem: %s of invalid bank %d", what, a.Bank))
 	}
-	if a.Word < 0 || a.Word >= len(m.banks[a.Bank]) {
-		panic(fmt.Sprintf("mem: %s out of range: %s", what, a))
-	}
+	panic(fmt.Sprintf("mem: %s out of range: %s", what, a))
 }
 
 // Read returns the word at a and counts the access.
@@ -211,6 +217,25 @@ func (m *Memory) WriteBlock(a Addr, src []uint16, n int) {
 
 // Counts returns the access counters of bank b.
 func (m *Memory) Counts(b Bank) Counters { return m.counts[b] }
+
+// Reset clears all memory contents, access counters and high-water marks
+// while preserving the allocator state and allocation records, so a
+// runtime attached to this memory keeps its addresses valid across runs.
+// Only words that can have been written are cleared: runtime-mediated
+// writes stay below the allocator watermark and raw writes (DMA into
+// LEA-RAM) below the high-water mark, so clearing up to the larger of the
+// two restores the bank to its as-new all-zero state.
+func (m *Memory) Reset() {
+	for b := Bank(0); b < numBanks; b++ {
+		n := m.alloc[b]
+		if m.highWater[b] > n {
+			n = m.highWater[b]
+		}
+		clear(m.banks[b][:n])
+		m.counts[b] = Counters{}
+		m.highWater[b] = 0
+	}
+}
 
 // PowerFailure clears every volatile bank, exactly what a real power
 // failure does to SRAM and LEA-RAM. FRAM contents survive.

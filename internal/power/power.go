@@ -87,6 +87,7 @@ func DefaultTimerConfig() TimerConfig {
 // Timer is the timer-driven Supply.
 type Timer struct {
 	cfg  TimerConfig
+	src  rand.Source // reseeded in place across runs
 	rng  *rand.Rand
 	next time.Duration // onTime at which the next failure fires
 }
@@ -106,9 +107,16 @@ func (t *Timer) Name() string {
 	return fmt.Sprintf("timer[%v,%v]", t.cfg.OnMin, t.cfg.OnMax)
 }
 
-// Reset implements Supply.
+// Reset implements Supply. The random source is reseeded in place on
+// reuse, which leaves the generator in exactly the state a fresh
+// rand.New(rand.NewSource(seed)) would have.
 func (t *Timer) Reset(seed int64) {
-	t.rng = rand.New(rand.NewSource(seed))
+	if t.src == nil {
+		t.src = rand.NewSource(seed)
+		t.rng = rand.New(t.src)
+	} else {
+		t.src.Seed(seed)
+	}
 	t.next = t.uniform(t.cfg.OnMin, t.cfg.OnMax)
 }
 

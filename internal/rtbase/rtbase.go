@@ -38,6 +38,10 @@ type Base struct {
 	Dev *kernel.Device
 	App *task.App
 
+	// Prog is the frozen front-end output the runtime reads task metadata
+	// through; it never changes after Init.
+	Prog *task.Program
+
 	// RTName attributes metadata allocations in the memory report.
 	RTName string
 
@@ -60,30 +64,58 @@ func (b *Base) Init(dev *kernel.Device, app *task.App, rtName string) error {
 	if err := app.Validate(); err != nil {
 		return err
 	}
-	for _, t := range app.Tasks {
-		if !t.Meta.Analyzed {
-			return fmt.Errorf("rtbase: task %q not analyzed; run frontend.Analyze first", t.Name)
+	prog := app.Program()
+	if prog == nil {
+		// Apps whose metadata was set up by hand (tests) rather than by
+		// frontend.Analyze get a read-only view over their Task.Meta.
+		var err error
+		if prog, err = task.ViewProgram(app); err != nil {
+			return fmt.Errorf("rtbase: %w", err)
 		}
 	}
 	b.Dev = dev
 	b.App = app
+	b.Prog = prog
 	b.RTName = rtName
 	b.addrs = make(map[*task.NVVar]mem.Addr, len(app.Vars))
 	b.execCount = make(map[ioKey]int)
 	b.completed = make(map[ioKey]bool)
 	b.taskInst = make(map[int]int)
 	for _, v := range app.Vars {
-		a := dev.Mem.Alloc(mem.FRAM, "app", v.Name, v.Words)
-		for i, w := range v.Init {
-			dev.Mem.Write(a.Add(i), w)
-		}
-		b.addrs[v] = a
+		b.addrs[v] = dev.Mem.Alloc(mem.FRAM, "app", v.Name, v.Words)
 	}
 	b.taskPtr = dev.Mem.Alloc(mem.FRAM, rtName, "taskptr", 1)
-	entry := app.Entry()
+	b.writeInitial()
+	return nil
+}
+
+// Meta returns the frozen front-end metadata of t.
+func (b *Base) Meta(t *task.Task) *task.TaskMeta { return b.Prog.MetaOf(t) }
+
+// writeInitial writes the durable words the attach path owns: variable
+// initial values and the task pointer at the entry task.
+func (b *Base) writeInitial() {
+	for _, v := range b.App.Vars {
+		a := b.addrs[v]
+		for i, w := range v.Init {
+			b.Dev.Mem.Write(a.Add(i), w)
+		}
+	}
+	entry := b.App.Entry()
 	b.Dev.Mem.Write(b.taskPtr, uint16(entry.ID))
 	b.cur = entry.ID
-	return nil
+}
+
+// ResetRun returns the base to its post-Init state on a device whose
+// memory was just cleared by Device.Reset: bookkeeping is dropped and the
+// initial durable words are rewritten at their existing addresses.
+// Runtimes embed this in their kernel.Resetter implementation.
+func (b *Base) ResetRun(dev *kernel.Device) {
+	b.Dev = dev
+	clear(b.execCount)
+	clear(b.completed)
+	clear(b.taskInst)
+	b.writeInitial()
 }
 
 // Compute charges application CPU work straight through — the default

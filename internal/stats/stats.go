@@ -161,59 +161,159 @@ type Summary struct {
 	StuckRuns     int
 }
 
-// Aggregate folds a set of runs into a Summary. All runs must share the
-// same app and runtime; it panics otherwise, since mixing configurations
-// is a harness bug.
-func Aggregate(runs []*Run) Summary {
-	if len(runs) == 0 {
+// Aggregator folds runs into a Summary incrementally, so a sweep over
+// thousands of seeds never retains the per-run records: only the running
+// sums plus one committed-total-time word per run (for the percentiles)
+// survive each Add. Aggregators merge, which lets sharded sweeps fold
+// per-worker and combine at the end.
+//
+// All added runs must share the same app and runtime (adopted from the
+// first run); Add panics otherwise, since mixing configurations is a
+// harness bug. Every fold — Add and Merge alike — is a sum or an append,
+// so the final Summary depends only on the order totals are appended in,
+// not on how the runs were partitioned across aggregators.
+type Aggregator struct {
+	app     string
+	runtime string
+	n       int
+
+	work             [NumBuckets]Totals
+	energy           units.Energy
+	onTime, wallTime time.Duration
+
+	powerFailures int
+	ioExecs       int
+	ioRepeats     int
+	ioSkips       int
+	dmaExecs      int
+	dmaRepeats    int
+	dmaSkips      int
+
+	correct   int
+	incorrect int
+	stuck     int
+
+	// totals holds each run's committed total time, in Add order.
+	totals []time.Duration
+}
+
+// NewAggregator returns an empty aggregator.
+func NewAggregator() *Aggregator { return &Aggregator{} }
+
+// Runs returns how many runs have been folded in.
+func (a *Aggregator) Runs() int { return a.n }
+
+// Add folds one run into the aggregate.
+func (a *Aggregator) Add(r *Run) {
+	if a.n == 0 {
+		a.app, a.runtime = r.App, r.Runtime
+	} else if r.App != a.app || r.Runtime != a.runtime {
+		panic(fmt.Sprintf("stats: mixed aggregate: %s/%s vs %s/%s",
+			r.App, r.Runtime, a.app, a.runtime))
+	}
+	a.n++
+	for b := Bucket(0); b < NumBuckets; b++ {
+		a.work[b].Add(r.Work[b])
+	}
+	a.energy += r.TotalEnergy()
+	a.onTime += r.OnTime
+	a.wallTime += r.WallTime
+	a.powerFailures += r.PowerFailures
+	a.ioExecs += r.IOExecs
+	a.ioRepeats += r.IORepeats
+	a.ioSkips += r.IOSkips
+	a.dmaExecs += r.DMAExecs
+	a.dmaRepeats += r.DMARepeats
+	a.dmaSkips += r.DMASkips
+	if r.Stuck {
+		a.stuck++
+	} else if r.Correct {
+		a.correct++
+	} else {
+		a.incorrect++
+	}
+	a.totals = append(a.totals, r.Work[App].T+r.Work[Overhead].T+r.Work[Wasted].T)
+}
+
+// Merge folds aggregator o into a, as if o's runs had been added to a in
+// their original order. Merging shard aggregators in shard order therefore
+// reproduces the sequential fold exactly.
+func (a *Aggregator) Merge(o *Aggregator) {
+	if o.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		a.app, a.runtime = o.app, o.runtime
+	} else if o.app != a.app || o.runtime != a.runtime {
+		panic(fmt.Sprintf("stats: mixed aggregate: %s/%s vs %s/%s",
+			o.app, o.runtime, a.app, a.runtime))
+	}
+	a.n += o.n
+	for b := Bucket(0); b < NumBuckets; b++ {
+		a.work[b].Add(o.work[b])
+	}
+	a.energy += o.energy
+	a.onTime += o.onTime
+	a.wallTime += o.wallTime
+	a.powerFailures += o.powerFailures
+	a.ioExecs += o.ioExecs
+	a.ioRepeats += o.ioRepeats
+	a.ioSkips += o.ioSkips
+	a.dmaExecs += o.dmaExecs
+	a.dmaRepeats += o.dmaRepeats
+	a.dmaSkips += o.dmaSkips
+	a.correct += o.correct
+	a.incorrect += o.incorrect
+	a.stuck += o.stuck
+	a.totals = append(a.totals, o.totals...)
+}
+
+// Summary finalizes the aggregate. The aggregator stays usable: more runs
+// can be added and Summary called again.
+func (a *Aggregator) Summary() Summary {
+	if a.n == 0 {
 		return Summary{}
 	}
-	s := Summary{App: runs[0].App, Runtime: runs[0].Runtime, Runs: len(runs)}
-	var work [NumBuckets]Totals
-	var energy units.Energy
-	var onTime, wallTime time.Duration
-	for _, r := range runs {
-		if r.App != s.App || r.Runtime != s.Runtime {
-			panic(fmt.Sprintf("stats: mixed aggregate: %s/%s vs %s/%s",
-				r.App, r.Runtime, s.App, s.Runtime))
-		}
-		for b := Bucket(0); b < NumBuckets; b++ {
-			work[b].Add(r.Work[b])
-		}
-		energy += r.TotalEnergy()
-		onTime += r.OnTime
-		wallTime += r.WallTime
-		s.PowerFailures += r.PowerFailures
-		s.IOExecs += r.IOExecs
-		s.IORepeats += r.IORepeats
-		s.IOSkips += r.IOSkips
-		s.DMAExecs += r.DMAExecs
-		s.DMARepeats += r.DMARepeats
-		s.DMASkips += r.DMASkips
-		if r.Stuck {
-			s.StuckRuns++
-		} else if r.Correct {
-			s.CorrectRuns++
-		} else {
-			s.IncorrectRuns++
-		}
+	s := Summary{
+		App:           a.app,
+		Runtime:       a.runtime,
+		Runs:          a.n,
+		PowerFailures: a.powerFailures,
+		IOExecs:       a.ioExecs,
+		IORepeats:     a.ioRepeats,
+		IOSkips:       a.ioSkips,
+		DMAExecs:      a.dmaExecs,
+		DMARepeats:    a.dmaRepeats,
+		DMASkips:      a.dmaSkips,
+		CorrectRuns:   a.correct,
+		IncorrectRuns: a.incorrect,
+		StuckRuns:     a.stuck,
 	}
-	n := int64(len(runs))
+	n := int64(a.n)
 	for b := Bucket(0); b < NumBuckets; b++ {
-		s.Work[b] = Totals{work[b].T / time.Duration(n), work[b].E / units.Energy(n)}
+		s.Work[b] = Totals{a.work[b].T / time.Duration(n), a.work[b].E / units.Energy(n)}
 	}
-	s.MeanEnergy = energy / units.Energy(n)
-	s.MeanOnTime = onTime / time.Duration(n)
-	s.MeanWallTime = wallTime / time.Duration(n)
+	s.MeanEnergy = a.energy / units.Energy(n)
+	s.MeanOnTime = a.onTime / time.Duration(n)
+	s.MeanWallTime = a.wallTime / time.Duration(n)
 
-	totals := make([]time.Duration, len(runs))
-	for i, r := range runs {
-		totals[i] = r.Work[App].T + r.Work[Overhead].T + r.Work[Wasted].T
-	}
+	totals := make([]time.Duration, len(a.totals))
+	copy(totals, a.totals)
 	sort.Slice(totals, func(i, j int) bool { return totals[i] < totals[j] })
 	s.P50TotalTime = percentile(totals, 50)
 	s.P95TotalTime = percentile(totals, 95)
 	return s
+}
+
+// Aggregate folds a set of runs into a Summary. All runs must share the
+// same app and runtime; it panics otherwise, since mixing configurations
+// is a harness bug.
+func Aggregate(runs []*Run) Summary {
+	a := NewAggregator()
+	for _, r := range runs {
+		a.Add(r)
+	}
+	return a.Summary()
 }
 
 // MeanTotalTime returns the mean committed time across buckets — the total

@@ -1,0 +1,70 @@
+// Program is the frozen output of the compiler front-end: the per-task
+// analysis metadata of one App, computed exactly once and immutable from
+// then on. The blueprint/instance split rests on it — an analyzed App plus
+// its Program can be shared by any number of concurrent simulations while
+// all per-run mutable state lives in the runtime instances and devices.
+
+package task
+
+import "fmt"
+
+// Program holds the frozen per-task metadata of an analyzed App, indexed
+// by task ID. Runtimes read all analysis results (I/O sites, WAR sets,
+// DMA regions) through it; nothing mutates it after FreezeProgram.
+type Program struct {
+	app   *App
+	metas []*TaskMeta
+}
+
+// App returns the blueprint this program was compiled from.
+func (p *Program) App() *App { return p.app }
+
+// MetaOf returns the frozen metadata of task t.
+func (p *Program) MetaOf(t *Task) *TaskMeta {
+	if t.ID < 0 || t.ID >= len(p.metas) {
+		panic(fmt.Sprintf("task: %q is not a task of program %q", t.Name, p.app.Name))
+	}
+	return p.metas[t.ID]
+}
+
+// Tasks returns the number of tasks the program covers.
+func (p *Program) Tasks() int { return len(p.metas) }
+
+// Program returns the frozen analysis attached by the front-end, or nil
+// if the app has not been analyzed yet.
+func (a *App) Program() *Program { return a.program }
+
+// FreezeProgram attaches per-task metadata to the app as its frozen
+// Program. The front-end calls it at the end of its single analysis pass;
+// calling it again is an error ("analyze once"). Each task's Meta pointer
+// is redirected to the frozen record, so code holding a *Task observes
+// the same metadata the Program serves.
+func FreezeProgram(app *App, metas []*TaskMeta) (*Program, error) {
+	if app.program != nil {
+		return nil, fmt.Errorf("task: app %q already has a frozen program", app.Name)
+	}
+	if len(metas) != len(app.Tasks) {
+		return nil, fmt.Errorf("task: app %q has %d tasks but %d metadata records",
+			app.Name, len(app.Tasks), len(metas))
+	}
+	p := &Program{app: app, metas: metas}
+	for i, t := range app.Tasks {
+		t.Meta = metas[i]
+	}
+	app.program = p
+	return p, nil
+}
+
+// ViewProgram builds a Program view over the tasks' current Meta records
+// without freezing the app — the adapter for blueprints whose metadata was
+// filled in by hand (tests) rather than by the front-end.
+func ViewProgram(app *App) (*Program, error) {
+	metas := make([]*TaskMeta, len(app.Tasks))
+	for i, t := range app.Tasks {
+		if t.Meta == nil || !t.Meta.Analyzed {
+			return nil, fmt.Errorf("task %q not analyzed; run frontend.Analyze first", t.Name)
+		}
+		metas[i] = t.Meta
+	}
+	return &Program{app: app, metas: metas}, nil
+}

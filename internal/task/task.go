@@ -61,6 +61,8 @@ type App struct {
 	CheckOutput func(read func(v *NVVar, i int) uint16) bool
 
 	entry *Task
+	// program is the frozen front-end output, set once by FreezeProgram.
+	program *Program
 }
 
 // NewApp returns an empty application blueprint.

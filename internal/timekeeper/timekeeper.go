@@ -23,6 +23,10 @@ type Clock struct {
 // New returns a clock at time zero, before the first boot.
 func New() *Clock { return &Clock{} }
 
+// Reset returns the clock to time zero in place, for device reuse across
+// runs.
+func (c *Clock) Reset() { *c = Clock{} }
+
 // Run advances the clock by d of powered-on execution.
 func (c *Clock) Run(d time.Duration) {
 	if d < 0 {
