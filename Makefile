@@ -1,11 +1,14 @@
 # Developer entry points. `make check` is the pre-commit gauntlet: it
 # vets the whole module and runs the concurrency-sensitive packages
-# (the sweep engine and the kernel's device-reuse path) under the race
-# detector in addition to the plain test suite.
+# (the sweep engine, the kernel's device-reuse path, the sweep service
+# and the public facade) under the race detector in addition to the
+# plain test suite. `make serve-smoke` boots the easeio-served daemon
+# on a loopback port, pushes one sweep job through the HTTP API and
+# verifies the result and the metrics endpoint.
 
 GO ?= go
 
-.PHONY: build test race vet bench check
+.PHONY: build test race vet bench serve-smoke check
 
 build:
 	$(GO) build ./...
@@ -17,9 +20,12 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/experiments/... ./internal/kernel/...
+	$(GO) test -race . ./internal/experiments/... ./internal/kernel/... ./internal/service/...
 
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkSweepThroughput -benchtime 10x .
 
-check: build vet test race
+serve-smoke:
+	$(GO) run ./cmd/easeio-served -smoke
+
+check: build vet test race serve-smoke

@@ -1,0 +1,183 @@
+// Command easeio-served fronts the simulation sweep service over
+// HTTP/JSON: named application blueprints, a bounded job queue with
+// configurable worker concurrency, per-job cancellation, and a
+// Prometheus-style metrics endpoint.
+//
+// Usage:
+//
+//	easeio-served [-addr :8340] [-queue 64] [-jobs N] [-smoke]
+//
+// Submit a sweep and watch it:
+//
+//	curl -s -X POST localhost:8340/jobs \
+//	    -d '{"app":"fir","runtime":"EaseIO","runs":1000,"base_seed":1}'
+//	curl -s localhost:8340/jobs/1
+//	curl -s localhost:8340/metrics
+//
+// SIGINT/SIGTERM shut the server down gracefully: the listener closes,
+// in-flight sweeps drain, queued jobs are cancelled. -smoke boots the
+// full stack on a loopback port, pushes one job through the HTTP API,
+// checks the result and the metrics, and exits — the self-test the
+// Makefile's serve-smoke target runs.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"syscall"
+	"time"
+
+	"easeio/internal/service"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", ":8340", "HTTP listen address")
+		queue = flag.Int("queue", 64, "job queue capacity (backpressure bound)")
+		jobs  = flag.Int("jobs", max(2, runtime.GOMAXPROCS(0)/2), "concurrent sweep jobs")
+		smoke = flag.Bool("smoke", false, "boot on a loopback port, run one job through the HTTP API, verify, exit")
+	)
+	flag.Parse()
+
+	reg := service.NewRegistry()
+	if err := service.RegisterPaperBenches(reg); err != nil {
+		log.Fatal(err)
+	}
+	metrics := service.NewMetrics()
+	mgr := service.NewManager(reg, metrics, *queue, *jobs)
+	handler := service.NewServer(mgr, reg, metrics).Handler()
+
+	if *smoke {
+		if err := runSmoke(handler, mgr); err != nil {
+			log.Fatalf("smoke: FAIL: %v", err)
+		}
+		fmt.Println("smoke: PASS")
+		return
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: handler}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("easeio-served listening on %s (%d job workers, queue %d, blueprints: %s)",
+		*addr, *jobs, *queue, strings.Join(reg.Names(), " "))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down: draining in-flight sweeps")
+	sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := mgr.Shutdown(sctx); err != nil {
+		log.Printf("job manager shutdown: %v", err)
+	}
+}
+
+// runSmoke exercises the full service loop over a real TCP socket: boot,
+// health, submit, poll to completion, verify the summary and the metrics.
+func runSmoke(handler http.Handler, mgr *service.Manager) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: handler}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	// Health.
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz: status %d", resp.StatusCode)
+	}
+
+	// Submit one modest sweep.
+	body := strings.NewReader(`{"app":"dma","runtime":"EaseIO","runs":32,"base_seed":1,"workers":2}`)
+	resp, err = client.Post(base+"/jobs", "application/json", body)
+	if err != nil {
+		return err
+	}
+	var st service.Status
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("submit: status %d", resp.StatusCode)
+	}
+
+	// Poll to completion.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("job %d did not finish in time (state %s, %d/%d runs)",
+				st.ID, st.State, st.DoneRuns, st.TotalRuns)
+		}
+		resp, err = client.Get(fmt.Sprintf("%s/jobs/%d", base, st.ID))
+		if err != nil {
+			return err
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if st.State == "succeeded" || st.State == "failed" || st.State == "cancelled" {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if st.State != "succeeded" {
+		return fmt.Errorf("job ended %s: %s", st.State, st.Error)
+	}
+	if st.Summary == nil || st.Summary.Runs != 32 {
+		return fmt.Errorf("summary missing or wrong run count: %+v", st.Summary)
+	}
+	if st.Summary.CorrectRuns != 32 {
+		return fmt.Errorf("only %d/32 correct runs", st.Summary.CorrectRuns)
+	}
+
+	// Metrics must reflect the completed job.
+	resp, err = client.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	raw := make([]byte, 1<<16)
+	n, _ := resp.Body.Read(raw)
+	resp.Body.Close()
+	text := string(raw[:n])
+	for _, want := range []string{
+		"easeio_jobs_completed_total 1",
+		"easeio_runs_completed_total 32",
+		"easeio_wasted_work_ratio",
+	} {
+		if !strings.Contains(text, want) {
+			return fmt.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	return mgr.Shutdown(sctx)
+}

@@ -37,12 +37,14 @@
 package easeio
 
 import (
+	"context"
 	"io"
 
 	"easeio/internal/alpaca"
 	"easeio/internal/apps"
 	"easeio/internal/core"
 	"easeio/internal/energy"
+	"easeio/internal/experiments"
 	"easeio/internal/frontend"
 	"easeio/internal/ink"
 	"easeio/internal/justdo"
@@ -204,17 +206,22 @@ func Run(app *App, rt Runtime, opts ...Option) (*Result, error) {
 }
 
 // ensureAnalyzed runs the front-end unless the app already carries a
-// frozen program or hand-set analysis metadata.
+// frozen program or hand-set analysis metadata. The whole check-then-
+// analyze sequence runs under the app's single-flight gate: concurrent
+// NewSession/Run calls on the same unanalyzed app must not both enter
+// frontend.Analyze, which mutates the shared blueprint.
 func ensureAnalyzed(app *App) error {
-	if app.Program() != nil {
-		return nil
-	}
-	for _, t := range app.Tasks {
-		if !t.Meta.Analyzed {
-			return frontend.Analyze(app)
+	return app.AnalyzeOnce(func(a *App) error {
+		if a.Program() != nil {
+			return nil
 		}
-	}
-	return nil
+		for _, t := range a.Tasks {
+			if !t.Meta.Analyzed {
+				return frontend.Analyze(a)
+			}
+		}
+		return nil
+	})
 }
 
 // Session runs one application under one runtime instance many times,
@@ -251,28 +258,48 @@ func NewSession(app *App, rt Runtime, opts ...Option) (*Session, error) {
 // run's statistics.
 func (s *Session) Run(seed int64) (*Result, error) { return s.s.Run(seed) }
 
-// ReadVar reads word i of a variable's committed master copy through a
-// runtime that has completed a run — the "logic analyzer" view of final
-// non-volatile memory.
-func ReadVar(rt Runtime, v *NVVar, i int) uint16 {
-	a := rt.AddrOf(v)
-	return memOf(rt).Read(a.Add(i))
+// DeviceHolder is implemented by runtimes that expose the simulated
+// device they are attached to. All four built-in runtimes satisfy it
+// through rtbase.Base; a custom runtime embedding Base inherits it for
+// free, and one that does not can implement the single method itself to
+// opt into ReadVar-style post-run inspection.
+type DeviceHolder interface {
+	Device() *kernel.Device
 }
 
-// memOf recovers the device memory from an attached runtime.
-func memOf(rt Runtime) *mem.Memory {
-	switch r := rt.(type) {
-	case *core.Runtime:
-		return r.Dev.Mem
-	case *alpaca.Runtime:
-		return r.Dev.Mem
-	case *ink.Runtime:
-		return r.Dev.Mem
-	case *justdo.Runtime:
-		return r.Dev.Mem
-	default:
-		panic("easeio: unknown runtime type")
+// ReadVar reads word i of a variable's committed master copy through a
+// runtime that has completed a run — the "logic analyzer" view of final
+// non-volatile memory. It returns false if the runtime does not implement
+// DeviceHolder or has not been attached to a device yet.
+func ReadVarOK(rt Runtime, v *NVVar, i int) (uint16, bool) {
+	m := memOf(rt)
+	if m == nil {
+		return 0, false
 	}
+	a := rt.AddrOf(v)
+	return m.Read(a.Add(i)), true
+}
+
+// ReadVar is ReadVarOK without the ok flag: it reads word i of a
+// variable's committed master copy, or returns 0 for a runtime that does
+// not expose its device (it never panics — custom runtimes are safe).
+func ReadVar(rt Runtime, v *NVVar, i int) uint16 {
+	w, _ := ReadVarOK(rt, v, i)
+	return w
+}
+
+// memOf recovers the device memory from an attached runtime, or nil when
+// the runtime does not implement DeviceHolder or is not attached.
+func memOf(rt Runtime) *mem.Memory {
+	h, ok := rt.(DeviceHolder)
+	if !ok {
+		return nil
+	}
+	dev := h.Device()
+	if dev == nil {
+		return nil
+	}
+	return dev.Mem
 }
 
 // Prebuilt benchmark applications of the paper's evaluation.
@@ -354,4 +381,59 @@ func DefaultLintConfig() LintConfig {
 // lane per task) to w; width is the chart width in character cells.
 func RenderGantt(buf *TraceBuffer, width int, w io.Writer) {
 	kernel.RenderGantt(buf, width, w)
+}
+
+// Multi-seed sweeps: the facade over the experiment harness's pooled
+// sweep engine, the same path cmd/easeio-served jobs execute on.
+
+// Summary is the aggregate of many seeded runs.
+type Summary = stats.Summary
+
+// RuntimeKind names one of the compared runtimes for a sweep.
+type RuntimeKind = experiments.RuntimeKind
+
+// The sweep runtimes. EaseIOOpKind is EaseIO with the application's
+// Exclude annotations enabled ("EaseIO/Op." in the paper's figures).
+const (
+	AlpacaKind   = experiments.Alpaca
+	InKKind      = experiments.InK
+	EaseIOKind   = experiments.EaseIO
+	EaseIOOpKind = experiments.EaseIOOp
+)
+
+// ParseRuntimeKind maps a runtime name ("Alpaca", "InK", "EaseIO",
+// "EaseIO/Op.") to its kind, case-insensitively.
+func ParseRuntimeKind(s string) (RuntimeKind, error) {
+	return experiments.ParseRuntimeKind(s)
+}
+
+// SweepConfig parameterizes a multi-seed sweep.
+type SweepConfig struct {
+	// Runs is the number of seeded executions (defaults to 1000, the
+	// paper's count).
+	Runs int
+	// BaseSeed offsets the per-run seeds (seed = BaseSeed + run index).
+	BaseSeed int64
+	// Workers bounds parallel simulation (defaults to GOMAXPROCS). The
+	// Summary is worker-count-invariant.
+	Workers int
+	// OnProgress, when non-nil, is invoked after every finished seed with
+	// the cumulative finished count and the total; it may be called from
+	// any worker goroutine.
+	OnProgress func(done, total int)
+}
+
+// Sweep executes many seeded runs of the bench the factory builds under
+// the given runtime kind and aggregates them, sharding seeds over a pool
+// of reused devices. Cancelling ctx stops the sweep within one seed
+// boundary per worker; the returned Summary then covers the runs that
+// finished, and the error wraps ctx's error.
+func Sweep(ctx context.Context, newBench func() (*Bench, error), kind RuntimeKind, cfg SweepConfig) (Summary, error) {
+	ecfg := experiments.Config{
+		Runs:     cfg.Runs,
+		BaseSeed: cfg.BaseSeed,
+		Workers:  cfg.Workers,
+		Progress: cfg.OnProgress,
+	}
+	return experiments.RunManyCtx(ctx, ecfg, newBench, kind)
 }

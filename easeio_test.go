@@ -1,7 +1,12 @@
 package easeio
 
 import (
+	"context"
+	"errors"
+	"reflect"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -129,6 +134,123 @@ func TestReadVarThroughPublicAPI(t *testing.T) {
 		}
 	}
 	_ = v
+}
+
+// TestConcurrentSessionsSingleFlight is the -race regression for the
+// analysis gate: many goroutines opening sessions on the same unanalyzed
+// app must funnel through exactly one frontend.Analyze (which mutates
+// the shared blueprint) and then run concurrently on private devices.
+func TestConcurrentSessionsSingleFlight(t *testing.T) {
+	bench, err := NewDMABench()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 8
+	results := make([]*Result, goroutines)
+	errs := make([]error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sess, err := NewSession(bench.App, NewEaseIO())
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			results[g], errs[g] = sess.Run(42)
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < goroutines; g++ {
+		if errs[g] != nil {
+			t.Fatalf("goroutine %d: %v", g, errs[g])
+		}
+		if !reflect.DeepEqual(results[g], results[0]) {
+			t.Errorf("goroutine %d diverged from goroutine 0 on the same seed", g)
+		}
+	}
+}
+
+// opaqueRuntime hides the underlying runtime's Device method: the
+// embedded interface promotes only kernel.Hooks, so the wrapper behaves
+// like a custom runtime that never opted into DeviceHolder.
+type opaqueRuntime struct{ Runtime }
+
+// TestReadVarWithoutDeviceHolder checks the post-run inspection helpers
+// degrade gracefully for runtimes outside the rtbase family: no panic,
+// just a zero word and a false ok.
+func TestReadVarWithoutDeviceHolder(t *testing.T) {
+	bench, err := NewDMABench()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := opaqueRuntime{NewEaseIO()}
+	if _, ok := any(rt).(DeviceHolder); ok {
+		t.Fatal("test wrapper unexpectedly satisfies DeviceHolder")
+	}
+	if _, err := Run(bench.App, rt, WithSeed(3)); err != nil {
+		t.Fatal(err)
+	}
+	v := bench.App.Vars[0]
+	if got := ReadVar(rt, v, 0); got != 0 {
+		t.Errorf("ReadVar through an opaque runtime = %d, want 0", got)
+	}
+	if _, ok := ReadVarOK(rt, v, 0); ok {
+		t.Error("ReadVarOK must report false for a runtime without DeviceHolder")
+	}
+	// An unattached holder runtime is equally safe: nil device, ok=false.
+	if _, ok := ReadVarOK(NewAlpaca(), v, 0); ok {
+		t.Error("ReadVarOK must report false before any run attaches a device")
+	}
+}
+
+// TestSweepFacade drives the multi-seed sweep through the public
+// surface: full sweep with progress, then a mid-flight cancellation.
+func TestSweepFacade(t *testing.T) {
+	var peak atomic.Int64
+	cfg := SweepConfig{Runs: 12, BaseSeed: 1, Workers: 3,
+		OnProgress: func(done, total int) {
+			if total != 12 {
+				t.Errorf("progress total = %d", total)
+			}
+			for {
+				cur := peak.Load()
+				if int64(done) <= cur || peak.CompareAndSwap(cur, int64(done)) {
+					break
+				}
+			}
+		}}
+	sum, err := Sweep(context.Background(), NewDMABench, EaseIOKind, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Runs != 12 || sum.CorrectRuns != 12 {
+		t.Errorf("sweep summary: %d runs, %d correct", sum.Runs, sum.CorrectRuns)
+	}
+	if peak.Load() != 12 {
+		t.Errorf("progress peaked at %d, want 12", peak.Load())
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cancelled := SweepConfig{Runs: 1000, BaseSeed: 1, Workers: 1,
+		OnProgress: func(done, total int) {
+			if done == 2 {
+				cancel()
+			}
+		}}
+	part, err := Sweep(ctx, NewDMABench, EaseIOKind, cancelled)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled sweep err = %v", err)
+	}
+	if part.Runs != 2 {
+		t.Errorf("cancelled sweep ran %d seeds, want exactly 2", part.Runs)
+	}
+
+	if k, err := ParseRuntimeKind("easeio/op."); err != nil || k != EaseIOOpKind {
+		t.Errorf("ParseRuntimeKind = %v, %v", k, err)
+	}
 }
 
 // TestEaseIOBeatsBaselinesOnWastedWork is the headline regression: over a

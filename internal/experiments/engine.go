@@ -8,9 +8,11 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"easeio/internal/kernel"
 	"easeio/internal/stats"
@@ -22,11 +24,39 @@ import (
 // Summary covers every run that completed, and the error joins all
 // per-run failures (each carrying its app, runtime and seed).
 func RunMany(cfg Config, newApp AppFactory, kind RuntimeKind) (stats.Summary, error) {
+	return RunManyCtx(context.Background(), cfg, newApp, kind)
+}
+
+// RunManyCtx is RunMany with cooperative cancellation: every worker
+// observes ctx between seeds, so a cancelled or deadline-expired sweep
+// stops within one seed boundary per worker. The returned Summary covers
+// the runs that finished before the cancellation took effect (still
+// merged in shard order, so it equals the prefix a sequential sweep would
+// have produced per shard), and ctx's error is joined into the returned
+// error so callers can errors.Is it against context.Canceled or
+// context.DeadlineExceeded.
+func RunManyCtx(ctx context.Context, cfg Config, newApp AppFactory, kind RuntimeKind) (stats.Summary, error) {
 	cfg = cfg.fill()
 	if cfg.Rebuild {
-		return runManyRebuild(cfg, newApp, kind)
+		return runManyRebuild(ctx, cfg, newApp, kind)
 	}
-	return runManyPooled(cfg, newApp, kind)
+	return runManyPooled(ctx, cfg, newApp, kind)
+}
+
+// PanicError wraps a panic recovered from a sweep worker goroutine, so a
+// broken app or runtime fails its shard instead of crashing the process
+// hosting the sweep. Callers can errors.As for it to distinguish panics
+// from ordinary run failures.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// What identifies the work that panicked (runtime kind plus seeds).
+	What string
+}
+
+// Error renders the panic with its provenance.
+func (e PanicError) Error() string {
+	return fmt.Sprintf("experiments: %s panicked: %v", e.What, e.Value)
 }
 
 // shard is a contiguous range of run indices, [lo, hi).
@@ -55,16 +85,25 @@ func shards(n, workers int) []shard {
 // own app instance (peripheral models carry mutable per-run state, so
 // instances cannot be shared across goroutines) and reuses one device and
 // runtime for every seed in its shard.
-func runManyPooled(cfg Config, newApp AppFactory, kind RuntimeKind) (stats.Summary, error) {
+func runManyPooled(ctx context.Context, cfg Config, newApp AppFactory, kind RuntimeKind) (stats.Summary, error) {
 	sh := shards(cfg.Runs, cfg.Workers)
 	aggs := make([]*stats.Aggregator, len(sh))
 	errss := make([][]error, len(sh))
+	var done atomic.Int64
 	var wg sync.WaitGroup
 	for w, s := range sh {
 		wg.Add(1)
 		go func(w int, s shard) {
 			defer wg.Done()
-			aggs[w], errss[w] = sweepShard(cfg, newApp, kind, s)
+			// A panicking app or runtime fails its shard, not the process:
+			// sweeps run inside long-lived servers (internal/service).
+			defer func() {
+				if r := recover(); r != nil {
+					errss[w] = append(errss[w], PanicError{Value: r,
+						What: fmt.Sprintf("%s runs %d-%d", kind, s.lo, s.hi-1)})
+				}
+			}()
+			aggs[w], errss[w] = sweepShard(ctx, cfg, newApp, kind, s, &done)
 		}(w, s)
 	}
 	wg.Wait()
@@ -72,15 +111,24 @@ func runManyPooled(cfg Config, newApp AppFactory, kind RuntimeKind) (stats.Summa
 	agg := stats.NewAggregator()
 	var errs []error
 	for w := range sh {
-		agg.Merge(aggs[w])
+		if aggs[w] != nil {
+			agg.Merge(aggs[w])
+		}
 		errs = append(errs, errss[w]...)
+	}
+	if err := ctx.Err(); err != nil {
+		errs = append(errs, err)
 	}
 	return agg.Summary(), errors.Join(errs...)
 }
 
 // sweepShard runs one worker's contiguous seed range on a single session.
-func sweepShard(cfg Config, newApp AppFactory, kind RuntimeKind, s shard) (*stats.Aggregator, []error) {
+// done is the sweep-wide finished-run counter feeding cfg.Progress.
+func sweepShard(ctx context.Context, cfg Config, newApp AppFactory, kind RuntimeKind, s shard, done *atomic.Int64) (*stats.Aggregator, []error) {
 	agg := stats.NewAggregator()
+	if ctx.Err() != nil {
+		return agg, nil
+	}
 	bench, err := newApp()
 	if err != nil {
 		return agg, []error{fmt.Errorf("experiments: build app for %s runs %d-%d: %w",
@@ -89,34 +137,60 @@ func sweepShard(cfg Config, newApp AppFactory, kind RuntimeKind, s shard) (*stat
 	sess := kernel.NewSession(NewRuntime(kind), bench.App, cfg.Supply())
 	var errs []error
 	for i := s.lo; i < s.hi; i++ {
+		if ctx.Err() != nil {
+			break
+		}
 		seed := cfg.BaseSeed + int64(i)
 		run, err := sess.Run(seed)
 		if err != nil {
 			errs = append(errs, fmt.Errorf("experiments: %s on %s (seed %d): %w",
 				bench.App.Name, kind, seed, err))
+			notifyProgress(cfg, done)
 			continue
 		}
 		run.Runtime = kind.String() // distinguish EaseIO/Op. in reports
 		agg.Add(run)
+		notifyProgress(cfg, done)
 	}
 	return agg, errs
+}
+
+// notifyProgress bumps the sweep-wide finished-run counter and invokes
+// the progress hook, if any. Failed seeds count too, so done reaches the
+// total even for sweeps with broken seeds.
+func notifyProgress(cfg Config, done *atomic.Int64) {
+	if cfg.Progress == nil {
+		done.Add(1)
+		return
+	}
+	cfg.Progress(int(done.Add(1)), cfg.Runs)
 }
 
 // runManyRebuild is the predecessor engine: one goroutine and one freshly
 // built app, device and runtime per seed. Kept behind Config.Rebuild as
 // the baseline the sweep-throughput benchmark compares against.
-func runManyRebuild(cfg Config, newApp AppFactory, kind RuntimeKind) (stats.Summary, error) {
+func runManyRebuild(ctx context.Context, cfg Config, newApp AppFactory, kind RuntimeKind) (stats.Summary, error) {
 	runs := make([]*stats.Run, cfg.Runs)
 	errs := make([]error, cfg.Runs)
+	var done atomic.Int64
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, cfg.Workers)
 	for i := 0; i < cfg.Runs; i++ {
+		if ctx.Err() != nil {
+			break
+		}
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[i] = PanicError{Value: r, What: fmt.Sprintf("%s seed %d", kind, cfg.BaseSeed+int64(i))}
+				}
+			}()
 			runs[i], errs[i] = RunOne(newApp, kind, cfg.Supply(), cfg.BaseSeed+int64(i))
+			notifyProgress(cfg, &done)
 		}(i)
 	}
 	wg.Wait()
@@ -127,7 +201,12 @@ func runManyRebuild(cfg Config, newApp AppFactory, kind RuntimeKind) (stats.Summ
 			joined = append(joined, errs[i])
 			continue
 		}
-		agg.Add(r)
+		if r != nil {
+			agg.Add(r)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		joined = append(joined, err)
 	}
 	return agg.Summary(), errors.Join(joined...)
 }

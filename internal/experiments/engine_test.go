@@ -6,8 +6,11 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"reflect"
 	"runtime"
+	"sync/atomic"
 	"testing"
 
 	"easeio/internal/apps"
@@ -128,6 +131,120 @@ func TestSessionResetJustDo(t *testing.T) {
 	if !reflect.DeepEqual(reused, dev.Run) {
 		t.Errorf("reused JustDo device diverged from fresh device:\n%+v\nvs\n%+v",
 			reused, dev.Run)
+	}
+}
+
+// TestRunManyCtxCancelStopsAtSeedBoundary cancels a single-worker sweep
+// from inside its own progress hook after the third seed: the sweep must
+// stop before running a fourth, return the partial summary, and report
+// the cancellation.
+func TestRunManyCtxCancelStopsAtSeedBoundary(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := Config{Runs: 100, BaseSeed: 1, Workers: 1}
+	cfg.Progress = func(done, total int) {
+		if total != 100 {
+			t.Errorf("progress total = %d, want 100", total)
+		}
+		if done == 3 {
+			cancel()
+		}
+	}
+	sum, err := RunManyCtx(ctx, cfg, dmaFactory, EaseIO)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled in the chain", err)
+	}
+	if sum.Runs != 3 {
+		t.Errorf("summary covers %d runs, want exactly 3 (cancel at the seed boundary)", sum.Runs)
+	}
+
+	// The partial summary must equal a direct 3-run sweep: cancellation
+	// truncates, it never distorts.
+	direct, err2 := RunMany(Config{Runs: 3, BaseSeed: 1, Workers: 1}, dmaFactory, EaseIO)
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	if !reflect.DeepEqual(sum, direct) {
+		t.Errorf("cancelled prefix differs from direct 3-run sweep:\n%+v\nvs\n%+v", sum, direct)
+	}
+}
+
+// TestRunManyCtxAlreadyCancelled checks a dead context produces an empty
+// summary, on both engine paths, without running anything.
+func TestRunManyCtxAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, rebuild := range []bool{false, true} {
+		cfg := Config{Runs: 8, Workers: 2, Rebuild: rebuild}
+		sum, err := RunManyCtx(ctx, cfg, dmaFactory, EaseIO)
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("rebuild=%v: err = %v, want context.Canceled", rebuild, err)
+		}
+		if sum.Runs != 0 {
+			t.Errorf("rebuild=%v: %d runs executed under a cancelled context", rebuild, sum.Runs)
+		}
+	}
+}
+
+// TestRunManyProgressReachesTotal checks the progress hook fires once
+// per seed and the final count equals the sweep total on both paths.
+func TestRunManyProgressReachesTotal(t *testing.T) {
+	for _, rebuild := range []bool{false, true} {
+		var calls atomic.Int64
+		var maxDone atomic.Int64
+		cfg := Config{Runs: 12, BaseSeed: 5, Workers: 3, Rebuild: rebuild}
+		cfg.Progress = func(done, total int) {
+			calls.Add(1)
+			// Callbacks race, so the hook records the running maximum.
+			for {
+				cur := maxDone.Load()
+				if int64(done) <= cur || maxDone.CompareAndSwap(cur, int64(done)) {
+					break
+				}
+			}
+		}
+		if _, err := RunMany(cfg, tempFactory, EaseIO); err != nil {
+			t.Fatal(err)
+		}
+		if got := calls.Load(); got != 12 {
+			t.Errorf("rebuild=%v: progress fired %d times, want 12", rebuild, got)
+		}
+		if got := maxDone.Load(); got != 12 {
+			t.Errorf("rebuild=%v: max cumulative count = %d, want 12", rebuild, got)
+		}
+	}
+}
+
+// TestRunManyRecoversWorkerPanic checks a panicking factory fails its
+// shard with a typed PanicError instead of crashing the process.
+func TestRunManyRecoversWorkerPanic(t *testing.T) {
+	boom := func() (*apps.Bench, error) { panic("boom") }
+	for _, rebuild := range []bool{false, true} {
+		sum, err := RunMany(Config{Runs: 4, Workers: 2, Rebuild: rebuild}, boom, EaseIO)
+		var pe PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("rebuild=%v: err = %v, want a PanicError in the chain", rebuild, err)
+		}
+		if sum.Runs != 0 {
+			t.Errorf("rebuild=%v: summary reports %d runs", rebuild, sum.Runs)
+		}
+	}
+}
+
+// TestParseRuntimeKind pins the accepted spellings.
+func TestParseRuntimeKind(t *testing.T) {
+	for in, want := range map[string]RuntimeKind{
+		"alpaca": Alpaca, "Alpaca": Alpaca, "InK": InK, "ink": InK,
+		"EaseIO": EaseIO, "easeio": EaseIO,
+		"EaseIO/Op.": EaseIOOp, "easeio-op": EaseIOOp,
+	} {
+		got, err := ParseRuntimeKind(in)
+		if err != nil || got != want {
+			t.Errorf("ParseRuntimeKind(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseRuntimeKind("justdo"); err == nil {
+		t.Error("unregistered runtime name must not parse")
 	}
 }
 

@@ -12,6 +12,7 @@ package experiments
 import (
 	"fmt"
 	"runtime"
+	"strings"
 
 	"easeio/internal/alpaca"
 	"easeio/internal/apps"
@@ -48,6 +49,25 @@ func (k RuntimeKind) String() string {
 		return "EaseIO/Op."
 	default:
 		return fmt.Sprintf("RuntimeKind(%d)", int(k))
+	}
+}
+
+// ParseRuntimeKind maps a runtime name to its RuntimeKind. It accepts
+// the paper's figure labels ("Alpaca", "InK", "EaseIO", "EaseIO/Op.")
+// case-insensitively, plus "easeio-op" as a URL-friendly spelling of the
+// last one.
+func ParseRuntimeKind(s string) (RuntimeKind, error) {
+	switch strings.ToLower(s) {
+	case "alpaca":
+		return Alpaca, nil
+	case "ink":
+		return InK, nil
+	case "easeio":
+		return EaseIO, nil
+	case "easeio/op.", "easeio/op", "easeio-op":
+		return EaseIOOp, nil
+	default:
+		return 0, fmt.Errorf("experiments: unknown runtime %q (want Alpaca, InK, EaseIO or EaseIO/Op.)", s)
 	}
 }
 
@@ -89,6 +109,12 @@ type Config struct {
 	// and runtime for every seed instead of per-worker reuse. Kept for
 	// benchmarking the sweep engine against its predecessor.
 	Rebuild bool
+	// Progress, when non-nil, is invoked after every finished seed
+	// (committed or failed) with the cumulative count of finished runs
+	// and the sweep total. It is called from worker goroutines — the
+	// callback must be safe for concurrent use. Progress never changes
+	// the sweep's Summary; it only observes it being built.
+	Progress func(done, total int)
 }
 
 // DefaultConfig matches the paper's 1000-run sweeps.

@@ -59,6 +59,11 @@ type Base struct {
 	taskInst  map[int]int
 }
 
+// Device returns the device the runtime is attached to, or nil before
+// Attach. Every runtime embedding Base therefore satisfies the facade's
+// DeviceHolder interface for post-run memory inspection.
+func (b *Base) Device() *kernel.Device { return b.Dev }
+
 // Init allocates the master copies and the persistent task pointer.
 func (b *Base) Init(dev *kernel.Device, app *task.App, rtName string) error {
 	if err := app.Validate(); err != nil {

@@ -1,0 +1,145 @@
+// The HTTP/JSON front end. Routes:
+//
+//	GET    /healthz        liveness + queue/worker snapshot
+//	GET    /metrics        Prometheus text exposition
+//	GET    /blueprints     registered apps (analyzed descriptions)
+//	POST   /jobs           submit a sweep (202, or 429 under backpressure)
+//	GET    /jobs           list all jobs
+//	GET    /jobs/{id}      one job's status, progress and summary
+//	DELETE /jobs/{id}      cancel a job
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+)
+
+// Server binds the manager, registry and metrics to an http.Handler.
+type Server struct {
+	mgr     *Manager
+	reg     *Registry
+	metrics *Metrics
+}
+
+// NewServer returns a server over the given components.
+func NewServer(mgr *Manager, reg *Registry, metrics *Metrics) *Server {
+	return &Server{mgr: mgr, reg: reg, metrics: metrics}
+}
+
+// Handler returns the service's route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /blueprints", s.handleBlueprints)
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":       "ok",
+		"queue_depth":  s.mgr.QueueDepth(),
+		"running_jobs": s.mgr.RunningJobs(),
+		"blueprints":   s.reg.Names(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.WriteTo(w, s.mgr.QueueDepth(), s.mgr.RunningJobs())
+}
+
+func (s *Server) handleBlueprints(w http.ResponseWriter, _ *http.Request) {
+	infos := make([]Info, 0)
+	for _, name := range s.reg.Names() {
+		bp, ok := s.reg.Lookup(name)
+		if !ok {
+			continue
+		}
+		info, err := bp.Describe()
+		if err != nil {
+			info = Info{Name: name, App: "error: " + err.Error()}
+		}
+		infos = append(infos, info)
+	}
+	writeJSON(w, http.StatusOK, infos)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	j, err := s.mgr.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+	default:
+		writeJSON(w, http.StatusAccepted, j.Status())
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	jobs := s.mgr.Jobs()
+	out := make([]Status, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.Status())
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// jobFromPath resolves the {id} path value, writing the error response
+// itself when the job cannot be found.
+func (s *Server) jobFromPath(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return nil, false
+	}
+	j, ok := s.mgr.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("service: no such job"))
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.jobFromPath(w, r); ok {
+		writeJSON(w, http.StatusOK, j.Status())
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFromPath(w, r)
+	if !ok {
+		return
+	}
+	s.mgr.Cancel(j.ID) // routes through the manager so queue-stage cancels are counted
+	writeJSON(w, http.StatusOK, j.Status())
+}

@@ -1,0 +1,425 @@
+// The job manager: a bounded queue of sweep jobs drained by a fixed pool
+// of job workers. Each job runs one experiments.RunManyCtx sweep under
+// its own cancellable context, isolated from the server by a recover
+// barrier, and streams progress through the engine's progress hook.
+
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"easeio/internal/experiments"
+	"easeio/internal/stats"
+)
+
+// State is a job's lifecycle stage.
+type State int32
+
+// The job lifecycle. Queued → Running → one of the three terminal
+// states; a queued job cancelled before a worker picks it up goes
+// straight to Cancelled.
+const (
+	Queued State = iota
+	Running
+	Succeeded
+	Failed
+	Cancelled
+)
+
+// String names the state for the JSON surface.
+func (s State) String() string {
+	switch s {
+	case Queued:
+		return "queued"
+	case Running:
+		return "running"
+	case Succeeded:
+		return "succeeded"
+	case Failed:
+		return "failed"
+	case Cancelled:
+		return "cancelled"
+	default:
+		return fmt.Sprintf("State(%d)", int32(s))
+	}
+}
+
+// Submission errors the HTTP layer maps to status codes.
+var (
+	// ErrQueueFull reports a bounded queue with no room — backpressure,
+	// not failure; the accept loop never blocks on a full queue.
+	ErrQueueFull = errors.New("service: job queue full")
+	// ErrClosed reports a manager that has begun shutting down.
+	ErrClosed = errors.New("service: manager closed")
+)
+
+// JobSpec is the client-visible sweep request.
+type JobSpec struct {
+	// App names a registered blueprint.
+	App string `json:"app"`
+	// Runtime names the runtime kind ("Alpaca", "InK", "EaseIO",
+	// "EaseIO/Op.").
+	Runtime string `json:"runtime"`
+	// Runs is the number of seeded executions (defaults to 1000).
+	Runs int `json:"runs"`
+	// BaseSeed offsets the per-run seeds.
+	BaseSeed int64 `json:"base_seed"`
+	// Workers bounds the sweep's parallelism (defaults to GOMAXPROCS);
+	// the Summary is worker-count-invariant either way.
+	Workers int `json:"workers,omitempty"`
+	// TimeoutMs, when positive, bounds the job's total lifetime (queue
+	// wait plus execution); an expired job is cancelled at the next seed
+	// boundary.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+}
+
+// Job is one accepted sweep. All fields are safe to read concurrently
+// through the accessors; the manager is the only writer.
+type Job struct {
+	// ID is the manager-assigned identifier.
+	ID uint64
+	// Spec is the normalized request (Runs defaulted).
+	Spec JobSpec
+
+	bp   *Blueprint
+	kind experiments.RuntimeKind
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	state atomic.Int32
+	done  atomic.Int64 // finished seeds, streamed from the progress hook
+
+	mu        sync.Mutex
+	summary   stats.Summary
+	errMsg    string
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+
+	finishedCh chan struct{}
+}
+
+// State returns the job's current lifecycle stage.
+func (j *Job) State() State { return State(j.state.Load()) }
+
+// Progress returns finished and total seed counts.
+func (j *Job) Progress() (done, total int) {
+	return int(j.done.Load()), j.Spec.Runs
+}
+
+// Cancel asks the job to stop. A queued job is finalized immediately; a
+// running job observes its context at the next seed boundary. Cancelling
+// a finished job is a no-op. It reports whether the call changed
+// anything.
+func (j *Job) Cancel() bool {
+	j.cancel()
+	if j.state.CompareAndSwap(int32(Queued), int32(Cancelled)) {
+		j.finalize(Cancelled, stats.Summary{}, context.Canceled.Error())
+		return true
+	}
+	return j.State() == Running
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.finishedCh }
+
+// finalize records the terminal state exactly once (callers guarantee
+// the CAS into the terminal state happened before).
+func (j *Job) finalize(s State, sum stats.Summary, errMsg string) {
+	j.mu.Lock()
+	j.summary = sum
+	j.errMsg = errMsg
+	j.finished = time.Now()
+	j.mu.Unlock()
+	j.state.Store(int32(s))
+	j.cancel() // release the context's timer, if any
+	close(j.finishedCh)
+}
+
+// Status is the JSON view of a job.
+type Status struct {
+	ID        uint64         `json:"id"`
+	Spec      JobSpec        `json:"spec"`
+	State     string         `json:"state"`
+	DoneRuns  int            `json:"done_runs"`
+	TotalRuns int            `json:"total_runs"`
+	Summary   *stats.Summary `json:"summary,omitempty"`
+	Error     string         `json:"error,omitempty"`
+	// QueuedFor and RanFor are wall-clock stage durations in
+	// milliseconds (RanFor is present once the job finished).
+	QueuedForMs int64 `json:"queued_for_ms"`
+	RanForMs    int64 `json:"ran_for_ms,omitempty"`
+}
+
+// Status snapshots the job for the HTTP surface.
+func (j *Job) Status() Status {
+	st := j.State()
+	done, total := j.Progress()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := Status{
+		ID:        j.ID,
+		Spec:      j.Spec,
+		State:     st.String(),
+		DoneRuns:  done,
+		TotalRuns: total,
+		Error:     j.errMsg,
+	}
+	switch {
+	case j.started.IsZero():
+		out.QueuedForMs = time.Since(j.submitted).Milliseconds()
+	default:
+		out.QueuedForMs = j.started.Sub(j.submitted).Milliseconds()
+	}
+	if !j.finished.IsZero() && !j.started.IsZero() {
+		out.RanForMs = j.finished.Sub(j.started).Milliseconds()
+	}
+	if st == Succeeded || (st == Failed || st == Cancelled) && j.summary.Runs > 0 {
+		s := j.summary
+		out.Summary = &s
+	}
+	return out
+}
+
+// Manager owns the job queue and its worker pool.
+type Manager struct {
+	reg     *Registry
+	metrics *Metrics
+
+	queue chan *Job
+	quit  chan struct{}
+	wg    sync.WaitGroup
+
+	closed  atomic.Bool
+	running atomic.Int64
+
+	mu     sync.Mutex
+	jobs   map[uint64]*Job
+	order  []uint64
+	nextID uint64
+}
+
+// NewManager starts a manager draining a queue of the given capacity
+// with the given number of concurrent job workers (each job additionally
+// fans out over its own sweep workers).
+func NewManager(reg *Registry, metrics *Metrics, queueSize, workers int) *Manager {
+	if queueSize < 1 {
+		queueSize = 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	m := &Manager{
+		reg:     reg,
+		metrics: metrics,
+		queue:   make(chan *Job, queueSize),
+		quit:    make(chan struct{}),
+		jobs:    make(map[uint64]*Job),
+	}
+	for i := 0; i < workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// QueueDepth returns the number of jobs waiting in the queue.
+func (m *Manager) QueueDepth() int { return len(m.queue) }
+
+// RunningJobs returns the number of jobs currently executing.
+func (m *Manager) RunningJobs() int { return int(m.running.Load()) }
+
+// Submit validates and enqueues a sweep job. It never blocks: a full
+// queue returns ErrQueueFull immediately (the HTTP layer's 429).
+func (m *Manager) Submit(spec JobSpec) (*Job, error) {
+	if m.closed.Load() {
+		return nil, ErrClosed
+	}
+	bp, ok := m.reg.Lookup(spec.App)
+	if !ok {
+		return nil, fmt.Errorf("service: unknown blueprint %q (registered: %v)", spec.App, m.reg.Names())
+	}
+	kind, err := experiments.ParseRuntimeKind(spec.Runtime)
+	if err != nil {
+		return nil, err
+	}
+	if spec.Runs <= 0 {
+		spec.Runs = 1000 // the engine's default, mirrored so progress totals match
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	if spec.TimeoutMs > 0 {
+		ctx, cancel = context.WithTimeout(context.Background(), time.Duration(spec.TimeoutMs)*time.Millisecond)
+	}
+	j := &Job{
+		Spec:       spec,
+		bp:         bp,
+		kind:       kind,
+		ctx:        ctx,
+		cancel:     cancel,
+		submitted:  time.Now(),
+		finishedCh: make(chan struct{}),
+	}
+
+	m.mu.Lock()
+	m.nextID++
+	j.ID = m.nextID
+	m.mu.Unlock()
+
+	select {
+	case m.queue <- j:
+	default:
+		cancel()
+		m.metrics.JobsRejected.Add(1)
+		return nil, ErrQueueFull
+	}
+	m.mu.Lock()
+	m.jobs[j.ID] = j
+	m.order = append(m.order, j.ID)
+	m.mu.Unlock()
+	m.metrics.JobsAccepted.Add(1)
+	return j, nil
+}
+
+// Get returns the job with the given ID.
+func (m *Manager) Get(id uint64) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Jobs returns every known job in submission order.
+func (m *Manager) Jobs() []*Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Job, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.jobs[id])
+	}
+	return out
+}
+
+// Cancel cancels the job with the given ID.
+func (m *Manager) Cancel(id uint64) bool {
+	j, ok := m.Get(id)
+	if !ok {
+		return false
+	}
+	if changed := j.Cancel(); changed && j.State() == Cancelled {
+		// The job went straight from queued to cancelled; a worker that
+		// later pops it will skip it.
+		m.metrics.JobsCancelled.Add(1)
+	}
+	return true
+}
+
+// Shutdown stops accepting jobs, lets in-flight sweeps drain, and
+// cancels jobs still queued. If ctx expires first, running jobs are
+// cancelled too (they stop within one seed boundary) and Shutdown waits
+// for the workers before returning ctx's error.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	if !m.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	close(m.quit)
+
+	workersDone := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(workersDone)
+	}()
+
+	var err error
+	select {
+	case <-workersDone:
+	case <-ctx.Done():
+		err = ctx.Err()
+		for _, j := range m.Jobs() {
+			j.Cancel()
+		}
+		<-workersDone
+	}
+
+	// Workers are gone; fail over whatever is still queued.
+	for {
+		select {
+		case j := <-m.queue:
+			if j.state.CompareAndSwap(int32(Queued), int32(Cancelled)) {
+				j.finalize(Cancelled, stats.Summary{}, "service shut down before the job started")
+				m.metrics.JobsCancelled.Add(1)
+			}
+		default:
+			return err
+		}
+	}
+}
+
+// worker drains the queue until shutdown. Checking quit only between
+// jobs is what makes shutdown graceful: the job in flight finishes (or
+// is cancelled through its own context) before the worker exits.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.quit:
+			return
+		case j := <-m.queue:
+			m.runJob(j)
+		}
+	}
+}
+
+// runJob executes one sweep with panic isolation: a panicking app or
+// runtime fails its job, never the server.
+func (m *Manager) runJob(j *Job) {
+	if !j.state.CompareAndSwap(int32(Queued), int32(Running)) {
+		return // cancelled while queued; already finalized
+	}
+	j.mu.Lock()
+	j.started = time.Now()
+	j.mu.Unlock()
+	m.running.Add(1)
+	defer m.running.Add(-1)
+
+	defer func() {
+		if r := recover(); r != nil {
+			m.metrics.JobsPanicked.Add(1)
+			m.metrics.JobsFailed.Add(1)
+			j.finalize(Failed, stats.Summary{}, fmt.Sprintf("job panicked: %v", r))
+		}
+	}()
+
+	cfg := experiments.Config{
+		Runs:     j.Spec.Runs,
+		BaseSeed: j.Spec.BaseSeed,
+		Workers:  j.Spec.Workers,
+		Progress: func(done, total int) {
+			j.done.Store(int64(done))
+			m.metrics.RunsCompleted.Add(1)
+		},
+	}
+	sum, err := experiments.RunManyCtx(j.ctx, cfg, j.bp.Factory, j.kind)
+	m.metrics.NoteSummary(sum)
+	switch {
+	case j.ctx.Err() != nil:
+		m.metrics.JobsCancelled.Add(1)
+		j.finalize(Cancelled, sum, j.ctx.Err().Error())
+	case err != nil:
+		var pe experiments.PanicError
+		if errors.As(err, &pe) {
+			m.metrics.JobsPanicked.Add(1)
+		}
+		m.metrics.JobsFailed.Add(1)
+		j.finalize(Failed, sum, err.Error())
+	default:
+		m.metrics.JobsCompleted.Add(1)
+		j.finalize(Succeeded, sum, "")
+	}
+}

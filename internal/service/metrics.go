@@ -1,0 +1,124 @@
+// The observability surface: monotonic counters and derived gauges
+// exported in the Prometheus text exposition format, plus the work-split
+// accumulator that turns job summaries into the wasted-vs-app gauges the
+// paper's evaluation revolves around.
+
+package service
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"easeio/internal/stats"
+)
+
+// Metrics aggregates service-lifetime counters. All counter fields are
+// safe for concurrent use; the work-split accumulator is mutex-guarded.
+type Metrics struct {
+	start time.Time
+
+	JobsAccepted  atomic.Int64
+	JobsRejected  atomic.Int64
+	JobsCompleted atomic.Int64
+	JobsFailed    atomic.Int64
+	JobsCancelled atomic.Int64
+	JobsPanicked  atomic.Int64
+	RunsCompleted atomic.Int64
+
+	mu       sync.Mutex
+	appT     time.Duration
+	overT    time.Duration
+	wastedT  time.Duration
+	sumRuns  int64
+	correct  int64
+	badRuns  int64
+	stuck    int64
+	failures int64
+}
+
+// NewMetrics returns a metrics set anchored at the current time (the
+// runs-per-second gauge divides by service uptime).
+func NewMetrics() *Metrics { return &Metrics{start: time.Now()} }
+
+// NoteSummary folds one job's (possibly partial) sweep summary into the
+// cumulative work-split gauges. Summary work fields are per-run means, so
+// each is weighted back by the summary's run count.
+func (m *Metrics) NoteSummary(s stats.Summary) {
+	if s.Runs == 0 {
+		return
+	}
+	n := time.Duration(s.Runs)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.appT += s.Work[stats.App].T * n
+	m.overT += s.Work[stats.Overhead].T * n
+	m.wastedT += s.Work[stats.Wasted].T * n
+	m.sumRuns += int64(s.Runs)
+	m.correct += int64(s.CorrectRuns)
+	m.badRuns += int64(s.IncorrectRuns)
+	m.stuck += int64(s.StuckRuns)
+	m.failures += int64(s.PowerFailures)
+}
+
+// WastedRatio returns cumulative wasted work time over cumulative app
+// work time across every summarized job (0 before any work).
+func (m *Metrics) WastedRatio() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.appT == 0 {
+		return 0
+	}
+	return float64(m.wastedT) / float64(m.appT)
+}
+
+// WriteTo renders the metrics in the Prometheus text exposition format.
+// queueDepth and running are point-in-time gauges owned by the manager,
+// passed in so Metrics stays a pure accumulator.
+func (m *Metrics) WriteTo(w io.Writer, queueDepth, running int) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+
+	counter("easeio_jobs_accepted_total", "Sweep jobs accepted into the queue.", m.JobsAccepted.Load())
+	counter("easeio_jobs_rejected_total", "Sweep jobs rejected by backpressure (full queue).", m.JobsRejected.Load())
+	counter("easeio_jobs_completed_total", "Sweep jobs that succeeded.", m.JobsCompleted.Load())
+	counter("easeio_jobs_failed_total", "Sweep jobs that failed (including panics).", m.JobsFailed.Load())
+	counter("easeio_jobs_cancelled_total", "Sweep jobs cancelled before completion.", m.JobsCancelled.Load())
+	counter("easeio_jobs_panicked_total", "Sweep jobs terminated by a recovered panic.", m.JobsPanicked.Load())
+	counter("easeio_runs_completed_total", "Seeded simulation runs finished across all jobs.", m.RunsCompleted.Load())
+
+	gauge("easeio_queue_depth", "Jobs waiting in the bounded queue.", float64(queueDepth))
+	gauge("easeio_running_jobs", "Jobs currently executing.", float64(running))
+
+	uptime := time.Since(m.start).Seconds()
+	gauge("easeio_uptime_seconds", "Seconds since the service started.", uptime)
+	if uptime > 0 {
+		gauge("easeio_runs_per_second", "Lifetime average simulation runs per second.",
+			float64(m.RunsCompleted.Load())/uptime)
+	}
+
+	m.mu.Lock()
+	appT, overT, wastedT := m.appT, m.overT, m.wastedT
+	sumRuns, correct, bad, stuck, failures := m.sumRuns, m.correct, m.badRuns, m.stuck, m.failures
+	m.mu.Unlock()
+	counter("easeio_summarized_runs_total", "Runs folded into completed job summaries.", sumRuns)
+	counter("easeio_correct_runs_total", "Runs whose output matched the golden result.", correct)
+	counter("easeio_incorrect_runs_total", "Runs whose output diverged from the golden result.", bad)
+	counter("easeio_stuck_runs_total", "Runs abandoned because the harvester could not recharge.", stuck)
+	counter("easeio_power_failures_total", "Simulated power failures across all summarized runs.", failures)
+	gauge("easeio_app_work_seconds_total", "Cumulative committed application work time.", appT.Seconds())
+	gauge("easeio_overhead_work_seconds_total", "Cumulative committed runtime-overhead time.", overT.Seconds())
+	gauge("easeio_wasted_work_seconds_total", "Cumulative work lost to power failures.", wastedT.Seconds())
+	if appT > 0 {
+		gauge("easeio_wasted_work_ratio", "Wasted work time over useful app work time.",
+			float64(wastedT)/float64(appT))
+		gauge("easeio_overhead_work_ratio", "Runtime overhead time over useful app work time.",
+			float64(overT)/float64(appT))
+	}
+}

@@ -322,6 +322,26 @@ func (s Summary) MeanTotalTime() time.Duration {
 	return s.Work[App].T + s.Work[Overhead].T + s.Work[Wasted].T
 }
 
+// WastedRatio returns wasted work time as a fraction of useful app work
+// time — the efficiency headline a serving deployment watches (the
+// paper's wasted-work reduction, as a single gauge). Zero app work yields
+// zero.
+func (s Summary) WastedRatio() float64 {
+	if s.Work[App].T == 0 {
+		return 0
+	}
+	return float64(s.Work[Wasted].T) / float64(s.Work[App].T)
+}
+
+// OverheadRatio returns runtime-overhead time as a fraction of useful app
+// work time. Zero app work yields zero.
+func (s Summary) OverheadRatio() float64 {
+	if s.Work[App].T == 0 {
+		return 0
+	}
+	return float64(s.Work[Overhead].T) / float64(s.Work[App].T)
+}
+
 // percentile returns the p-th percentile (nearest-rank) of a sorted slice.
 func percentile(sorted []time.Duration, p int) time.Duration {
 	if len(sorted) == 0 {

@@ -100,6 +100,20 @@ func TestAggregateEmptyAndMixed(t *testing.T) {
 	Aggregate([]*Run{mkRun("a", "rt", 1), mkRun("b", "rt", 2)})
 }
 
+func TestSummaryRatios(t *testing.T) {
+	s := Aggregate([]*Run{mkRun("a", "rt", 1)})
+	if got := s.WastedRatio(); got != 0.4 { // 4 ms wasted over 10 ms of app work
+		t.Errorf("WastedRatio = %v", got)
+	}
+	if got := s.OverheadRatio(); got != 0.2 {
+		t.Errorf("OverheadRatio = %v", got)
+	}
+	var empty Summary
+	if empty.WastedRatio() != 0 || empty.OverheadRatio() != 0 {
+		t.Error("ratios of an empty summary must be 0, not NaN")
+	}
+}
+
 func TestAggregatePercentiles(t *testing.T) {
 	var runs []*Run
 	for i := 1; i <= 100; i++ {

@@ -12,6 +12,7 @@ package task
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"easeio/internal/units"
@@ -63,6 +64,22 @@ type App struct {
 	entry *Task
 	// program is the frozen front-end output, set once by FreezeProgram.
 	program *Program
+	// analyzeOnce serializes the front-end's single analysis pass across
+	// concurrent sessions (see AnalyzeOnce).
+	analyzeOnce sync.Once
+	analyzeErr  error
+}
+
+// AnalyzeOnce runs analyze(a) at most once across all concurrent callers
+// and returns that one call's error to every caller, then and later. The
+// compiler front-end mutates the blueprint while analyzing and analyzed
+// blueprints are shared lock-free, so concurrent sessions racing to
+// analyze the same app must funnel through this gate; sync.Once also
+// publishes the analysis results (happens-before) to every caller that
+// returns.
+func (a *App) AnalyzeOnce(analyze func(*App) error) error {
+	a.analyzeOnce.Do(func() { a.analyzeErr = analyze(a) })
+	return a.analyzeErr
 }
 
 // NewApp returns an empty application blueprint.
