@@ -1,31 +1,48 @@
 # Developer entry points. `make check` is the pre-commit gauntlet: it
-# vets the whole module and runs the concurrency-sensitive packages
-# (the sweep engine, the kernel's device-reuse path, the sweep service
-# and the public facade) under the race detector in addition to the
-# plain test suite. `make serve-smoke` boots the easeio-served daemon
-# on a loopback port, pushes one sweep job through the HTTP API and
-# verifies the result and the metrics endpoint.
+# vets the whole module, runs the full suite with a shuffled test order,
+# runs the concurrency-sensitive packages (the sweep engine, the core
+# runtimes, the failure-point checker, the kernel's device-reuse path,
+# the sweep service and the public facade) under the race detector, and
+# finishes with a short fuzz smoke over the native fuzz targets.
+# `make serve-smoke` boots the easeio-served daemon on a loopback port,
+# pushes one sweep job through the HTTP API and verifies the result and
+# the metrics endpoint. `make fuzz` runs the fuzzers with a longer
+# budget for local exploration.
 
 GO ?= go
 
-.PHONY: build test race vet bench serve-smoke check
+# Per-target budget for `make fuzz`; the smoke in `make check` uses a
+# fixed short budget so the gauntlet stays fast.
+FUZZTIME ?= 30s
+
+.PHONY: build test race vet bench fuzz fuzz-smoke serve-smoke check
 
 build:
 	$(GO) build ./...
 
 test:
-	$(GO) test -short ./...
+	$(GO) test -short -shuffle=on ./...
 
 vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race . ./internal/experiments/... ./internal/kernel/... ./internal/service/...
+	$(GO) test -race . ./internal/core ./internal/check ./internal/experiments/... ./internal/kernel/... ./internal/service/...
 
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkSweepThroughput -benchtime 10x .
 
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzParseRuntimeKind$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz '^FuzzClassify$$' -fuzztime $(FUZZTIME) ./internal/dma
+	$(GO) test -run '^$$' -fuzz '^FuzzLint$$' -fuzztime $(FUZZTIME) ./internal/frontend
+
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzParseRuntimeKind$$' -fuzztime 3s .
+	$(GO) test -run '^$$' -fuzz '^FuzzClassify$$' -fuzztime 3s ./internal/dma
+	$(GO) test -run '^$$' -fuzz '^FuzzLint$$' -fuzztime 3s ./internal/frontend
+
 serve-smoke:
 	$(GO) run ./cmd/easeio-served -smoke
 
-check: build vet test race serve-smoke
+check: build vet test race fuzz-smoke serve-smoke

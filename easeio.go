@@ -42,6 +42,7 @@ import (
 
 	"easeio/internal/alpaca"
 	"easeio/internal/apps"
+	"easeio/internal/check"
 	"easeio/internal/core"
 	"easeio/internal/energy"
 	"easeio/internal/experiments"
@@ -393,16 +394,18 @@ type Summary = stats.Summary
 type RuntimeKind = experiments.RuntimeKind
 
 // The sweep runtimes. EaseIOOpKind is EaseIO with the application's
-// Exclude annotations enabled ("EaseIO/Op." in the paper's figures).
+// Exclude annotations enabled ("EaseIO/Op." in the paper's figures);
+// JustDoKind is the checkpointing-family logging comparator.
 const (
 	AlpacaKind   = experiments.Alpaca
 	InKKind      = experiments.InK
 	EaseIOKind   = experiments.EaseIO
 	EaseIOOpKind = experiments.EaseIOOp
+	JustDoKind   = experiments.JustDo
 )
 
 // ParseRuntimeKind maps a runtime name ("Alpaca", "InK", "EaseIO",
-// "EaseIO/Op.") to its kind, case-insensitively.
+// "EaseIO/Op.", "JustDo") to its kind, case-insensitively.
 func ParseRuntimeKind(s string) (RuntimeKind, error) {
 	return experiments.ParseRuntimeKind(s)
 }
@@ -436,4 +439,30 @@ func Sweep(ctx context.Context, newBench func() (*Bench, error), kind RuntimeKin
 		Progress: cfg.OnProgress,
 	}
 	return experiments.RunManyCtx(ctx, ecfg, newBench, kind)
+}
+
+// Failure-point model checking: the facade over internal/check, the same
+// engine behind cmd/easeio-check and the service's check jobs.
+
+// CheckConfig parameterizes a failure-point check.
+type CheckConfig = check.Config
+
+// CheckReport is the deterministic result of one check: golden baseline,
+// exploration counts, every divergence and the minimal failing schedule.
+type CheckReport = check.Report
+
+// CheckDivergence is one failure point whose replay did not match the
+// golden continuous-power run.
+type CheckDivergence = check.Divergence
+
+// Check model-checks one bench×runtime combination for crash consistency:
+// it enumerates every charge-slice boundary of a golden continuous-power
+// run, replays the app with a single power failure injected at each
+// explored boundary, and differentially compares final non-volatile
+// memory, the CheckOutput verdict and the work ledger against golden. Set
+// cfg.Exhaustive to replay every candidate; the default explores an
+// adaptive bisection grid. Cancelling ctx stops exploration and returns
+// the partial report alongside ctx's error.
+func Check(ctx context.Context, newBench func() (*Bench, error), kind RuntimeKind, cfg CheckConfig) (*CheckReport, error) {
+	return check.Run(ctx, experiments.AppFactory(newBench), kind, cfg)
 }

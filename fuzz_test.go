@@ -1,0 +1,55 @@
+// Native fuzz target for the facade's runtime-name parser: parsing must
+// never panic, must be case-insensitive, and every accepted name must
+// round-trip through the kind's canonical String spelling.
+
+package easeio
+
+import (
+	"strings"
+	"testing"
+)
+
+func FuzzParseRuntimeKind(f *testing.F) {
+	f.Add("EaseIO")
+	f.Add("easeio-op")
+	f.Add("EaseIO/Op.")
+	f.Add("alpaca")
+	f.Add("InK")
+	f.Add("JustDo")
+	f.Add("")
+	f.Add("quickrecall")
+	f.Add("EASEIO/OP.")
+	f.Fuzz(func(t *testing.T, s string) {
+		kind, err := ParseRuntimeKind(s)
+		swapped, errSwapped := ParseRuntimeKind(flipCase(s))
+		if (err == nil) != (errSwapped == nil) || (err == nil && kind != swapped) {
+			t.Errorf("case sensitivity: ParseRuntimeKind(%q) = (%v, %v) but flipped case gives (%v, %v)",
+				s, kind, err, swapped, errSwapped)
+		}
+		if err != nil {
+			return
+		}
+		back, err2 := ParseRuntimeKind(kind.String())
+		if err2 != nil {
+			t.Fatalf("canonical name %q of accepted input %q does not parse: %v",
+				kind.String(), s, err2)
+		}
+		if back != kind {
+			t.Errorf("round trip: %q -> %v -> %q -> %v", s, kind, kind.String(), back)
+		}
+	})
+}
+
+// flipCase swaps ASCII letter case, a distinct string for any input with
+// letters — the parser must not care.
+func flipCase(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z':
+			return r - 'a' + 'A'
+		case r >= 'A' && r <= 'Z':
+			return r - 'A' + 'a'
+		}
+		return r
+	}, s)
+}

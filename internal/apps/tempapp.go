@@ -39,8 +39,8 @@ func NewTempApp(cfg TempConfig) (*Bench, error) {
 	a := task.NewApp("temp")
 	p := periph.StandardSet(0x7e17)
 
-	reading := a.NVInt("reading")
-	derived := a.NVInt("derived")
+	reading := a.NVInt("reading").Sensed()
+	derived := a.NVInt("derived").Sensed()
 
 	tempSite := a.TimelyIO("Temp", cfg.Window, true, func(e task.Exec, _ int) uint16 {
 		return p.Temp.Sample(e)

@@ -141,8 +141,8 @@ func NewWeatherApp(cfg WeatherConfig) (*Bench, error) {
 	wfc := a.NVConst("wfc", wfcInit)
 	bufA := a.NVBuf("layerA", WeatherImg)
 	bufB := a.NVBuf("layerB", WeatherImg)
-	vtemp := a.NVInt("temp")
-	vhumd := a.NVInt("humd")
+	vtemp := a.NVInt("temp").Sensed()
+	vhumd := a.NVInt("humd").Sensed()
 	scores := a.NVBuf("scores", WeatherClasses)
 	class := a.NVInt("class")
 

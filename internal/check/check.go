@@ -1,0 +1,286 @@
+// Package check is the failure-point model checker: for one app×runtime
+// blueprint it (1) runs a golden continuous-power pass that enumerates
+// every charge-slice boundary — the candidate failure points — through
+// the kernel's CutSink hook, (2) replays the run with a single power
+// failure injected at each explored candidate over a deterministic
+// power.Schedule, and (3) differentially compares each replay's final
+// non-volatile memory, CheckOutput verdict and work-split ledger against
+// the golden run, reporting a minimal failing schedule on divergence.
+//
+// Exploration is adaptive (see explore.go): a coarse grid of candidates
+// is evaluated first and an interval between two explored points is
+// bisected only while their outcome hashes differ, so long stretches of
+// equivalent failure points are pruned. Exhaustive mode replays every
+// candidate — the sound setting used for the small scenario apps.
+//
+// The checker is deterministic: the same blueprint and config produce a
+// byte-identical Report regardless of Workers or scheduling.
+package check
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"time"
+
+	"easeio/internal/apps"
+	"easeio/internal/experiments"
+	"easeio/internal/kernel"
+	"easeio/internal/power"
+	"easeio/internal/stats"
+)
+
+// Config parameterizes one checker run.
+type Config struct {
+	// Seed drives the golden run and every replay (peripheral processes
+	// are pure functions of wall-clock time and this seed).
+	Seed int64
+	// Off is the recharge duration of the injected failure (defaults to
+	// power.Schedule's 1 ms).
+	Off time.Duration
+	// Grid is the number of coarse starting points of the adaptive
+	// exploration (defaults to 128; clamped to the candidate count).
+	Grid int
+	// Exhaustive replays every candidate cut point instead of pruning
+	// hash-equivalent intervals.
+	Exhaustive bool
+	// Workers bounds parallel replays (defaults to GOMAXPROCS). The
+	// Report is worker-count-invariant.
+	Workers int
+	// NewRuntime overrides the runtime instance factory, e.g. to check an
+	// ablated EaseIO configuration. Defaults to experiments.NewRuntime of
+	// the kind passed to Run.
+	NewRuntime func() kernel.Hooks
+	// Label overrides the runtime name recorded in the Report (useful
+	// together with NewRuntime); defaults to the kind's String.
+	Label string
+	// Progress, when non-nil, is invoked after every evaluated point with
+	// the cumulative explored count and the planned count so far. It may
+	// be called from any worker goroutine.
+	Progress func(explored, planned int)
+}
+
+func (c Config) fill() Config {
+	if c.Off <= 0 {
+		c.Off = time.Millisecond
+	}
+	if c.Grid <= 0 {
+		c.Grid = 128
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// golden is the continuous-power reference every replay is compared
+// against.
+type golden struct {
+	// onTime is the golden run's powered-on execution time.
+	onTime time.Duration
+	// correct is the golden CheckOutput verdict (true for every shipped
+	// app: under continuous power nothing re-executes).
+	correct bool
+	// vars holds each variable's final committed words, indexed like
+	// App.Vars.
+	vars [][]uint16
+	// sensed marks variables excluded from the word-for-word comparison
+	// (see task.NVVar.TimeSensitive).
+	sensed []bool
+}
+
+// cutRecorder collects every charge-slice boundary of the golden pass.
+type cutRecorder struct{ cuts []time.Duration }
+
+// NoteCut implements kernel.CutSink. On-time is strictly increasing
+// across a run, so the slice arrives sorted and duplicate-free.
+func (r *cutRecorder) NoteCut(onTime time.Duration) { r.cuts = append(r.cuts, onTime) }
+
+// Run model-checks one app×runtime blueprint: it enumerates the candidate
+// failure points with a golden pass, explores them with single-failure
+// replays, and reports every divergence found. Cancelling ctx stops the
+// exploration at the next point boundary and returns the partial report
+// alongside ctx's error.
+func Run(ctx context.Context, newApp experiments.AppFactory, kind experiments.RuntimeKind, cfg Config) (*Report, error) {
+	cfg = cfg.fill()
+	newRT := cfg.NewRuntime
+	if newRT == nil {
+		newRT = func() kernel.Hooks { return experiments.NewRuntime(kind) }
+	}
+	label := cfg.Label
+	if label == "" {
+		label = kind.String()
+	}
+
+	bench, err := newApp()
+	if err != nil {
+		return nil, fmt.Errorf("check: build app: %w", err)
+	}
+	rec := &cutRecorder{}
+	sess := kernel.NewSession(newRT(), bench.App, power.Continuous{})
+	sess.Cuts = rec
+	grun, err := sess.Run(cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("check: golden run of %s under %s: %w", bench.App.Name, label, err)
+	}
+
+	g := &golden{
+		onTime:  grun.OnTime,
+		correct: grun.Correct,
+		vars:    make([][]uint16, len(bench.App.Vars)),
+		sensed:  make([]bool, len(bench.App.Vars)),
+	}
+	dev, rt := sess.Device(), sess.Runtime()
+	for i, v := range bench.App.Vars {
+		g.sensed[i] = v.TimeSensitive
+		words := make([]uint16, v.Words)
+		for w := range words {
+			words[w] = kernel.ReadVar(dev, rt, v, w)
+		}
+		g.vars[i] = words
+	}
+
+	rep := &Report{
+		App:           bench.App.Name,
+		Runtime:       label,
+		Seed:          cfg.Seed,
+		Off:           cfg.Off,
+		GoldenOnTime:  g.onTime,
+		GoldenCorrect: g.correct,
+		Candidates:    len(rec.cuts),
+	}
+	if rep.Candidates == 0 {
+		return rep, nil
+	}
+
+	e := &explorer{cfg: cfg, newApp: newApp, newRT: newRT, golden: g, cuts: rec.cuts}
+	results, err := e.explore(ctx)
+	for i, res := range results {
+		if !res.evaluated {
+			continue
+		}
+		rep.Explored++
+		if res.div != nil {
+			d := *res.div
+			d.Index = i
+			d.At = rec.cuts[i]
+			rep.Divergences = append(rep.Divergences, d)
+		}
+	}
+	rep.Pruned = rep.Candidates - rep.Explored
+	if len(rep.Divergences) > 0 {
+		// Minimal failing schedule: a single failure at the earliest
+		// diverging point (divergences arrive in candidate order).
+		rep.Minimal = []time.Duration{rep.Divergences[0].At}
+	}
+	return rep, err
+}
+
+// outcome is one replay's classified result.
+type outcome struct {
+	evaluated bool
+	hash      uint64
+	div       *Divergence // nil when the replay matched golden
+}
+
+// replayer owns one worker's app instance, schedule and session — the
+// same blueprint/instance reuse path sweeps take. A replay mutates the
+// schedule's failure point in place and lets the session reset the
+// device.
+type replayer struct {
+	bench  *apps.Bench
+	sch    *power.Schedule
+	sess   *kernel.Session
+	golden *golden
+	seed   int64
+}
+
+func newReplayer(newApp experiments.AppFactory, newRT func() kernel.Hooks, g *golden, cfg Config) (*replayer, error) {
+	bench, err := newApp()
+	if err != nil {
+		return nil, fmt.Errorf("check: build replay app: %w", err)
+	}
+	sch := power.NewScheduleWithOff(cfg.Off)
+	return &replayer{
+		bench:  bench,
+		sch:    sch,
+		sess:   kernel.NewSession(newRT(), bench.App, sch),
+		golden: g,
+		seed:   cfg.Seed,
+	}, nil
+}
+
+// eval replays the run with a single failure at cut and classifies the
+// result against golden. The outcome hash covers the correctness verdict,
+// the failure count, every non-time-sensitive memory word and the
+// divergence kind — the equivalence the pruning relies on.
+func (r *replayer) eval(cut time.Duration) outcome {
+	r.sch.FailAt = []time.Duration{cut}
+	run, err := r.sess.Run(r.seed)
+	if err != nil {
+		return outcome{evaluated: true, hash: hashString("error:" + err.Error()),
+			div: &Divergence{Kind: "error", Detail: err.Error()}}
+	}
+
+	dev, rt := r.sess.Device(), r.sess.Runtime()
+	h := fnv.New64a()
+	var buf [2]byte
+	put := func(w uint16) { buf[0], buf[1] = byte(w), byte(w>>8); h.Write(buf[:]) }
+	if run.Correct {
+		put(1)
+	} else {
+		put(0)
+	}
+	put(uint16(run.PowerFailures))
+
+	var div *Divergence
+	for i, v := range r.bench.App.Vars {
+		if r.golden.sensed[i] {
+			continue
+		}
+		for w := 0; w < v.Words; w++ {
+			got := kernel.ReadVar(dev, rt, v, w)
+			put(got)
+			if want := r.golden.vars[i][w]; got != want && div == nil {
+				div = &Divergence{Kind: "memory", Detail: fmt.Sprintf(
+					"%s[%d] = %d, want %d", v.Name, w, got, want)}
+			}
+		}
+	}
+	switch {
+	case div != nil:
+	case r.golden.correct && !run.Correct:
+		div = &Divergence{Kind: "output", Detail: "CheckOutput failed (golden run is correct)"}
+	case run.PowerFailures != 1:
+		div = &Divergence{Kind: "ledger", Detail: fmt.Sprintf(
+			"%d power failures booked, schedule injected 1", run.PowerFailures)}
+	case sumWork(run) != run.OnTime:
+		div = &Divergence{Kind: "ledger", Detail: fmt.Sprintf(
+			"committed work %v does not account for on-time %v", sumWork(run), run.OnTime)}
+	case run.OnTime < r.golden.onTime:
+		div = &Divergence{Kind: "ledger", Detail: fmt.Sprintf(
+			"on-time %v below the golden run's %v despite an injected failure",
+			run.OnTime, r.golden.onTime)}
+	}
+	if div != nil {
+		h.Write([]byte(div.Kind))
+	}
+	return outcome{evaluated: true, hash: h.Sum64(), div: div}
+}
+
+// sumWork totals the run's committed work buckets; with nothing pending
+// it must equal the powered-on time exactly (the ledger invariant).
+func sumWork(run *stats.Run) time.Duration {
+	var t time.Duration
+	for b := stats.Bucket(0); b < stats.NumBuckets; b++ {
+		t += run.Work[b].T
+	}
+	return t
+}
+
+func hashString(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}

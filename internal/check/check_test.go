@@ -1,0 +1,329 @@
+package check
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"easeio/internal/apps"
+	"easeio/internal/core"
+	"easeio/internal/experiments"
+	"easeio/internal/kernel"
+	"easeio/internal/power"
+)
+
+func dmaFactory() (*apps.Bench, error)  { return apps.NewDMAApp(apps.DefaultDMAConfig()) }
+func tempFactory() (*apps.Bench, error) { return apps.NewTempApp(apps.DefaultTempConfig()) }
+
+// TestCutRecorderEnumeratesBoundaries checks the golden pass sees every
+// charge-slice boundary: strictly increasing on-times ending exactly at
+// the run's total on-time.
+func TestCutRecorderEnumeratesBoundaries(t *testing.T) {
+	bench, err := Fig6Bench()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &cutRecorder{}
+	sess := kernel.NewSession(core.New(), bench.App, power.Continuous{})
+	sess.Cuts = rec
+	run, err := sess.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.cuts) == 0 {
+		t.Fatal("golden pass recorded no cut points")
+	}
+	for i := 1; i < len(rec.cuts); i++ {
+		if rec.cuts[i] <= rec.cuts[i-1] {
+			t.Fatalf("cuts[%d] = %v not after cuts[%d] = %v", i, rec.cuts[i], i-1, rec.cuts[i-1])
+		}
+	}
+	if last := rec.cuts[len(rec.cuts)-1]; last != run.OnTime {
+		t.Errorf("final cut %v != golden on-time %v", last, run.OnTime)
+	}
+}
+
+// TestSeedPoints pins the initial grid: exhaustive and small sets take
+// every index; larger sets take Grid evenly spaced indices including both
+// ends, without duplicates.
+func TestSeedPoints(t *testing.T) {
+	e := &explorer{cfg: Config{Exhaustive: true, Grid: 4}}
+	if got := e.seedPoints(10); len(got) != 10 || got[0] != 0 || got[9] != 9 {
+		t.Errorf("exhaustive seedPoints(10) = %v", got)
+	}
+	e = &explorer{cfg: Config{Grid: 4}}
+	if got := e.seedPoints(3); len(got) != 3 {
+		t.Errorf("n<=Grid seedPoints(3) = %v, want all indices", got)
+	}
+	got := e.seedPoints(100)
+	if len(got) != 4 || got[0] != 0 || got[len(got)-1] != 99 {
+		t.Errorf("seedPoints(100) = %v, want 4 points spanning [0,99]", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Errorf("seedPoints not strictly increasing: %v", got)
+		}
+	}
+}
+
+// TestNextRound pins the bisection rule: only adjacent evaluated pairs
+// with a gap and differing hashes are split, at the midpoint.
+func TestNextRound(t *testing.T) {
+	out := make([]outcome, 9)
+	set := func(i int, h uint64) { out[i] = outcome{evaluated: true, hash: h} }
+	set(0, 1)
+	set(4, 1) // same hash as 0: pruned, no bisection
+	set(8, 2) // differs from 4: bisect at 6
+	if got := nextRound(out); len(got) != 1 || got[0] != 6 {
+		t.Fatalf("nextRound = %v, want [6]", got)
+	}
+	set(6, 2) // 4..6 still differs: bisect at 5; 6..8 agree
+	if got := nextRound(out); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("nextRound = %v, want [5]", got)
+	}
+	set(5, 2) // adjacent everywhere hashes differ: converged
+	if got := nextRound(out); got != nil {
+		t.Fatalf("nextRound = %v, want nil after convergence", got)
+	}
+}
+
+// TestFig6ExhaustivePass is the checker's core soundness claim on its
+// deterministic scenario: under full EaseIO every single failure point
+// reproduces the golden state.
+func TestFig6ExhaustivePass(t *testing.T) {
+	rep, err := Run(context.Background(), Fig6Bench, experiments.EaseIO,
+		Config{Exhaustive: true, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.GoldenCorrect {
+		t.Fatal("golden continuous run must satisfy CheckOutput")
+	}
+	if !rep.Passed() {
+		t.Fatalf("divergences under full EaseIO:\n%s", rep.Render())
+	}
+	if rep.Explored != rep.Candidates || rep.Pruned != 0 {
+		t.Errorf("exhaustive mode explored %d of %d (pruned %d)",
+			rep.Explored, rep.Candidates, rep.Pruned)
+	}
+	if !strings.Contains(rep.Render(), "PASS") {
+		t.Errorf("Render misses the PASS verdict:\n%s", rep.Render())
+	}
+}
+
+// TestSeededBugDetected is the checker's end-to-end detection test: with
+// regional privatization disabled (the paper's §4.4 ablation) the Figure 6
+// WAR scenario must diverge, and the report must pin a minimal failing
+// schedule inside the golden run.
+func TestSeededBugDetected(t *testing.T) {
+	broken := func() kernel.Hooks {
+		cfg := core.DefaultConfig()
+		cfg.RegionalPrivatization = false
+		return core.NewWithConfig(cfg)
+	}
+	rep, err := Run(context.Background(), Fig6Bench, experiments.EaseIO,
+		Config{Exhaustive: true, Workers: 2, NewRuntime: broken, Label: "EaseIO/NoRegions"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Passed() {
+		t.Fatalf("seeded bug not detected:\n%s", rep.Render())
+	}
+	if len(rep.Minimal) != 1 {
+		t.Fatalf("Minimal = %v, want a single-failure schedule", rep.Minimal)
+	}
+	at := rep.Minimal[0]
+	if at <= 0 || at > rep.GoldenOnTime {
+		t.Errorf("minimal failing point %v outside (0, %v]", at, rep.GoldenOnTime)
+	}
+	if at != rep.Divergences[0].At {
+		t.Errorf("Minimal[0] = %v, want earliest divergence %v", at, rep.Divergences[0].At)
+	}
+	if rep.Runtime != "EaseIO/NoRegions" {
+		t.Errorf("report runtime = %q, want the configured label", rep.Runtime)
+	}
+	r := rep.Render()
+	if !strings.Contains(r, "FAIL") || !strings.Contains(r, "minimal failing schedule") {
+		t.Errorf("Render misses the failure verdict:\n%s", r)
+	}
+
+	// The reported schedule must actually reproduce the divergence when
+	// replayed directly — the report is actionable, not just a flag.
+	bench, err := Fig6Bench()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := kernel.NewDevice(power.NewSchedule(rep.Minimal...), 0)
+	rt := broken()
+	if err := kernel.RunApp(dev, rt, bench.App); err != nil {
+		t.Fatal(err)
+	}
+	if dev.Run.Correct {
+		t.Error("replaying the minimal schedule did not reproduce the divergence")
+	}
+}
+
+// TestDeterministicAcrossWorkers: same blueprint and config must render
+// byte-identically on one worker and many — the explored set is a pure
+// function of the outcomes, never of scheduling.
+func TestDeterministicAcrossWorkers(t *testing.T) {
+	for _, cfg := range []Config{
+		{Grid: 16},         // bisection path
+		{Exhaustive: true}, // exhaustive path
+	} {
+		seq := cfg
+		seq.Workers = 1
+		a, err := Run(context.Background(), tempFactory, experiments.EaseIO, seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par := cfg
+		par.Workers = 4
+		b, err := Run(context.Background(), tempFactory, experiments.EaseIO, par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Render() != b.Render() {
+			t.Errorf("exhaustive=%v: workers=1 vs 4 reports differ:\n%s\nvs\n%s",
+				cfg.Exhaustive, a.Render(), b.Render())
+		}
+	}
+}
+
+// TestBisectionPrunes: on a long run the grid mode must explore fewer
+// points than exhaustive while reaching the same verdict.
+func TestBisectionPrunes(t *testing.T) {
+	rep, err := Run(context.Background(), dmaFactory, experiments.EaseIO, Config{Grid: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed() {
+		t.Fatalf("dma under EaseIO diverged:\n%s", rep.Render())
+	}
+	if rep.Candidates <= 16 {
+		t.Skipf("only %d candidates; grid covers everything", rep.Candidates)
+	}
+	if rep.Pruned == 0 {
+		t.Errorf("no pruning on %d candidates with grid 16", rep.Candidates)
+	}
+	if rep.Explored+rep.Pruned != rep.Candidates {
+		t.Errorf("explored %d + pruned %d != candidates %d",
+			rep.Explored, rep.Pruned, rep.Candidates)
+	}
+}
+
+// TestMatrixCleanRuntimes: the shipped uni-task apps must pass
+// exhaustively under every compared runtime — these are exactly the
+// configurations the paper reports as always-correct.
+func TestMatrixCleanRuntimes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix check is the long pass")
+	}
+	targets := []Target{
+		{Name: "dma", New: dmaFactory},
+		{Name: "temp", New: tempFactory},
+	}
+	kinds := []experiments.RuntimeKind{
+		experiments.Alpaca, experiments.InK, experiments.EaseIO, experiments.JustDo,
+	}
+	reports, err := Matrix(context.Background(), targets, kinds, Config{Exhaustive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != len(targets)*len(kinds) {
+		t.Fatalf("%d reports, want %d", len(reports), len(targets)*len(kinds))
+	}
+	for _, rep := range reports {
+		if !rep.Passed() {
+			t.Errorf("%s under %s diverged:\n%s", rep.App, rep.Runtime, rep.Render())
+		}
+	}
+	m := RenderMatrix(reports)
+	if !strings.Contains(m, "dma") || !strings.Contains(m, "JustDo") {
+		t.Errorf("matrix render misses rows or columns:\n%s", m)
+	}
+}
+
+// TestFig6BaselinesDiverge: the checker must rediscover the paper's
+// motivating bug — Alpaca and InK do not privatize the WAR dependency
+// flowing through the Single-semantics DMA, so the Figure 6 scenario has
+// failure points that corrupt a[0]. EaseIO and the logging comparator
+// survive every point (previous tests); the baselines must not.
+func TestFig6BaselinesDiverge(t *testing.T) {
+	for _, kind := range []experiments.RuntimeKind{experiments.Alpaca, experiments.InK} {
+		rep, err := Run(context.Background(), Fig6Bench, kind, Config{Exhaustive: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Passed() {
+			t.Errorf("fig6 under %s passed; the paper's Figure 6 bug should manifest", kind)
+			continue
+		}
+		if d := rep.Divergences[0]; d.Kind != "memory" || !strings.Contains(d.Detail, "a[0]") {
+			t.Errorf("%s: first divergence %s (%s), want the a[0] WAR corruption",
+				kind, d.Kind, d.Detail)
+		}
+	}
+}
+
+// TestFig6JustDoPasses covers the checkpointing comparator on the
+// deterministic scenario (the kinds the matrix test skips in -short).
+func TestFig6JustDoPasses(t *testing.T) {
+	rep, err := Run(context.Background(), Fig6Bench, experiments.JustDo, Config{Exhaustive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed() {
+		t.Fatalf("fig6 under JustDo diverged:\n%s", rep.Render())
+	}
+}
+
+// TestRunCancellation: a cancelled context stops exploration and returns
+// the context error with a partial report.
+func TestRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := Run(ctx, Fig6Bench, experiments.EaseIO, Config{Exhaustive: true, Workers: 1})
+	if err == nil {
+		t.Fatal("cancelled context must surface an error")
+	}
+	if rep == nil {
+		t.Fatal("cancellation must still return the partial report")
+	}
+	if rep.Explored != 0 {
+		t.Errorf("%d points explored under a dead context", rep.Explored)
+	}
+}
+
+// TestProgressReachesPlanned: the progress hook must report a final count
+// equal to the explored total.
+func TestProgressReachesPlanned(t *testing.T) {
+	var last, lastPlanned int
+	cfg := Config{Exhaustive: true, Workers: 1}
+	cfg.Progress = func(explored, planned int) { last, lastPlanned = explored, planned }
+	rep, err := Run(context.Background(), Fig6Bench, experiments.EaseIO, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last != rep.Explored || lastPlanned != rep.Explored {
+		t.Errorf("progress ended at %d/%d, want %d/%d",
+			last, lastPlanned, rep.Explored, rep.Explored)
+	}
+}
+
+// TestOffDurationRecorded: a custom recharge duration flows into the
+// report and the replays still pass.
+func TestOffDurationRecorded(t *testing.T) {
+	rep, err := Run(context.Background(), Fig6Bench, experiments.EaseIO,
+		Config{Exhaustive: true, Off: 250 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Off != 250*time.Microsecond {
+		t.Errorf("report off = %v", rep.Off)
+	}
+	if !rep.Passed() {
+		t.Errorf("fig6 diverged with a 250µs recharge:\n%s", rep.Render())
+	}
+}

@@ -1,0 +1,153 @@
+// The adaptive exploration: which candidate cut points get replayed.
+//
+// Exhaustive mode evaluates every candidate. Otherwise a coarse grid
+// (Config.Grid points, always including the first and last candidate) is
+// evaluated first; then, in deterministic rounds, every interval between
+// adjacent explored points whose outcome hashes differ is bisected, until
+// no interval changes hands. Intervals whose endpoints agree are pruned:
+// the checker assumes the failure points between two hash-identical
+// outcomes behave identically. That assumption is what buys the speedup —
+// Exhaustive is the sound setting, and the small scenario apps use it.
+//
+// Each round's point set is a pure function of the previously evaluated
+// outcomes, and every replay is independent and deterministic, so the
+// explored set — and therefore the Report — does not depend on Workers.
+
+package check
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"easeio/internal/experiments"
+	"easeio/internal/kernel"
+)
+
+type explorer struct {
+	cfg    Config
+	newApp experiments.AppFactory
+	newRT  func() kernel.Hooks
+	golden *golden
+	cuts   []time.Duration
+
+	done atomic.Int64 // evaluated points, feeds Config.Progress
+}
+
+// explore evaluates candidate cut points until the bisection converges,
+// returning one outcome slot per candidate (unevaluated slots are pruned
+// intervals). On cancellation it returns what was evaluated so far plus
+// ctx's error.
+func (e *explorer) explore(ctx context.Context) ([]outcome, error) {
+	n := len(e.cuts)
+	out := make([]outcome, n)
+
+	workers := e.cfg.Workers
+	if workers > n {
+		workers = n
+	}
+	reps := make([]*replayer, workers)
+	for i := range reps {
+		r, err := newReplayer(e.newApp, e.newRT, e.golden, e.cfg)
+		if err != nil {
+			return out, err
+		}
+		reps[i] = r
+	}
+
+	pending := e.seedPoints(n)
+	planned := 0
+	for len(pending) > 0 {
+		planned += len(pending)
+		if err := e.evalRound(ctx, reps, out, pending, planned); err != nil {
+			return out, err
+		}
+		pending = nextRound(out)
+	}
+	return out, nil
+}
+
+// seedPoints returns the initial candidate indices: everything in
+// exhaustive mode or for small candidate sets, else Grid evenly spaced
+// indices including both ends.
+func (e *explorer) seedPoints(n int) []int {
+	if e.cfg.Exhaustive || n <= e.cfg.Grid {
+		idxs := make([]int, n)
+		for i := range idxs {
+			idxs[i] = i
+		}
+		return idxs
+	}
+	idxs := make([]int, 0, e.cfg.Grid)
+	last := -1
+	for g := 0; g < e.cfg.Grid; g++ {
+		i := g * (n - 1) / (e.cfg.Grid - 1)
+		if i != last {
+			idxs = append(idxs, i)
+			last = i
+		}
+	}
+	return idxs
+}
+
+// nextRound bisects every interval between adjacent evaluated points
+// whose outcome hashes differ. The scan walks the full outcome slice, so
+// it is independent of the order the previous round finished in.
+func nextRound(out []outcome) []int {
+	var next []int
+	prev := -1
+	for i := range out {
+		if !out[i].evaluated {
+			continue
+		}
+		if prev >= 0 && i-prev > 1 && out[prev].hash != out[i].hash {
+			next = append(next, prev+(i-prev)/2)
+		}
+		prev = i
+	}
+	return next
+}
+
+// evalRound evaluates the given candidate indices on the worker pool.
+// Results land in out by index, so completion order is irrelevant.
+func (e *explorer) evalRound(ctx context.Context, reps []*replayer, out []outcome, idxs []int, planned int) error {
+	if len(reps) == 1 {
+		for _, i := range idxs {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			out[i] = reps[0].eval(e.cuts[i])
+			e.progress(planned)
+		}
+		return nil
+	}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for _, r := range reps {
+		wg.Add(1)
+		go func(r *replayer) {
+			defer wg.Done()
+			for i := range work {
+				if ctx.Err() != nil {
+					continue // drain without evaluating
+				}
+				out[i] = r.eval(e.cuts[i])
+				e.progress(planned)
+			}
+		}(r)
+	}
+	for _, i := range idxs {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	return ctx.Err()
+}
+
+func (e *explorer) progress(planned int) {
+	done := e.done.Add(1)
+	if e.cfg.Progress != nil {
+		e.cfg.Progress(int(done), planned)
+	}
+}

@@ -1,0 +1,71 @@
+// Native fuzz targets for the DMA policy layer: classification must be a
+// total function of endpoint volatility (any bank byte, including values
+// no real device has), and the transfer validator must reject without
+// panicking on arbitrary descriptors.
+
+package dma
+
+import (
+	"testing"
+
+	"easeio/internal/mem"
+	"easeio/internal/task"
+)
+
+func FuzzClassify(f *testing.F) {
+	f.Add(uint8(0), uint8(0), 0, 0, 1)     // FRAM→FRAM
+	f.Add(uint8(0), uint8(1), 0, 64, 16)   // FRAM→SRAM (Private)
+	f.Add(uint8(1), uint8(2), 8, 8, 4)     // SRAM→LEA-RAM (Always)
+	f.Add(uint8(2), uint8(0), 100, 0, 512) // LEA-RAM→FRAM (Single)
+	f.Add(uint8(255), uint8(7), -1, 3, 0)  // out-of-range banks, bad descriptor
+	f.Add(uint8(0), uint8(0), 10, 12, 8)   // same-bank overlap
+	f.Fuzz(func(t *testing.T, srcBank, dstBank uint8, srcWord, dstWord, words int) {
+		src, dst := mem.Bank(srcBank), mem.Bank(dstBank)
+
+		kind := Classify(src, dst)
+		switch kind {
+		case task.DMAToNonVolatile, task.DMANonVolatileToVolatile, task.DMAVolatileToVolatile:
+		default:
+			t.Fatalf("Classify(%v, %v) = %v, not a known kind", src, dst, kind)
+		}
+		// The classification is the §4.3 volatility table, nothing else.
+		switch {
+		case !dst.Volatile():
+			if kind != task.DMAToNonVolatile {
+				t.Errorf("Classify(%v, %v) = %v, want Single (non-volatile destination)", src, dst, kind)
+			}
+		case !src.Volatile():
+			if kind != task.DMANonVolatileToVolatile {
+				t.Errorf("Classify(%v, %v) = %v, want Private (NV source, volatile destination)", src, dst, kind)
+			}
+		default:
+			if kind != task.DMAVolatileToVolatile {
+				t.Errorf("Classify(%v, %v) = %v, want Always (volatile endpoints)", src, dst, kind)
+			}
+		}
+
+		srcA := mem.Addr{Bank: src, Word: srcWord}
+		dstA := mem.Addr{Bank: dst, Word: dstWord}
+		err := Validate(srcA, dstA, words)
+		if err != nil {
+			return
+		}
+		// An accepted descriptor satisfies the documented contract.
+		if words <= 0 {
+			t.Errorf("Validate accepted a %d-word transfer", words)
+		}
+		if srcWord < 0 || dstWord < 0 {
+			t.Errorf("Validate accepted negative offsets (src=%d dst=%d)", srcWord, dstWord)
+		}
+		if src == dst {
+			lo, hi := srcWord, dstWord
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			if hi < lo+words {
+				t.Errorf("Validate accepted overlapping same-bank transfer %v->%v (%d words)",
+					srcA, dstA, words)
+			}
+		}
+	})
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"strings"
 
+	"easeio/internal/apps"
 	"easeio/internal/stats"
 )
 
@@ -104,7 +105,13 @@ func (d *Table5Data) Dataset() Dataset {
 			"incorrect_runs", "runs"},
 	}
 	for _, r := range d.Rows {
-		for mode, cont := range r.Cont {
+		// Fixed mode order: ranging over the map would make the CSV row
+		// order nondeterministic.
+		for _, mode := range []apps.BufferMode{apps.DoubleBuffer, apps.SingleBuffer} {
+			cont, ok := r.Cont[mode]
+			if !ok {
+				continue
+			}
 			ds.Rows = append(ds.Rows, []string{
 				r.Kind.String(), mode.String(), fmtMS(cont), fmtMS(r.Int[mode]),
 				fmt.Sprintf("%d", r.Incorrect[mode]), fmt.Sprintf("%d", r.Runs),

@@ -237,13 +237,14 @@ func TestParseRuntimeKind(t *testing.T) {
 		"alpaca": Alpaca, "Alpaca": Alpaca, "InK": InK, "ink": InK,
 		"EaseIO": EaseIO, "easeio": EaseIO,
 		"EaseIO/Op.": EaseIOOp, "easeio-op": EaseIOOp,
+		"JustDo": JustDo, "justdo": JustDo,
 	} {
 		got, err := ParseRuntimeKind(in)
 		if err != nil || got != want {
 			t.Errorf("ParseRuntimeKind(%q) = %v, %v; want %v", in, got, err, want)
 		}
 	}
-	if _, err := ParseRuntimeKind("justdo"); err == nil {
+	if _, err := ParseRuntimeKind("quickrecall"); err == nil {
 		t.Error("unregistered runtime name must not parse")
 	}
 }

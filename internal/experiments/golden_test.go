@@ -1,0 +1,145 @@
+// Golden-file tests: every text renderer and CSV dataset is pinned
+// byte-for-byte on a small fixed-seed sweep. The sweeps are deterministic
+// (seeded, worker-count-invariant), so any diff is a real change to the
+// rendering or the simulation — rerun with -update to accept one.
+
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+// golden compares got against testdata/<name>.golden, rewriting the file
+// under -update.
+func golden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("no golden file %s (run go test ./internal/experiments -update): %v", path, err)
+	}
+	if got != string(want) {
+		t.Errorf("%s differs from golden file %s:\n--- got ---\n%s\n--- want ---\n%s",
+			name, path, got, want)
+	}
+}
+
+// goldenCfg is the fixed small sweep every golden test uses: big enough
+// to exercise aggregation, small enough to keep the suite fast.
+func goldenCfg() Config { return Config{Runs: 4, BaseSeed: 7, Workers: 2} }
+
+func TestGoldenTable1(t *testing.T) {
+	golden(t, "table1", RenderTable1(Table1()))
+}
+
+func TestGoldenTable3(t *testing.T) {
+	rows, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "table3", RenderTable3(rows))
+}
+
+func TestGoldenUniTask(t *testing.T) {
+	uni, err := UniTask(goldenCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "fig7", uni.RenderFigure7())
+	golden(t, "table4", uni.RenderTable4())
+	golden(t, "fig8", uni.RenderFigure8())
+	golden(t, "unitask_csv", uni.Dataset().CSV())
+}
+
+func TestGoldenMultiTask(t *testing.T) {
+	cfg := goldenCfg()
+	cfg.Runs = 2 // the DNN app dominates this suite's runtime
+	multi, err := MultiTask(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "fig10", multi.RenderFigure10())
+	golden(t, "fig11", multi.RenderFigure11())
+	golden(t, "fig12", multi.RenderFigure12())
+	golden(t, "multitask_csv", multi.Dataset().CSV())
+}
+
+func TestGoldenTable5(t *testing.T) {
+	cfg := goldenCfg()
+	cfg.Runs = 2
+	t5, err := Table5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "table5", t5.Render())
+	golden(t, "table5_csv", t5.Dataset().CSV())
+}
+
+func TestGoldenTable6(t *testing.T) {
+	t6, err := Table6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "table6", t6.Render())
+	golden(t, "table6_csv", t6.Dataset().CSV())
+}
+
+func TestGoldenFig13(t *testing.T) {
+	cfg := DefaultFig13Config()
+	cfg.DistancesInches = []float64{52, 58}
+	cfg.Runs = 2
+	f13, err := Fig13(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "fig13", f13.Render())
+	golden(t, "fig13_csv", f13.Dataset().CSV())
+}
+
+func TestGoldenSensitivity(t *testing.T) {
+	points, err := Sensitivity(SensitivityConfig{
+		Scales:   []float64{1.0, 2.0},
+		Runs:     4,
+		BaseSeed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "sensitivity", RenderSensitivity(points))
+	golden(t, "sensitivity_csv", SensitivityDataset(points).CSV())
+}
+
+func TestGoldenLoggers(t *testing.T) {
+	rows, err := Loggers(goldenCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "loggers", RenderLoggers(rows))
+	golden(t, "loggers_csv", LoggersDataset(rows).CSV())
+}
+
+func TestGoldenDiurnal(t *testing.T) {
+	cfg := DefaultDiurnalConfig()
+	cfg.Budget = 2 * 1000 * 1000 * 1000 // 2 s compressed day keeps the suite fast
+	cfg.Runs = 2
+	rows, err := Diurnal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "diurnal", RenderDiurnal(rows))
+	golden(t, "diurnal_csv", DiurnalDataset(rows).CSV())
+}

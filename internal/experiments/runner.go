@@ -18,6 +18,7 @@ import (
 	"easeio/internal/apps"
 	"easeio/internal/core"
 	"easeio/internal/ink"
+	"easeio/internal/justdo"
 	"easeio/internal/kernel"
 	"easeio/internal/power"
 	"easeio/internal/stats"
@@ -28,12 +29,15 @@ type RuntimeKind int
 
 // The compared runtimes. EaseIOOp is EaseIO with the application's
 // Exclude annotations enabled ("EaseIO/Op." in Figures 10, 11 and 13);
-// the runtime itself is identical.
+// the runtime itself is identical. JustDo is the checkpointing-family
+// comparator (§2, §7.2) used by the loggers experiment and the
+// failure-point checker.
 const (
 	Alpaca RuntimeKind = iota
 	InK
 	EaseIO
 	EaseIOOp
+	JustDo
 )
 
 // String names the runtime as the paper's figures do.
@@ -47,6 +51,8 @@ func (k RuntimeKind) String() string {
 		return "EaseIO"
 	case EaseIOOp:
 		return "EaseIO/Op."
+	case JustDo:
+		return "JustDo"
 	default:
 		return fmt.Sprintf("RuntimeKind(%d)", int(k))
 	}
@@ -66,8 +72,10 @@ func ParseRuntimeKind(s string) (RuntimeKind, error) {
 		return EaseIO, nil
 	case "easeio/op.", "easeio/op", "easeio-op":
 		return EaseIOOp, nil
+	case "justdo":
+		return JustDo, nil
 	default:
-		return 0, fmt.Errorf("experiments: unknown runtime %q (want Alpaca, InK, EaseIO or EaseIO/Op.)", s)
+		return 0, fmt.Errorf("experiments: unknown runtime %q (want Alpaca, InK, EaseIO, EaseIO/Op. or JustDo)", s)
 	}
 }
 
@@ -80,6 +88,8 @@ func NewRuntime(k RuntimeKind) kernel.Hooks {
 		return ink.New()
 	case EaseIO, EaseIOOp:
 		return core.New()
+	case JustDo:
+		return justdo.New()
 	default:
 		panic(fmt.Sprintf("experiments: unknown runtime %d", int(k)))
 	}

@@ -1,0 +1,192 @@
+// Native fuzz target for the compiler front-end: an arbitrary byte
+// program is decoded into a structurally valid blueprint (every value
+// clamped into range), then analyzed and linted. Lint must never panic,
+// must be deterministic, and every finding must be well-formed. The
+// decoder is deliberately total — any byte string yields some app — so
+// the fuzzer explores blueprint shapes, not decoder error paths.
+
+package frontend
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"easeio/internal/mem"
+	"easeio/internal/task"
+)
+
+// progReader decodes fuzz bytes into small bounded integers, yielding
+// zeros once exhausted so every input is a complete program.
+type progReader struct {
+	buf []byte
+	pos int
+}
+
+func (r *progReader) next() byte {
+	if r.pos >= len(r.buf) {
+		return 0
+	}
+	b := r.buf[r.pos]
+	r.pos++
+	return b
+}
+
+// n returns a decoded value in [0, bound).
+func (r *progReader) n(bound int) int { return int(r.next()) % bound }
+
+// buildFuzzApp decodes bytes into a blueprint: a handful of variables,
+// I/O sites, blocks and DMA sites, then tasks whose bodies execute a
+// bounded op sequence against them. All indices and ranges are clamped,
+// so construction never panics; what varies is the access structure the
+// front-end must analyze.
+func buildFuzzApp(prog []byte) *task.App {
+	r := &progReader{buf: prog}
+	a := task.NewApp("fuzz")
+
+	vars := make([]*task.NVVar, 1+r.n(4))
+	for i := range vars {
+		vars[i] = a.NVBuf(string(rune('a'+i)), 1+r.n(8))
+		if r.n(4) == 0 {
+			vars[i].Const = true
+		}
+	}
+
+	sites := make([]*task.IOSite, r.n(4))
+	for i := range sites {
+		name := "io" + string(rune('0'+i))
+		ret := r.n(2) == 0
+		exec := func(task.Exec, int) uint16 { return 7 }
+		switch r.n(3) {
+		case 0:
+			sites[i] = a.IO(name, task.Always, ret, exec)
+		case 1:
+			sites[i] = a.IO(name, task.Single, ret, exec)
+		default:
+			sites[i] = a.TimelyIO(name, time.Duration(1+r.n(50))*time.Millisecond, ret, exec)
+		}
+		if i > 0 && r.n(3) == 0 {
+			sites[i].After(sites[i-1])
+		}
+	}
+
+	var blocks []*task.IOBlock
+	if len(sites) > 0 && r.n(2) == 0 {
+		if r.n(2) == 0 {
+			blocks = append(blocks, a.Block("blk", task.Single))
+		} else {
+			blocks = append(blocks, a.TimelyBlock("blk", time.Duration(1+r.n(50))*time.Millisecond))
+		}
+	}
+
+	dmas := make([]*task.DMASite, r.n(3))
+	for i := range dmas {
+		dmas[i] = a.DMA("dma" + string(rune('0'+i)))
+		if r.n(3) == 0 {
+			dmas[i].Excluded()
+		}
+		if len(sites) > 0 && r.n(3) == 0 {
+			dmas[i].AfterIO(sites[r.n(len(sites))])
+		}
+	}
+
+	nTasks := 1 + r.n(3)
+	tasks := make([]*task.Task, nTasks)
+	for ti := 0; ti < nTasks; ti++ {
+		ops := make([]byte, 8)
+		for i := range ops {
+			ops[i] = r.next()
+		}
+		last := ti == nTasks-1
+		idx := ti
+		tasks[ti] = a.AddTask("t"+string(rune('0'+ti)), func(e task.Exec) {
+			or := &progReader{buf: ops}
+			for i := 0; i < 4; i++ {
+				v := vars[or.n(len(vars))]
+				switch or.n(6) {
+				case 0:
+					e.Load(v)
+				case 1:
+					if !v.Const {
+						e.Store(v, uint16(or.n(256)))
+					}
+				case 2:
+					w := or.n(v.Words)
+					x := e.LoadAt(v, w)
+					if !v.Const {
+						e.StoreAt(v, w, x+1)
+					}
+				case 3:
+					if len(sites) > 0 {
+						s := sites[or.n(len(sites))]
+						if len(blocks) > 0 && or.n(2) == 0 {
+							e.IOBlock(blocks[0], func() { e.CallIO(s) })
+						} else {
+							e.CallIO(s)
+						}
+					}
+				case 4:
+					if len(dmas) > 0 {
+						// Copy one word between distinct variables, or spill
+						// to LEA-RAM when only one variable exists.
+						d := dmas[or.n(len(dmas))]
+						src := task.VarLoc(v, or.n(v.Words))
+						if len(vars) > 1 {
+							o := vars[(or.n(len(vars)-1)+1+varIndex(vars, v))%len(vars)]
+							if o != v && !o.Const {
+								e.DMACopy(d, src, task.VarLoc(o, or.n(o.Words)), 1)
+							}
+						} else {
+							e.DMACopy(d, src, task.RawLoc(uint8(mem.LEARAM), or.n(16)), 1)
+						}
+					}
+				default:
+					e.Compute(int64(1 + or.n(500)))
+				}
+			}
+			if last {
+				e.Done()
+			} else {
+				e.Next(tasks[idx+1])
+			}
+		})
+	}
+	return a
+}
+
+func varIndex(vars []*task.NVVar, v *task.NVVar) int {
+	for i, x := range vars {
+		if x == v {
+			return i
+		}
+	}
+	return 0
+}
+
+func FuzzLint(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{3, 7, 0, 2, 1, 1, 2, 0, 3, 4, 4, 4, 5, 0, 1, 2, 250, 128, 9})
+	f.Add([]byte{0, 0, 3, 2, 2, 2, 1, 0, 4, 4, 3, 3, 6, 6, 1, 9, 9, 9, 9, 9, 9, 9})
+	f.Fuzz(func(t *testing.T, prog []byte) {
+		app := buildFuzzApp(prog)
+		cfg := LintConfig{PrivBufWords: 1 + int(uint8(len(prog)))}
+		findings, err := Lint(app, cfg)
+		if err != nil {
+			return // a rejected blueprint is a valid outcome; panics are not
+		}
+		for _, fd := range findings {
+			if fd.Code == "" || fd.Message == "" {
+				t.Errorf("malformed finding: %+v", fd)
+			}
+			if fd.Severity != Warning && fd.Severity != Error {
+				t.Errorf("finding with unknown severity: %+v", fd)
+			}
+		}
+		again, err2 := Lint(app, cfg)
+		if err2 != nil || !reflect.DeepEqual(findings, again) {
+			t.Errorf("lint is not deterministic:\n%v (err %v)\nvs\n%v (err %v)",
+				findings, err, again, err2)
+		}
+	})
+}

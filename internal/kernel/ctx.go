@@ -80,6 +80,9 @@ func (c *Ctx) chargeStep(d *Device, step time.Duration, se units.Energy, overhea
 	} else {
 		d.Ledger.Charge(overhead, step, se)
 	}
+	if d.Cuts != nil {
+		d.Cuts.NoteCut(d.Clock.OnTime())
+	}
 	if d.Supply.Step(d.Clock.Now(), d.Clock.OnTime(), step, se) {
 		panic(powerFailure{})
 	}

@@ -13,6 +13,7 @@ package kernel
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"easeio/internal/mem"
 	"easeio/internal/power"
@@ -34,6 +35,10 @@ type Device struct {
 	Run *stats.Run
 	// Tracer, when non-nil, receives the execution timeline (see trace.go).
 	Tracer Tracer
+	// Cuts, when non-nil, receives every charge-slice boundary (see
+	// CutSink). Like Tracer it is observation-only state and survives
+	// Reset.
+	Cuts CutSink
 
 	// randSrc is the reseedable source behind Rand, kept so Reset can
 	// rewind the peripheral randomness without reallocating it.
@@ -87,6 +92,17 @@ func (d *Device) Reset(supply power.Supply, seed int64) {
 type Resetter interface {
 	Hooks
 	Reset(dev *Device) error
+}
+
+// CutSink receives the on-time of every charge-slice boundary — exactly
+// the points at which the supply is consulted and a power failure can
+// land. A golden continuous-power pass with a recording sink therefore
+// enumerates every distinct failure point of a run: the candidate set the
+// failure-point model checker (internal/check) replays against. The sink
+// is called from the hot charging path; implementations must be cheap and
+// must not touch the device.
+type CutSink interface {
+	NoteCut(onTime time.Duration)
 }
 
 // powerFailure is the panic sentinel that unwinds an interrupted attempt.

@@ -88,6 +88,17 @@ func (l *Ledger) FailAttempt() {
 	l.pending[0], l.pending[1] = stats.Totals{}, stats.Totals{}
 }
 
+// TotalCommitted sums the three committed buckets. With nothing pending
+// it equals the clock's on-time exactly — the accounting invariant the
+// failure-point checker verifies on every replay.
+func (l *Ledger) TotalCommitted() stats.Totals {
+	var t stats.Totals
+	for b := stats.Bucket(0); b < stats.NumBuckets; b++ {
+		t.Add(l.committed[b])
+	}
+	return t
+}
+
 // Committed returns the committed totals for bucket b.
 func (l *Ledger) Committed(b stats.Bucket) stats.Totals { return l.committed[b] }
 

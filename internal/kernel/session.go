@@ -23,6 +23,9 @@ type Session struct {
 	supply power.Supply
 	// Tracer, when non-nil, is installed on the device before every run.
 	Tracer Tracer
+	// Cuts, when non-nil, is installed on the device before every run and
+	// receives each run's charge-slice boundaries (see CutSink).
+	Cuts CutSink
 
 	dev *Device
 }
@@ -51,6 +54,7 @@ func (s *Session) Run(seed int64) (*stats.Run, error) {
 	if s.dev == nil || !ok {
 		dev := NewDevice(s.supply, seed)
 		dev.Tracer = s.Tracer
+		dev.Cuts = s.Cuts
 		if err := RunApp(dev, s.rt, s.app); err != nil {
 			s.dev = nil
 			return nil, err
@@ -59,6 +63,7 @@ func (s *Session) Run(seed int64) (*stats.Run, error) {
 		return dev.Run, nil
 	}
 	s.dev.Tracer = s.Tracer
+	s.dev.Cuts = s.Cuts
 	s.dev.Reset(s.supply, seed)
 	if err := r.Reset(s.dev); err != nil {
 		s.dev = nil

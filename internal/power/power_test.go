@@ -196,6 +196,26 @@ func TestSchedule(t *testing.T) {
 	}
 }
 
+func TestScheduleWithOff(t *testing.T) {
+	// Regression: Off used to be hard-coded to 1 ms by the constructor.
+	s := NewScheduleWithOff(250*time.Microsecond, time.Millisecond)
+	if !s.Step(0, time.Millisecond, 0, 0) {
+		t.Fatal("did not fire at the scheduled point")
+	}
+	if off := s.Recharge(0); off != 250*time.Microsecond {
+		t.Errorf("off = %v, want 250µs", off)
+	}
+	// The default constructor keeps the 1 ms recharge.
+	if off := NewSchedule(time.Millisecond).Off; off != time.Millisecond {
+		t.Errorf("NewSchedule off = %v, want 1ms", off)
+	}
+	// Non-positive off falls back to the default rather than producing a
+	// zero-length off-period.
+	if off := NewScheduleWithOff(0, time.Millisecond).Off; off != time.Millisecond {
+		t.Errorf("NewScheduleWithOff(0) off = %v, want 1ms", off)
+	}
+}
+
 func TestHarvestedJitterAndSpread(t *testing.T) {
 	h := energy.Constant{P: 100 * units.Microwatt}
 	s := NewHarvested(h)

@@ -27,7 +27,18 @@ type Schedule struct {
 // NewSchedule returns a scheduled supply with the given failure points and
 // a 1 ms recharge time.
 func NewSchedule(failAt ...time.Duration) *Schedule {
-	return &Schedule{FailAt: failAt, Off: time.Millisecond}
+	return NewScheduleWithOff(time.Millisecond, failAt...)
+}
+
+// NewScheduleWithOff returns a scheduled supply with an explicit recharge
+// time. A non-positive off falls back to the 1 ms default: a zero-length
+// off-period would make the failure invisible to wall-clock-driven
+// semantics (Timely windows, sensor processes).
+func NewScheduleWithOff(off time.Duration, failAt ...time.Duration) *Schedule {
+	if off <= 0 {
+		off = time.Millisecond
+	}
+	return &Schedule{FailAt: failAt, Off: off}
 }
 
 // Name implements Supply.

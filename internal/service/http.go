@@ -3,7 +3,7 @@
 //	GET    /healthz        liveness + queue/worker snapshot
 //	GET    /metrics        Prometheus text exposition
 //	GET    /blueprints     registered apps (analyzed descriptions)
-//	POST   /jobs           submit a sweep (202, or 429 under backpressure)
+//	POST   /jobs           submit a sweep or check job (202, or 429 under backpressure)
 //	GET    /jobs           list all jobs
 //	GET    /jobs/{id}      one job's status, progress and summary
 //	DELETE /jobs/{id}      cancel a job

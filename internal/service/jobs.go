@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"easeio/internal/check"
 	"easeio/internal/experiments"
 	"easeio/internal/stats"
 )
@@ -58,24 +59,33 @@ var (
 	ErrClosed = errors.New("service: manager closed")
 )
 
-// JobSpec is the client-visible sweep request.
+// JobSpec is the client-visible job request.
 type JobSpec struct {
 	// App names a registered blueprint.
 	App string `json:"app"`
 	// Runtime names the runtime kind ("Alpaca", "InK", "EaseIO",
-	// "EaseIO/Op.").
+	// "EaseIO/Op.", "JustDo").
 	Runtime string `json:"runtime"`
-	// Runs is the number of seeded executions (defaults to 1000).
-	Runs int `json:"runs"`
-	// BaseSeed offsets the per-run seeds.
+	// Mode selects the engine: "" or "sweep" runs a multi-seed sweep;
+	// "check" runs the failure-point model checker over the blueprint.
+	Mode string `json:"mode,omitempty"`
+	// Runs is the number of seeded executions of a sweep job; it must be
+	// positive. Check jobs ignore it (the golden run determines the
+	// explored point count).
+	Runs int `json:"runs,omitempty"`
+	// BaseSeed offsets the per-run seeds (a check job's single seed).
 	BaseSeed int64 `json:"base_seed"`
-	// Workers bounds the sweep's parallelism (defaults to GOMAXPROCS);
-	// the Summary is worker-count-invariant either way.
+	// Workers bounds the job's parallelism (defaults to GOMAXPROCS); the
+	// result is worker-count-invariant either way.
 	Workers int `json:"workers,omitempty"`
 	// TimeoutMs, when positive, bounds the job's total lifetime (queue
 	// wait plus execution); an expired job is cancelled at the next seed
-	// boundary.
+	// or failure-point boundary. At most 24 hours.
 	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+	// CheckGrid is the check-mode exploration grid (defaults to 128);
+	// CheckExhaustive replays every candidate failure point.
+	CheckGrid       int  `json:"check_grid,omitempty"`
+	CheckExhaustive bool `json:"check_exhaustive,omitempty"`
 }
 
 // Job is one accepted sweep. All fields are safe to read concurrently
@@ -93,10 +103,12 @@ type Job struct {
 	cancel context.CancelFunc
 
 	state atomic.Int32
-	done  atomic.Int64 // finished seeds, streamed from the progress hook
+	done  atomic.Int64 // finished seeds or explored points, from the progress hook
+	total atomic.Int64 // sweep total, or the checker's planned point count so far
 
 	mu        sync.Mutex
 	summary   stats.Summary
+	report    *check.Report
 	errMsg    string
 	submitted time.Time
 	started   time.Time
@@ -108,9 +120,11 @@ type Job struct {
 // State returns the job's current lifecycle stage.
 func (j *Job) State() State { return State(j.state.Load()) }
 
-// Progress returns finished and total seed counts.
+// Progress returns finished and total counts: seeds for a sweep job,
+// explored and planned failure points for a check job (planned grows as
+// the bisection schedules more rounds).
 func (j *Job) Progress() (done, total int) {
-	return int(j.done.Load()), j.Spec.Runs
+	return int(j.done.Load()), int(j.total.Load())
 }
 
 // Cancel asks the job to stop. A queued job is finalized immediately; a
@@ -150,7 +164,9 @@ type Status struct {
 	DoneRuns  int            `json:"done_runs"`
 	TotalRuns int            `json:"total_runs"`
 	Summary   *stats.Summary `json:"summary,omitempty"`
-	Error     string         `json:"error,omitempty"`
+	// Check carries a check-mode job's report once the job finished.
+	Check *check.Report `json:"check,omitempty"`
+	Error string        `json:"error,omitempty"`
 	// QueuedFor and RanFor are wall-clock stage durations in
 	// milliseconds (RanFor is present once the job finished).
 	QueuedForMs int64 `json:"queued_for_ms"`
@@ -180,10 +196,11 @@ func (j *Job) Status() Status {
 	if !j.finished.IsZero() && !j.started.IsZero() {
 		out.RanForMs = j.finished.Sub(j.started).Milliseconds()
 	}
-	if st == Succeeded || (st == Failed || st == Cancelled) && j.summary.Runs > 0 {
+	if j.Spec.Mode != "check" && (st == Succeeded || (st == Failed || st == Cancelled) && j.summary.Runs > 0) {
 		s := j.summary
 		out.Summary = &s
 	}
+	out.Check = j.report
 	return out
 }
 
@@ -235,8 +252,12 @@ func (m *Manager) QueueDepth() int { return len(m.queue) }
 // RunningJobs returns the number of jobs currently executing.
 func (m *Manager) RunningJobs() int { return int(m.running.Load()) }
 
-// Submit validates and enqueues a sweep job. It never blocks: a full
-// queue returns ErrQueueFull immediately (the HTTP layer's 429).
+// maxJobTimeout bounds TimeoutMs: a job asking for more than a day is a
+// client bug, not a workload.
+const maxJobTimeout = 24 * time.Hour
+
+// Submit validates and enqueues a job. It never blocks: a full queue
+// returns ErrQueueFull immediately (the HTTP layer's 429).
 func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 	if m.closed.Load() {
 		return nil, ErrClosed
@@ -249,8 +270,21 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 	if err != nil {
 		return nil, err
 	}
-	if spec.Runs <= 0 {
-		spec.Runs = 1000 // the engine's default, mirrored so progress totals match
+	switch spec.Mode {
+	case "", "sweep":
+		if spec.Runs <= 0 {
+			return nil, fmt.Errorf("service: sweep job needs a positive run count (got %d)", spec.Runs)
+		}
+	case "check":
+		// The golden run determines the point count; Runs is meaningless.
+		if spec.Runs != 0 {
+			return nil, fmt.Errorf("service: check job does not take a run count (got %d)", spec.Runs)
+		}
+	default:
+		return nil, fmt.Errorf("service: unknown mode %q (want \"sweep\" or \"check\")", spec.Mode)
+	}
+	if spec.TimeoutMs < 0 || time.Duration(spec.TimeoutMs)*time.Millisecond > maxJobTimeout {
+		return nil, fmt.Errorf("service: timeout %d ms out of range (want 0 for none, at most 24h)", spec.TimeoutMs)
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())
@@ -266,6 +300,7 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 		submitted:  time.Now(),
 		finishedCh: make(chan struct{}),
 	}
+	j.total.Store(int64(spec.Runs)) // check jobs learn their total from the golden pass
 
 	m.mu.Lock()
 	m.nextID++
@@ -376,7 +411,7 @@ func (m *Manager) worker() {
 	}
 }
 
-// runJob executes one sweep with panic isolation: a panicking app or
+// runJob executes one job with panic isolation: a panicking app or
 // runtime fails its job, never the server.
 func (m *Manager) runJob(j *Job) {
 	if !j.state.CompareAndSwap(int32(Queued), int32(Running)) {
@@ -395,6 +430,11 @@ func (m *Manager) runJob(j *Job) {
 			j.finalize(Failed, stats.Summary{}, fmt.Sprintf("job panicked: %v", r))
 		}
 	}()
+
+	if j.Spec.Mode == "check" {
+		m.runCheckJob(j)
+		return
+	}
 
 	cfg := experiments.Config{
 		Runs:     j.Spec.Runs,
@@ -421,5 +461,41 @@ func (m *Manager) runJob(j *Job) {
 	default:
 		m.metrics.JobsCompleted.Add(1)
 		j.finalize(Succeeded, sum, "")
+	}
+}
+
+// runCheckJob executes one failure-point check. A report with divergences
+// is a successful job — the divergences are the result, surfaced through
+// Status.Check and the divergence counter; only an engine error or
+// cancellation is a non-success.
+func (m *Manager) runCheckJob(j *Job) {
+	cfg := check.Config{
+		Seed:       j.Spec.BaseSeed,
+		Grid:       j.Spec.CheckGrid,
+		Exhaustive: j.Spec.CheckExhaustive,
+		Workers:    j.Spec.Workers,
+		Progress: func(explored, planned int) {
+			j.done.Store(int64(explored))
+			j.total.Store(int64(planned))
+			m.metrics.CheckPoints.Add(1)
+		},
+	}
+	rep, err := check.Run(j.ctx, j.bp.Factory, j.kind, cfg)
+	if rep != nil {
+		m.metrics.CheckDivergences.Add(int64(len(rep.Divergences)))
+		j.mu.Lock()
+		j.report = rep
+		j.mu.Unlock()
+	}
+	switch {
+	case j.ctx.Err() != nil:
+		m.metrics.JobsCancelled.Add(1)
+		j.finalize(Cancelled, stats.Summary{}, j.ctx.Err().Error())
+	case err != nil:
+		m.metrics.JobsFailed.Add(1)
+		j.finalize(Failed, stats.Summary{}, err.Error())
+	default:
+		m.metrics.JobsCompleted.Add(1)
+		j.finalize(Succeeded, stats.Summary{}, "")
 	}
 }

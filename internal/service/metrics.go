@@ -28,6 +28,11 @@ type Metrics struct {
 	JobsPanicked  atomic.Int64
 	RunsCompleted atomic.Int64
 
+	// CheckPoints counts failure points explored by check-mode jobs;
+	// CheckDivergences counts the subset that diverged from golden.
+	CheckPoints      atomic.Int64
+	CheckDivergences atomic.Int64
+
 	mu       sync.Mutex
 	appT     time.Duration
 	overT    time.Duration
@@ -92,6 +97,8 @@ func (m *Metrics) WriteTo(w io.Writer, queueDepth, running int) {
 	counter("easeio_jobs_cancelled_total", "Sweep jobs cancelled before completion.", m.JobsCancelled.Load())
 	counter("easeio_jobs_panicked_total", "Sweep jobs terminated by a recovered panic.", m.JobsPanicked.Load())
 	counter("easeio_runs_completed_total", "Seeded simulation runs finished across all jobs.", m.RunsCompleted.Load())
+	counter("easeio_check_points_total", "Failure points explored by check-mode jobs.", m.CheckPoints.Load())
+	counter("easeio_check_divergences_total", "Explored failure points that diverged from the golden run.", m.CheckDivergences.Load())
 
 	gauge("easeio_queue_depth", "Jobs waiting in the bounded queue.", float64(queueDepth))
 	gauge("easeio_running_jobs", "Jobs currently executing.", float64(running))

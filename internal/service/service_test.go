@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"easeio/internal/apps"
+	"easeio/internal/check"
 	"easeio/internal/experiments"
 )
 
@@ -274,24 +275,6 @@ func TestRegistrySingleFlight(t *testing.T) {
 	}
 }
 
-// TestSubmitValidation covers the rejection paths that must not consume
-// queue slots.
-func TestSubmitValidation(t *testing.T) {
-	_, _, metrics, srv := newTestStack(t, 4, 1)
-	if _, code := postJob(t, srv.URL, `{"app":"no-such-app","runtime":"EaseIO"}`); code != http.StatusBadRequest {
-		t.Errorf("unknown app: status %d, want 400", code)
-	}
-	if _, code := postJob(t, srv.URL, `{"app":"dma","runtime":"Nonesuch"}`); code != http.StatusBadRequest {
-		t.Errorf("unknown runtime: status %d, want 400", code)
-	}
-	if _, code := postJob(t, srv.URL, `{"app":"dma","bogus":1}`); code != http.StatusBadRequest {
-		t.Errorf("unknown field: status %d, want 400", code)
-	}
-	if got := metrics.JobsAccepted.Load(); got != 0 {
-		t.Errorf("accepted counter = %d after only invalid submissions", got)
-	}
-}
-
 // TestGracefulShutdownDrains submits a job, shuts the manager down, and
 // checks the in-flight sweep completed while later submissions are
 // refused.
@@ -408,3 +391,163 @@ func TestMetricsEndpoint(t *testing.T) {
 		t.Errorf("expected some wasted work under timer failures, ratio = %v", sum.WastedRatio())
 	}
 }
+
+// TestSubmitValidation is the table-driven negative surface: every
+// malformed spec must be rejected before queueing, with the exact error
+// text and the HTTP 400 mapping pinned.
+func TestSubmitValidation(t *testing.T) {
+	mgr, _, metrics, srv := newTestStack(t, 4, 1)
+
+	cases := []struct {
+		name    string
+		spec    JobSpec
+		wantErr string
+	}{
+		{
+			name:    "unknown blueprint",
+			spec:    JobSpec{App: "nosuch", Runtime: "EaseIO", Runs: 4},
+			wantErr: `service: unknown blueprint "nosuch" (registered: [branch dma fir fir-op lea temp weather weather-db])`,
+		},
+		{
+			name:    "bad runtime",
+			spec:    JobSpec{App: "dma", Runtime: "quickrecall", Runs: 4},
+			wantErr: `experiments: unknown runtime "quickrecall" (want Alpaca, InK, EaseIO, EaseIO/Op. or JustDo)`,
+		},
+		{
+			name:    "zero runs",
+			spec:    JobSpec{App: "dma", Runtime: "EaseIO"},
+			wantErr: "service: sweep job needs a positive run count (got 0)",
+		},
+		{
+			name:    "negative runs",
+			spec:    JobSpec{App: "dma", Runtime: "EaseIO", Runs: -3},
+			wantErr: "service: sweep job needs a positive run count (got -3)",
+		},
+		{
+			name:    "negative timeout",
+			spec:    JobSpec{App: "dma", Runtime: "EaseIO", Runs: 4, TimeoutMs: -1},
+			wantErr: "service: timeout -1 ms out of range (want 0 for none, at most 24h)",
+		},
+		{
+			name:    "absurd timeout",
+			spec:    JobSpec{App: "dma", Runtime: "EaseIO", Runs: 4, TimeoutMs: 25 * 60 * 60 * 1000},
+			wantErr: "service: timeout 90000000 ms out of range (want 0 for none, at most 24h)",
+		},
+		{
+			name:    "unknown mode",
+			spec:    JobSpec{App: "dma", Runtime: "EaseIO", Runs: 4, Mode: "fuzz"},
+			wantErr: `service: unknown mode "fuzz" (want "sweep" or "check")`,
+		},
+		{
+			name:    "check job with runs",
+			spec:    JobSpec{App: "dma", Runtime: "EaseIO", Runs: 4, Mode: "check"},
+			wantErr: "service: check job does not take a run count (got 4)",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := mgr.Submit(c.spec)
+			if err == nil {
+				t.Fatal("spec accepted")
+			}
+			if err.Error() != c.wantErr {
+				t.Errorf("error = %q,\nwant    %q", err.Error(), c.wantErr)
+			}
+
+			// The HTTP layer must map every validation error to 400 with the
+			// same message in the JSON body.
+			body, err2 := json.Marshal(c.spec)
+			if err2 != nil {
+				t.Fatal(err2)
+			}
+			resp, err2 := http.Post(srv.URL+"/jobs", "application/json", strings.NewReader(string(body)))
+			if err2 != nil {
+				t.Fatal(err2)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Errorf("HTTP status = %d, want 400", resp.StatusCode)
+			}
+			var msg map[string]string
+			if err2 := json.NewDecoder(resp.Body).Decode(&msg); err2 != nil {
+				t.Fatal(err2)
+			}
+			if msg["error"] != c.wantErr {
+				t.Errorf("HTTP error body = %q,\nwant         %q", msg["error"], c.wantErr)
+			}
+		})
+	}
+
+	// A spec with an unknown JSON field dies in the decoder, also a 400.
+	if _, code := postJob(t, srv.URL, `{"app":"dma","bogus":1}`); code != http.StatusBadRequest {
+		t.Errorf("unknown field: status %d, want 400", code)
+	}
+	// None of the rejections may consume a queue slot.
+	if got := metrics.JobsAccepted.Load(); got != 0 {
+		t.Errorf("accepted counter = %d after only invalid submissions", got)
+	}
+}
+
+// TestCheckJobOverHTTP submits a check-mode job and verifies the report
+// arrives in Status.Check, matches the in-process checker result, and the
+// check metrics counters advance.
+func TestCheckJobOverHTTP(t *testing.T) {
+	_, _, metrics, srv := newTestStack(t, 4, 1)
+
+	st, code := postJob(t, srv.URL,
+		`{"app":"temp","runtime":"EaseIO","mode":"check","base_seed":3,"check_grid":24,"workers":2}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	final := waitTerminal(t, srv.URL, st.ID)
+	if final.State != "succeeded" {
+		t.Fatalf("job finished %s: %s", final.State, final.Error)
+	}
+	if final.Check == nil {
+		t.Fatal("no check report in the terminal status")
+	}
+	if final.Summary != nil {
+		t.Error("check job carries a sweep summary")
+	}
+	if !final.Check.Passed() {
+		t.Errorf("temp under EaseIO diverged:\n%+v", final.Check.Divergences)
+	}
+	if final.DoneRuns != final.Check.Explored || final.TotalRuns != final.Check.Explored {
+		t.Errorf("progress = %d/%d, want %d explored points",
+			final.DoneRuns, final.TotalRuns, final.Check.Explored)
+	}
+
+	direct, err := check.Run(context.Background(), tempBenchFactory, experiments.EaseIO,
+		check.Config{Seed: 3, Grid: 24, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Check.Candidates != direct.Candidates || final.Check.Explored != direct.Explored ||
+		final.Check.GoldenOnTime != direct.GoldenOnTime {
+		t.Errorf("HTTP report differs from in-process checker:\n%+v\nvs\n%+v", final.Check, direct)
+	}
+
+	if got := metrics.CheckPoints.Load(); got != int64(direct.Explored) {
+		t.Errorf("easeio_check_points_total = %d, want %d", got, direct.Explored)
+	}
+	if got := metrics.CheckDivergences.Load(); got != 0 {
+		t.Errorf("easeio_check_divergences_total = %d, want 0", got)
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	text, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"easeio_check_points_total", "easeio_check_divergences_total"} {
+		if !strings.Contains(string(text), want) {
+			t.Errorf("/metrics misses %s", want)
+		}
+	}
+}
+
+func tempBenchFactory() (*apps.Bench, error) { return apps.NewTempApp(apps.DefaultTempConfig()) }

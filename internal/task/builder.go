@@ -41,6 +41,13 @@ func (a *App) NVConst(name string, init []uint16) *NVVar {
 	return v
 }
 
+// Sensed marks the variable time-sensitive (see NVVar.TimeSensitive) and
+// returns it.
+func (v *NVVar) Sensed() *NVVar {
+	v.TimeSensitive = true
+	return v
+}
+
 // WithInit sets a variable's initial contents and returns it.
 func (v *NVVar) WithInit(init []uint16) *NVVar {
 	if len(init) > v.Words {

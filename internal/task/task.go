@@ -183,6 +183,14 @@ type NVVar struct {
 	// initialization (e.g. filter coefficients). The front-end uses this
 	// to validate Exclude annotations.
 	Const bool
+	// TimeSensitive marks variables whose final value legitimately depends
+	// on *when* the run's I/O executed: sensor readings and values derived
+	// from them. Injecting a power failure shifts wall-clock time, so a
+	// replay's re-sampled peripherals produce different (but still
+	// correct) values. Differential checkers skip these variables when
+	// comparing final memory word-for-word against a golden run and rely
+	// on the app's CheckOutput invariant instead.
+	TimeSensitive bool
 }
 
 // IOSite is a static I/O call site: one _call_IO in the paper's API.
