@@ -1,13 +1,14 @@
-# Developer entry points. `make check` is the pre-commit gauntlet: it
-# vets the whole module, runs the full suite with a shuffled test order,
-# runs the concurrency-sensitive packages (the sweep engine, the core
-# runtimes, the failure-point checker, the kernel's device-reuse path,
-# the sweep service and the public facade) under the race detector, and
-# finishes with a short fuzz smoke over the native fuzz targets.
+# Developer entry points. `make check` is the pre-commit gauntlet — the
+# same stages CI runs: gofmt drift, vet, the full suite with a shuffled
+# test order, the concurrency-sensitive packages (the sweep engine, the
+# core runtimes, the failure-point checker, the kernel's device-reuse
+# path, the sweep service and the public facade) under the race
+# detector, and a short fuzz smoke over the native fuzz targets.
 # `make serve-smoke` boots the easeio-served daemon on a loopback port,
 # pushes one sweep job through the HTTP API and verifies the result and
 # the metrics endpoint. `make fuzz` runs the fuzzers with a longer
-# budget for local exploration.
+# budget for local exploration. `make ci` is the exact superset the CI
+# workflow gates merges on (check plus a one-iteration bench smoke).
 
 GO ?= go
 
@@ -15,7 +16,11 @@ GO ?= go
 # fixed short budget so the gauntlet stays fast.
 FUZZTIME ?= 30s
 
-.PHONY: build test race vet bench fuzz fuzz-smoke serve-smoke check
+# Iterations for `make bench`; CI passes BENCHTIME=1x so the bench suite
+# is compiled and exercised without paying for stable numbers.
+BENCHTIME ?= 10x
+
+.PHONY: build test race vet fmt fmt-check bench bench-all fuzz fuzz-smoke serve-smoke check ci
 
 build:
 	$(GO) build ./...
@@ -26,11 +31,24 @@ test:
 vet:
 	$(GO) vet ./...
 
+fmt:
+	gofmt -w .
+
+# Fails (listing the offenders) when any file needs gofmt.
+fmt-check:
+	@files="$$(gofmt -l .)"; if [ -n "$$files" ]; then \
+		echo "gofmt needed on:"; echo "$$files"; exit 1; fi
+
 race:
 	$(GO) test -race . ./internal/core ./internal/check ./internal/experiments/... ./internal/kernel/... ./internal/service/...
 
 bench:
-	$(GO) test -run '^$$' -bench BenchmarkSweepThroughput -benchtime 10x .
+	$(GO) test -run '^$$' -bench BenchmarkSweepThroughput -benchtime $(BENCHTIME) .
+	$(GO) test -run '^$$' -bench 'BenchmarkTrace|BenchmarkRunTraced' -benchtime $(BENCHTIME) ./internal/kernel
+
+# Every benchmark in the module (slow; `make bench` is the curated cut).
+bench-all:
+	$(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) ./...
 
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseRuntimeKind$$' -fuzztime $(FUZZTIME) .
@@ -45,4 +63,8 @@ fuzz-smoke:
 serve-smoke:
 	$(GO) run ./cmd/easeio-served -smoke
 
-check: build vet test race fuzz-smoke serve-smoke
+check: build fmt-check vet test race fuzz-smoke serve-smoke
+
+ci:
+	$(MAKE) check
+	$(MAKE) bench BENCHTIME=1x

@@ -5,7 +5,11 @@
 //
 // Usage:
 //
-//	easeio-served [-addr :8340] [-queue 64] [-jobs N] [-smoke]
+//	easeio-served [-addr :8340] [-queue 64] [-jobs N] [-pprof] [-log text|json] [-smoke]
+//
+// -pprof mounts the Go profiling endpoints under /debug/pprof/ (off by
+// default). Logs are structured (log/slog) on stderr; every record about
+// a job carries its "job" ID.
 //
 // Submit a sweep and watch it:
 //
@@ -27,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -41,20 +46,33 @@ import (
 
 func main() {
 	var (
-		addr  = flag.String("addr", ":8340", "HTTP listen address")
-		queue = flag.Int("queue", 64, "job queue capacity (backpressure bound)")
-		jobs  = flag.Int("jobs", max(2, runtime.GOMAXPROCS(0)/2), "concurrent sweep jobs")
-		smoke = flag.Bool("smoke", false, "boot on a loopback port, run one job through the HTTP API, verify, exit")
+		addr    = flag.String("addr", ":8340", "HTTP listen address")
+		queue   = flag.Int("queue", 64, "job queue capacity (backpressure bound)")
+		jobs    = flag.Int("jobs", max(2, runtime.GOMAXPROCS(0)/2), "concurrent sweep jobs")
+		pprofOn = flag.Bool("pprof", false, "mount the Go profiling endpoints under /debug/pprof/")
+		logFmt  = flag.String("log", "text", "structured log format on stderr: text or json")
+		smoke   = flag.Bool("smoke", false, "boot on a loopback port, run one job through the HTTP API, verify, exit")
 	)
 	flag.Parse()
 
+	logger, err := buildLogger(*logFmt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	reg := service.NewRegistry()
+	reg.SetLogger(logger)
 	if err := service.RegisterPaperBenches(reg); err != nil {
 		log.Fatal(err)
 	}
 	metrics := service.NewMetrics()
-	mgr := service.NewManager(reg, metrics, *queue, *jobs)
-	handler := service.NewServer(mgr, reg, metrics).Handler()
+	mgr := service.NewManager(reg, metrics, *queue, *jobs,
+		service.WithManagerLogger(logger))
+	srvOpts := []service.ServerOption{service.WithAccessLog(logger)}
+	if *pprofOn {
+		srvOpts = append(srvOpts, service.WithPprof())
+	}
+	handler := service.NewServer(mgr, reg, metrics, srvOpts...).Handler()
 
 	if *smoke {
 		if err := runSmoke(handler, mgr); err != nil {
@@ -67,8 +85,8 @@ func main() {
 	srv := &http.Server{Addr: *addr, Handler: handler}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("easeio-served listening on %s (%d job workers, queue %d, blueprints: %s)",
-		*addr, *jobs, *queue, strings.Join(reg.Names(), " "))
+	logger.Info("easeio-served listening", "addr", *addr, "workers", *jobs,
+		"queue", *queue, "pprof", *pprofOn, "blueprints", strings.Join(reg.Names(), " "))
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -77,14 +95,27 @@ func main() {
 		log.Fatal(err)
 	case <-ctx.Done():
 	}
-	log.Printf("shutting down: draining in-flight sweeps")
+	logger.Info("shutting down: draining in-flight sweeps")
 	sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(sctx); err != nil {
-		log.Printf("http shutdown: %v", err)
+		logger.Error("http shutdown", "error", err)
 	}
 	if err := mgr.Shutdown(sctx); err != nil {
-		log.Printf("job manager shutdown: %v", err)
+		logger.Error("job manager shutdown", "error", err)
+	}
+}
+
+// buildLogger returns a slog logger writing to stderr in the requested
+// format.
+func buildLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	default:
+		return nil, fmt.Errorf("easeio-served: unknown log format %q (want text or json)", format)
 	}
 }
 

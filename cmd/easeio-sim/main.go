@@ -6,6 +6,12 @@
 //
 //	easeio-sim [-app dma|temp|lea|fir|weather|branch] [-rt easeio|alpaca|ink]
 //	           [-seed N] [-continuous] [-distance INCHES]
+//	           [-trace out.json] [-timeline] [-gantt]
+//
+// -trace writes the run as Chrome trace_event JSON — open the file in
+// chrome://tracing or https://ui.perfetto.dev to see power spans, task
+// attempts and every I/O decision on a timeline. -timeline prints the
+// same events as text lines; -gantt draws an ASCII chart.
 package main
 
 import (
@@ -25,7 +31,8 @@ func main() {
 		seed       = flag.Int64("seed", 1, "random seed")
 		continuous = flag.Bool("continuous", false, "disable power failures")
 		distance   = flag.Float64("distance", 0, "if > 0, use the RF harvester at this distance (inches)")
-		trace      = flag.Bool("trace", false, "print the execution timeline (boots, failures, I/O decisions)")
+		trace      = flag.String("trace", "", "write the run as Chrome trace_event JSON to this file (\"-\" for stdout; open in Perfetto)")
+		timeline   = flag.Bool("timeline", false, "print the execution timeline (boots, failures, I/O decisions)")
 		gantt      = flag.Bool("gantt", false, "print an ASCII Gantt chart of the run")
 		lint       = flag.Bool("lint", false, "run the front-end's static checks before executing")
 	)
@@ -43,13 +50,11 @@ func main() {
 	case *distance > 0:
 		opts = append(opts, easeio.WithRFHarvester(*distance))
 	}
-	var ganttBuf *easeio.TraceBuffer
-	switch {
-	case *gantt:
-		ganttBuf = &easeio.TraceBuffer{}
-		opts = append(opts, easeio.WithTracer(ganttBuf))
-	case *trace:
-		opts = append(opts, easeio.WithTrace(os.Stdout))
+	// One buffer serves every observer of the run's timeline.
+	var buf *easeio.TraceBuffer
+	if *gantt || *timeline || *trace != "" {
+		buf = &easeio.TraceBuffer{}
+		opts = append(opts, easeio.WithTracer(buf))
 	}
 	if *lint {
 		findings, err := easeio.Lint(bench.App, easeio.DefaultLintConfig())
@@ -88,13 +93,41 @@ func main() {
 		fmt.Println()
 	}
 	fmt.Printf("output correct : %v\n", res.Correct)
-	if ganttBuf != nil {
+	if *timeline && buf != nil {
 		fmt.Println()
-		easeio.RenderGantt(ganttBuf, 100, os.Stdout)
+		buf.Dump(os.Stdout)
+	}
+	if *gantt && buf != nil {
+		fmt.Println()
+		easeio.RenderGantt(buf, 100, os.Stdout)
+	}
+	if *trace != "" && buf != nil {
+		fail(writeTrace(*trace, buf))
 	}
 	if res.Stuck {
 		fmt.Println("NOTE: the harvester could not recharge the capacitor; run abandoned")
 	}
+}
+
+// writeTrace exports the buffered timeline as Chrome trace_event JSON to
+// path ("-" streams to stdout).
+func writeTrace(path string, buf *easeio.TraceBuffer) error {
+	if path == "-" {
+		return easeio.WriteChromeTrace(buf, os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := easeio.WriteChromeTrace(buf, f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("(wrote %s — open in chrome://tracing or https://ui.perfetto.dev)\n", path)
+	return nil
 }
 
 func buildApp(name string) (*easeio.Bench, error) {

@@ -360,6 +360,41 @@ type Tracer = kernel.Tracer
 // TraceBuffer retains timeline events in memory for inspection.
 type TraceBuffer = kernel.TraceBuffer
 
+// TraceEvent is one timeline entry of a traced run.
+type TraceEvent = kernel.TraceEvent
+
+// EventKind classifies a trace event (see the kernel package's event
+// taxonomy and DESIGN.md §12).
+type EventKind = kernel.EventKind
+
+// The event taxonomy: power edges, task lifecycle, I/O and DMA decisions,
+// regional privatization.
+const (
+	EvBoot            = kernel.EvBoot
+	EvPowerFailure    = kernel.EvPowerFailure
+	EvRecharge        = kernel.EvRecharge
+	EvTaskBegin       = kernel.EvTaskBegin
+	EvTaskCommit      = kernel.EvTaskCommit
+	EvTaskAbort       = kernel.EvTaskAbort
+	EvIOExec          = kernel.EvIOExec
+	EvIOSkip          = kernel.EvIOSkip
+	EvDMAClass        = kernel.EvDMAClass
+	EvDMAExec         = kernel.EvDMAExec
+	EvDMASkip         = kernel.EvDMASkip
+	EvBlockSkip       = kernel.EvBlockSkip
+	EvBlockViolation  = kernel.EvBlockViolation
+	EvRegionPrivatize = kernel.EvRegionPrivatize
+	EvRegionRestore   = kernel.EvRegionRestore
+)
+
+// WriteChromeTrace renders a traced run as Chrome trace_event JSON,
+// loadable in chrome://tracing and Perfetto (https://ui.perfetto.dev):
+// power on/off spans, task attempts with their commit/abort outcome, and
+// every I/O, DMA, block and region decision as instant events.
+func WriteChromeTrace(buf *TraceBuffer, w io.Writer) error {
+	return kernel.ExportChromeTrace(buf, w)
+}
+
 // Lint runs the compiler front-end's static checks over the application:
 // unsafe Exclude annotations, privatization-buffer sizing (the §6
 // compile-time check), and dead-annotation warnings.
@@ -424,7 +459,17 @@ type SweepConfig struct {
 	// the cumulative finished count and the total; it may be called from
 	// any worker goroutine.
 	OnProgress func(done, total int)
+	// TraceSink, when non-nil, receives every run's execution timeline.
+	// Sweep workers emit concurrently: the sink must be safe for
+	// concurrent use, and events from different seeds interleave.
+	TraceSink Tracer
+	// Timings, when non-nil, accumulates the sweep's host-side stage
+	// timings (build vs. run vs. wall).
+	Timings *SweepTimings
 }
+
+// SweepTimings breaks a sweep's host wall-clock cost into stages.
+type SweepTimings = experiments.StageTimings
 
 // Sweep executes many seeded runs of the bench the factory builds under
 // the given runtime kind and aggregates them, sharding seeds over a pool
@@ -433,10 +478,12 @@ type SweepConfig struct {
 // finished, and the error wraps ctx's error.
 func Sweep(ctx context.Context, newBench func() (*Bench, error), kind RuntimeKind, cfg SweepConfig) (Summary, error) {
 	ecfg := experiments.Config{
-		Runs:     cfg.Runs,
-		BaseSeed: cfg.BaseSeed,
-		Workers:  cfg.Workers,
-		Progress: cfg.OnProgress,
+		Runs:      cfg.Runs,
+		BaseSeed:  cfg.BaseSeed,
+		Workers:   cfg.Workers,
+		Progress:  cfg.OnProgress,
+		TraceSink: cfg.TraceSink,
+		Timings:   cfg.Timings,
 	}
 	return experiments.RunManyCtx(ctx, ecfg, newBench, kind)
 }

@@ -513,7 +513,7 @@ func (r *Runtime) IOBlock(c *kernel.Ctx, b *task.IOBlock, body func()) {
 	}
 	if done && valid && b.Sem != task.Always {
 		// Completed and still valid: members restore their outputs.
-		r.Dev.Trace("block-skip", "%s", b.Name)
+		r.Dev.Trace(kernel.EvBlockSkip, "%s", b.Name)
 		r.blockSkipDepth++
 		body()
 		r.blockSkipDepth--
@@ -522,7 +522,7 @@ func (r *Runtime) IOBlock(c *kernel.Ctx, b *task.IOBlock, body func()) {
 	if done && !valid {
 		// Violation: block semantics override member semantics — every
 		// member (including nested blocks) re-executes (§4.2.1).
-		r.Dev.Trace("block-violation", "%s", b.Name)
+		r.Dev.Trace(kernel.EvBlockViolation, "%s", b.Name)
 		r.invalidateBlock(c, b)
 	}
 
@@ -585,6 +585,7 @@ func (r *Runtime) DMACopy(c *kernel.Ctx, d *task.DMASite, src, dst task.Loc, wor
 	} else {
 		c.ChargeOverheadCycles(mcu.FlagCheckCycles) // runtime classification
 	}
+	r.Dev.Trace(kernel.EvDMAClass, "%s kind=%v exclude=%v", d.Name, kind, d.Exclude)
 
 	depsChanged := r.dmaDepsChanged(c, d, dm)
 
@@ -716,7 +717,7 @@ func (r *Runtime) enterRegion(c *kernel.Ctx, idx int) {
 	if r.flagSet(rm.flag, t.ID) {
 		// Recovery: restore every region range from its private copy,
 		// undoing partial work from the interrupted attempt.
-		r.Dev.Trace("region-restore", "%s region %d (%d ranges)", t.Name, idx, len(rm.vars))
+		r.Dev.Trace(kernel.EvRegionRestore, "%s region %d (%d ranges)", t.Name, idx, len(rm.vars))
 		for vi, rv := range rm.vars {
 			c.ChargeOverheadCycles(int64(rv.Words()) * mcu.CommitWordCycles)
 			master := r.MasterAddr(rv.Var).Add(rv.Lo)
@@ -733,7 +734,7 @@ func (r *Runtime) enterRegion(c *kernel.Ctx, idx int) {
 		c.ChargeOverheadCycles(int64(rv.Words()) * mcu.PrivatizeWordCycles)
 	}
 	c.ChargeOverheadCycles(mcu.FlagSetCycles)
-	r.Dev.Trace("region-privatize", "%s region %d (%d ranges)", t.Name, idx, len(rm.vars))
+	r.Dev.Trace(kernel.EvRegionPrivatize, "%s region %d (%d ranges)", t.Name, idx, len(rm.vars))
 	for vi, rv := range rm.vars {
 		master := r.MasterAddr(rv.Var).Add(rv.Lo)
 		for w := 0; w < rv.Words(); w++ {

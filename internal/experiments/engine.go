@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"easeio/internal/kernel"
 	"easeio/internal/stats"
@@ -86,10 +87,12 @@ func shards(n, workers int) []shard {
 // instances cannot be shared across goroutines) and reuses one device and
 // runtime for every seed in its shard.
 func runManyPooled(ctx context.Context, cfg Config, newApp AppFactory, kind RuntimeKind) (stats.Summary, error) {
+	start := time.Now()
 	sh := shards(cfg.Runs, cfg.Workers)
 	aggs := make([]*stats.Aggregator, len(sh))
 	errss := make([][]error, len(sh))
 	var done atomic.Int64
+	var timing shardTimings
 	var wg sync.WaitGroup
 	for w, s := range sh {
 		wg.Add(1)
@@ -103,10 +106,15 @@ func runManyPooled(ctx context.Context, cfg Config, newApp AppFactory, kind Runt
 						What: fmt.Sprintf("%s runs %d-%d", kind, s.lo, s.hi-1)})
 				}
 			}()
-			aggs[w], errss[w] = sweepShard(ctx, cfg, newApp, kind, s, &done)
+			aggs[w], errss[w] = sweepShard(ctx, cfg, newApp, kind, s, &done, &timing)
 		}(w, s)
 	}
 	wg.Wait()
+	if cfg.Timings != nil {
+		cfg.Timings.Build += time.Duration(timing.build.Load())
+		cfg.Timings.Run += time.Duration(timing.run.Load())
+		cfg.Timings.Wall += time.Since(start)
+	}
 
 	agg := stats.NewAggregator()
 	var errs []error
@@ -122,19 +130,39 @@ func runManyPooled(ctx context.Context, cfg Config, newApp AppFactory, kind Runt
 	return agg.Summary(), errors.Join(errs...)
 }
 
+// shardTimings accumulates worker stage durations (in nanoseconds) for
+// Config.Timings.
+type shardTimings struct {
+	build, run atomic.Int64
+}
+
+// sweepSink adapts a sweep-wide trace sink for per-seed device reuse: it
+// exposes only Event, so Device.Reset's tracer-Reset hook cannot reach a
+// Reset method on the underlying sink.
+type sweepSink struct{ kernel.Tracer }
+
 // sweepShard runs one worker's contiguous seed range on a single session.
 // done is the sweep-wide finished-run counter feeding cfg.Progress.
-func sweepShard(ctx context.Context, cfg Config, newApp AppFactory, kind RuntimeKind, s shard, done *atomic.Int64) (*stats.Aggregator, []error) {
+func sweepShard(ctx context.Context, cfg Config, newApp AppFactory, kind RuntimeKind, s shard, done *atomic.Int64, timing *shardTimings) (*stats.Aggregator, []error) {
 	agg := stats.NewAggregator()
 	if ctx.Err() != nil {
 		return agg, nil
 	}
+	buildStart := time.Now()
 	bench, err := newApp()
 	if err != nil {
 		return agg, []error{fmt.Errorf("experiments: build app for %s runs %d-%d: %w",
 			kind, s.lo, s.hi-1, err)}
 	}
 	sess := kernel.NewSession(NewRuntime(kind), bench.App, cfg.Supply())
+	if cfg.TraceSink != nil {
+		// The wrapper hides any Reset method on the sink: device reuse
+		// between seeds must not clear events other runs already emitted.
+		sess.Tracer = sweepSink{cfg.TraceSink}
+	}
+	timing.build.Add(int64(time.Since(buildStart)))
+	runStart := time.Now()
+	defer func() { timing.run.Add(int64(time.Since(runStart))) }()
 	var errs []error
 	for i := s.lo; i < s.hi; i++ {
 		if ctx.Err() != nil {
@@ -170,6 +198,12 @@ func notifyProgress(cfg Config, done *atomic.Int64) {
 // built app, device and runtime per seed. Kept behind Config.Rebuild as
 // the baseline the sweep-throughput benchmark compares against.
 func runManyRebuild(ctx context.Context, cfg Config, newApp AppFactory, kind RuntimeKind) (stats.Summary, error) {
+	start := time.Now()
+	if cfg.Timings != nil {
+		// The rebuild path interleaves build and run per seed; only the
+		// end-to-end wall time is attributable.
+		defer func() { cfg.Timings.Wall += time.Since(start) }()
+	}
 	runs := make([]*stats.Run, cfg.Runs)
 	errs := make([]error, cfg.Runs)
 	var done atomic.Int64
@@ -189,7 +223,7 @@ func runManyRebuild(ctx context.Context, cfg Config, newApp AppFactory, kind Run
 					errs[i] = PanicError{Value: r, What: fmt.Sprintf("%s seed %d", kind, cfg.BaseSeed+int64(i))}
 				}
 			}()
-			runs[i], errs[i] = RunOne(newApp, kind, cfg.Supply(), cfg.BaseSeed+int64(i))
+			runs[i], errs[i] = RunOneTraced(newApp, kind, cfg.Supply(), cfg.BaseSeed+int64(i), cfg.TraceSink)
 			notifyProgress(cfg, &done)
 		}(i)
 	}

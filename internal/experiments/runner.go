@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"runtime"
 	"strings"
+	"time"
 
 	"easeio/internal/alpaca"
 	"easeio/internal/apps"
@@ -125,6 +126,36 @@ type Config struct {
 	// callback must be safe for concurrent use. Progress never changes
 	// the sweep's Summary; it only observes it being built.
 	Progress func(done, total int)
+	// TraceSink, when non-nil, is installed as the Tracer on every
+	// worker's session, so each run's execution timeline streams into it.
+	// Workers emit concurrently: the sink must be safe for concurrent use,
+	// and events from different seeds interleave. Like the kernel tracer
+	// it never changes a run's result.
+	TraceSink kernel.Tracer
+	// Timings, when non-nil, accumulates the sweep's stage timings (+=,
+	// so one StageTimings can total several sequential sweeps). It is
+	// written once per sweep after the workers join; do not share it
+	// between concurrent sweeps.
+	Timings *StageTimings
+}
+
+// StageTimings breaks a sweep's host wall-clock cost into stages: where
+// the time went, diagnosable from artifacts instead of reruns.
+type StageTimings struct {
+	// Build is the per-worker setup cost (app factory, analysis, session
+	// construction), summed across workers.
+	Build time.Duration
+	// Run is the simulation cost (seeded runs), summed across workers.
+	Run time.Duration
+	// Wall is the end-to-end elapsed time of the sweep call.
+	Wall time.Duration
+}
+
+// String renders the breakdown on one line.
+func (t StageTimings) String() string {
+	return fmt.Sprintf("wall=%v build=%v run=%v",
+		t.Wall.Round(time.Millisecond), t.Build.Round(time.Millisecond),
+		t.Run.Round(time.Millisecond))
 }
 
 // DefaultConfig matches the paper's 1000-run sweeps.
@@ -145,11 +176,18 @@ func (c Config) fill() Config {
 
 // RunOne executes one seeded run of the app under the runtime kind.
 func RunOne(newApp AppFactory, kind RuntimeKind, supply power.Supply, seed int64) (*stats.Run, error) {
+	return RunOneTraced(newApp, kind, supply, seed, nil)
+}
+
+// RunOneTraced is RunOne with a Tracer installed on the run's device, so
+// the execution timeline streams into tr alongside the statistics.
+func RunOneTraced(newApp AppFactory, kind RuntimeKind, supply power.Supply, seed int64, tr kernel.Tracer) (*stats.Run, error) {
 	bench, err := newApp()
 	if err != nil {
 		return nil, err
 	}
 	dev := kernel.NewDevice(supply, seed)
+	dev.Tracer = tr
 	if err := kernel.RunApp(dev, NewRuntime(kind), bench.App); err != nil {
 		return nil, fmt.Errorf("experiments: %s on %s (seed %d): %w",
 			bench.App.Name, kind, seed, err)

@@ -1,0 +1,184 @@
+// Chrome trace_event exporter: renders a recorded timeline as the JSON
+// object format consumed by chrome://tracing and Perfetto
+// (https://ui.perfetto.dev). The export reconstructs intervals from the
+// event stream — power on/off spans, task attempts with their outcome —
+// and emits the point decisions (I/O, DMA, blocks, regions) as instant
+// events, so a run's whole execution reads as a flame-chart.
+//
+// The output is deterministic for a deterministic event stream: events
+// are emitted in timeline order, one JSON object per line, with no map
+// iteration feeding the order — golden-file tests pin it byte-for-byte.
+
+package kernel
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// The exporter's thread (track) layout. One simulated device is one
+// process; each aspect of the execution gets its own named track.
+const (
+	trackPower   = 1
+	trackTasks   = 2
+	trackIO      = 3
+	trackDMA     = 4
+	trackRegions = 5
+)
+
+// chromeEvent is one trace_event entry. Field order is the JSON key
+// order, which golden files pin.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// usOf converts a simulated wall-clock offset to trace microseconds.
+func usOf(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
+// taskOf extracts the task name from a task event's detail
+// ("name (attempt N)" or just "name").
+func taskOf(detail string) string {
+	if i := strings.IndexByte(detail, ' '); i > 0 {
+		return detail[:i]
+	}
+	return detail
+}
+
+// WriteChromeTrace renders the events as Chrome trace_event JSON. The
+// stream must be a single run's timeline in emission order (as recorded
+// by a TraceBuffer).
+func WriteChromeTrace(events []TraceEvent, w io.Writer) error {
+	var out []chromeEvent
+	meta := func(name string, tid int, arg string) {
+		out = append(out, chromeEvent{
+			Name: name, Ph: "M", Pid: 1, Tid: tid,
+			Args: map[string]any{"name": arg},
+		})
+	}
+	meta("process_name", 0, "easeio simulated device")
+	meta("thread_name", trackPower, "power")
+	meta("thread_name", trackTasks, "tasks")
+	meta("thread_name", trackIO, "io")
+	meta("thread_name", trackDMA, "dma")
+	meta("thread_name", trackRegions, "regions")
+
+	end := time.Duration(0)
+	if len(events) > 0 {
+		end = events[len(events)-1].Wall
+	}
+
+	span := func(name string, tid int, from, to time.Duration, args map[string]any) {
+		dur := usOf(to - from)
+		out = append(out, chromeEvent{
+			Name: name, Ph: "X", Ts: usOf(from), Dur: &dur,
+			Pid: 1, Tid: tid, Args: args,
+		})
+	}
+	instant := func(e TraceEvent, tid int) {
+		out = append(out, chromeEvent{
+			Name: e.Kind.String(), Cat: e.Kind.String(), Ph: "i",
+			Ts: usOf(e.Wall), Pid: 1, Tid: tid, S: "t",
+			Args: map[string]any{"boot": e.Boot, "detail": e.Detail},
+		})
+	}
+
+	// Interval reconstruction state: the power span open since powerFrom,
+	// and the task attempt open since taskFrom.
+	powerOn := false
+	var powerFrom time.Duration
+	var openTask string
+	var taskFrom time.Duration
+	var taskBoot int
+	closeTask := func(to time.Duration, outcome string) {
+		if openTask == "" {
+			return
+		}
+		span(openTask, trackTasks, taskFrom, to,
+			map[string]any{"boot": taskBoot, "outcome": outcome})
+		openTask = ""
+	}
+
+	for _, e := range events {
+		switch e.Kind {
+		case EvBoot:
+			if !powerOn {
+				powerOn, powerFrom = true, e.Wall
+			}
+			instant(e, trackPower)
+		case EvPowerFailure:
+			if powerOn {
+				span("power on", trackPower, powerFrom, e.Wall, nil)
+				powerOn = false
+			}
+			powerFrom = e.Wall
+			closeTask(e.Wall, "abort")
+			instant(e, trackPower)
+		case EvRecharge:
+			// The recharge event carries the off duration; the off span
+			// runs from the failure to the next boot, which the clock has
+			// already advanced past.
+			span("power off", trackPower, powerFrom, e.Wall,
+				map[string]any{"detail": e.Detail})
+			powerFrom = e.Wall
+			powerOn = true
+		case EvTaskBegin:
+			closeTask(e.Wall, "abort")
+			openTask, taskFrom, taskBoot = taskOf(e.Detail), e.Wall, e.Boot
+		case EvTaskCommit:
+			closeTask(e.Wall, "commit")
+		case EvTaskAbort:
+			closeTask(e.Wall, "abort")
+		case EvIOExec, EvIOSkip, EvBlockSkip, EvBlockViolation:
+			instant(e, trackIO)
+		case EvDMAClass, EvDMAExec, EvDMASkip:
+			instant(e, trackDMA)
+		case EvRegionPrivatize, EvRegionRestore:
+			instant(e, trackRegions)
+		default:
+			instant(e, trackPower)
+		}
+	}
+	closeTask(end, "abort")
+	if powerOn && end > powerFrom {
+		span("power on", trackPower, powerFrom, end, nil)
+	}
+
+	// One event per line keeps the output diffable and the golden file
+	// reviewable; encoding/json gives deterministic key order (struct
+	// order; map args sort their keys).
+	if _, err := fmt.Fprintf(w, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	for i, ev := range out {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		sep := ","
+		if i == len(out)-1 {
+			sep = ""
+		}
+		if _, err := fmt.Fprintf(w, "%s%s\n", b, sep); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "]}\n")
+	return err
+}
+
+// ExportChromeTrace renders a trace buffer's timeline (see
+// WriteChromeTrace).
+func ExportChromeTrace(buf *TraceBuffer, w io.Writer) error {
+	return WriteChromeTrace(buf.Events, w)
+}

@@ -52,10 +52,10 @@ func RunAttached(dev *Device, rt Hooks, app *task.App) error {
 		dev.Run.PowerFailures++
 		dev.Ledger.FailAttempt()
 		dev.Mem.PowerFailure()
-		dev.Trace("power-failure", "#%d", dev.Run.PowerFailures)
+		dev.Trace(EvPowerFailure, "#%d", dev.Run.PowerFailures)
 		off := dev.Supply.Recharge(dev.Clock.Now())
 		dev.Clock.Off(off)
-		dev.Trace("recharge", "off for %v", off)
+		dev.Trace(EvRecharge, "off for %v", off)
 		if h, ok := dev.Supply.(*power.Harvested); ok && h.Dead() {
 			dev.Run.Stuck = true
 			finish(dev, rt, app)
@@ -76,9 +76,13 @@ func RunAttached(dev *Device, rt Hooks, app *task.App) error {
 // mid-task failures: a supply too weak to even boot surfaces as
 // non-termination, which is the physically correct outcome.
 func bootAndRun(ctx *Ctx) (failed bool, err error) {
+	var attempt *task.Task // the task in flight, for the abort event
 	defer func() {
 		if r := recover(); r != nil {
 			if _, ok := r.(powerFailure); ok {
+				if attempt != nil {
+					ctx.Dev.Trace(EvTaskAbort, "%s", attempt.Name)
+				}
 				failed = true
 				return
 			}
@@ -87,7 +91,7 @@ func bootAndRun(ctx *Ctx) (failed bool, err error) {
 	}()
 	ctx.wastedDepth = 0
 	ctx.Dev.Clock.Boot()
-	ctx.Dev.Trace("boot", "#%d", ctx.Dev.Clock.Boots())
+	ctx.Dev.Trace(EvBoot, "#%d", ctx.Dev.Clock.Boots())
 	ctx.ChargeOverheadCycles(mcu.BootCycles)
 	ctx.RT.OnBoot(ctx)
 	for {
@@ -97,14 +101,16 @@ func bootAndRun(ctx *Ctx) (failed bool, err error) {
 		}
 		ctx.Dev.Run.TaskAttempts++
 		ctx.transitioned = false
-		ctx.Dev.Trace("task-begin", "%s (attempt %d)", t.Name, ctx.Dev.Run.TaskAttempts)
+		ctx.Dev.Trace(EvTaskBegin, "%s (attempt %d)", t.Name, ctx.Dev.Run.TaskAttempts)
+		attempt = t
 		ctx.RT.BeginTask(ctx, t)
 		t.Body(ctx)
 		if !ctx.transitioned {
 			return false, fmt.Errorf("kernel: task %q returned without Next/Done", t.Name)
 		}
+		attempt = nil
 		ctx.Dev.Run.TaskCommits++
-		ctx.Dev.Trace("task-commit", "%s", t.Name)
+		ctx.Dev.Trace(EvTaskCommit, "%s", t.Name)
 	}
 }
 

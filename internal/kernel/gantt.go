@@ -51,9 +51,9 @@ func RenderGantt(buf *TraceBuffer, width int, w io.Writer) {
 	}
 	for _, e := range buf.Events {
 		switch e.Kind {
-		case "power-failure":
+		case EvPowerFailure:
 			offFrom, inOff = e.Wall, true
-		case "boot":
+		case EvBoot:
 			if inOff {
 				mark(offFrom, e.Wall)
 				inOff = false
@@ -88,7 +88,7 @@ func RenderGantt(buf *TraceBuffer, width int, w io.Writer) {
 	}
 	for _, e := range buf.Events {
 		switch e.Kind {
-		case "task-begin":
+		case EvTaskBegin:
 			name := taskName(e.Detail)
 			if _, seen := lanes[name]; !seen {
 				lanes[name] = nil
@@ -96,13 +96,13 @@ func RenderGantt(buf *TraceBuffer, width int, w io.Writer) {
 			}
 			closeOpen(e.Wall, 'X') // a new begin implies the old attempt died
 			open[name] = e.Wall
-		case "task-commit":
+		case EvTaskCommit:
 			name := taskName(e.Detail)
 			if from, ok := open[name]; ok {
 				lanes[name] = append(lanes[name], span{from, e.Wall, 'C'})
 				delete(open, name)
 			}
-		case "power-failure":
+		case EvPowerFailure:
 			closeOpen(e.Wall, 'X')
 		}
 	}

@@ -1,6 +1,8 @@
 // Execution tracing: an optional, measurement-world event stream used by
-// easeio-sim's -trace flag and by tests that assert on runtime behaviour.
-// Tracing costs the simulated device nothing.
+// easeio-sim's -trace/-timeline flags, the Chrome trace_event exporter
+// (chrometrace.go) and tests that assert on runtime behaviour. Tracing
+// costs the simulated device nothing, and a nil tracer costs the host
+// close to nothing (one predictable branch — see BenchmarkTraceOff).
 
 package kernel
 
@@ -10,6 +12,72 @@ import (
 	"time"
 )
 
+// EventKind classifies a trace event. The kinds form the event taxonomy
+// of DESIGN.md §12: device power edges, task lifecycle, I/O and DMA
+// re-execution decisions, and EaseIO's regional privatization.
+type EventKind uint8
+
+// The event taxonomy.
+const (
+	// EvBoot marks a power-on edge: the device (re)boots.
+	EvBoot EventKind = iota
+	// EvPowerFailure marks a power-off edge: the supply died mid-attempt.
+	EvPowerFailure
+	// EvRecharge notes how long the device stayed dark before the next boot.
+	EvRecharge
+	// EvTaskBegin and EvTaskCommit bracket a committed task attempt;
+	// EvTaskAbort closes an attempt a power failure interrupted.
+	EvTaskBegin
+	EvTaskCommit
+	EvTaskAbort
+	// EvIOExec and EvIOSkip record an I/O site's re-execution decision
+	// (the detail carries the semantic taken and redundancy).
+	EvIOExec
+	EvIOSkip
+	// EvDMAClass records the runtime classification of a DMA transfer;
+	// EvDMAExec and EvDMASkip its re-execution decision.
+	EvDMAClass
+	EvDMAExec
+	EvDMASkip
+	// EvBlockSkip and EvBlockViolation record atomic I/O block decisions.
+	EvBlockSkip
+	EvBlockViolation
+	// EvRegionPrivatize and EvRegionRestore record regional privatization
+	// (privatize on first entry, restore on re-execution).
+	EvRegionPrivatize
+	EvRegionRestore
+
+	numEventKinds
+)
+
+// eventKindNames are the stable wire names of the kinds — the strings the
+// text timeline prints and the Chrome exporter uses as categories.
+var eventKindNames = [numEventKinds]string{
+	EvBoot:            "boot",
+	EvPowerFailure:    "power-failure",
+	EvRecharge:        "recharge",
+	EvTaskBegin:       "task-begin",
+	EvTaskCommit:      "task-commit",
+	EvTaskAbort:       "task-abort",
+	EvIOExec:          "io-exec",
+	EvIOSkip:          "io-skip",
+	EvDMAClass:        "dma-class",
+	EvDMAExec:         "dma-exec",
+	EvDMASkip:         "dma-skip",
+	EvBlockSkip:       "block-skip",
+	EvBlockViolation:  "block-violation",
+	EvRegionPrivatize: "region-privatize",
+	EvRegionRestore:   "region-restore",
+}
+
+// String returns the kind's stable wire name.
+func (k EventKind) String() string {
+	if int(k) < len(eventKindNames) {
+		return eventKindNames[k]
+	}
+	return fmt.Sprintf("EventKind(%d)", uint8(k))
+}
+
 // TraceEvent is one timeline entry.
 type TraceEvent struct {
 	// Wall and OnTime timestamp the event (persistent and powered-on
@@ -17,10 +85,8 @@ type TraceEvent struct {
 	Wall, OnTime time.Duration
 	// Boot is the boot number the event happened in.
 	Boot int
-	// Kind classifies the event ("boot", "power-failure", "task-begin",
-	// "task-commit", "io-exec", "io-skip", "dma-exec", "dma-skip",
-	// "region-privatize", "region-restore", "block-skip", ...).
-	Kind string
+	// Kind classifies the event.
+	Kind EventKind
 	// Detail names the task/site/region involved.
 	Detail string
 }
@@ -50,7 +116,7 @@ func (b *TraceBuffer) Event(e TraceEvent) { b.Events = append(b.Events, e) }
 func (b *TraceBuffer) Reset() { b.Events = b.Events[:0] }
 
 // Count returns how many events of the given kind were recorded.
-func (b *TraceBuffer) Count(kind string) int {
+func (b *TraceBuffer) Count(kind EventKind) int {
 	n := 0
 	for _, e := range b.Events {
 		if e.Kind == kind {
@@ -75,8 +141,8 @@ func (t TraceWriter) Event(e TraceEvent) { fmt.Fprintln(t.W, e) }
 
 // Trace emits an event if a tracer is attached to the device. Runtimes
 // and the engine call it at decision points; the fmt.Sprintf cost is only
-// paid when tracing is on.
-func (d *Device) Trace(kind, format string, args ...any) {
+// paid when tracing is on and the event carries arguments.
+func (d *Device) Trace(kind EventKind, format string, args ...any) {
 	if d.Tracer == nil {
 		return
 	}

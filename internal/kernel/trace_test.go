@@ -20,14 +20,19 @@ func TestTraceBufferRecordsLifecycle(t *testing.T) {
 	if err := RunApp(dev, &testRT{}, a); err != nil {
 		t.Fatal(err)
 	}
-	if buf.Count("boot") != 2 {
-		t.Errorf("boot events = %d, want 2", buf.Count("boot"))
+	if buf.Count(EvBoot) != 2 {
+		t.Errorf("boot events = %d, want 2", buf.Count(EvBoot))
 	}
-	if buf.Count("power-failure") != 1 {
-		t.Errorf("power-failure events = %d, want 1", buf.Count("power-failure"))
+	if buf.Count(EvPowerFailure) != 1 {
+		t.Errorf("power-failure events = %d, want 1", buf.Count(EvPowerFailure))
 	}
-	if buf.Count("task-begin") < 2 || buf.Count("task-commit") != 1 {
-		t.Errorf("task events: begin=%d commit=%d", buf.Count("task-begin"), buf.Count("task-commit"))
+	if buf.Count(EvTaskBegin) < 2 || buf.Count(EvTaskCommit) != 1 {
+		t.Errorf("task events: begin=%d commit=%d", buf.Count(EvTaskBegin), buf.Count(EvTaskCommit))
+	}
+	// The attempt the failure interrupted is closed by an abort event
+	// before the failure itself is recorded.
+	if buf.Count(EvTaskAbort) != 1 {
+		t.Errorf("task-abort events = %d, want 1", buf.Count(EvTaskAbort))
 	}
 	// Events are time-ordered and render non-empty lines.
 	var prev time.Duration
@@ -61,5 +66,58 @@ func TestTraceCostsNothing(t *testing.T) {
 	}
 	if runOnce(false) != runOnce(true) {
 		t.Error("tracing changed simulated time")
+	}
+}
+
+// The overhead budget of DESIGN.md §12: with no tracer attached, a trace
+// point is one nil check — no Sprintf, no allocation.
+func BenchmarkTraceOff(b *testing.B) {
+	dev := NewDevice(power.Continuous{}, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dev.Trace(EvIOExec, "%s[%d]", "site", i)
+	}
+}
+
+// BenchmarkTraceOn is the comparison point: the full cost of formatting
+// and buffering an event when tracing is enabled.
+func BenchmarkTraceOn(b *testing.B) {
+	dev := NewDevice(power.Continuous{}, 1)
+	buf := &TraceBuffer{}
+	dev.Tracer = buf
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if len(buf.Events) > 1<<16 {
+			buf.Reset()
+		}
+		dev.Trace(EvIOExec, "%s[%d]", "site", i)
+	}
+}
+
+// BenchmarkRunTraced/off vs /on: end-to-end cost of tracing a whole run.
+func BenchmarkRunTraced(b *testing.B) {
+	for _, traced := range []bool{false, true} {
+		name := "off"
+		if traced {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				a := simpleApp(func(e task.Exec) {
+					e.Compute(5000)
+					e.Done()
+				})
+				dev := NewDevice(power.Continuous{}, 1)
+				if traced {
+					dev.Tracer = &TraceBuffer{}
+				}
+				b.StartTimer()
+				if err := RunApp(dev, &testRT{}, a); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -191,7 +191,7 @@ func (b *Base) noteIO(s *task.IOSite, idx int) (k ioKey, redundant bool) {
 // NoteIOSkip records that the runtime avoided re-executing site s.
 func (b *Base) NoteIOSkip(s *task.IOSite) {
 	b.Dev.Run.IOSkips++
-	b.Dev.Trace("io-skip", "%s", s.Name)
+	b.Dev.Trace(kernel.EvIOSkip, "%s sem=%s", s.Name, s.Sem)
 }
 
 // noteDMA records a DMA execution attempt (see noteIO).
@@ -208,7 +208,7 @@ func (b *Base) noteDMA(d *task.DMASite) (k ioKey, redundant bool) {
 // NoteDMASkip records an avoided DMA re-execution.
 func (b *Base) NoteDMASkip(d *task.DMASite) {
 	b.Dev.Run.DMASkips++
-	b.Dev.Trace("dma-skip", "%s", d.Name)
+	b.Dev.Trace(kernel.EvDMASkip, "%s", d.Name)
 }
 
 // ExecIO runs the site's operation with redundancy accounting: executions
@@ -220,7 +220,7 @@ func (b *Base) ExecIO(c *kernel.Ctx, s *task.IOSite, idx int) uint16 {
 		c.PushWasted()
 		defer c.PopWasted()
 	}
-	b.Dev.Trace("io-exec", "%s[%d] (redundant=%v)", s.Name, idx, redundant)
+	b.Dev.Trace(kernel.EvIOExec, "%s[%d] sem=%s (redundant=%v)", s.Name, idx, s.Sem, redundant)
 	v := s.Exec(c, idx)
 	b.completed[k] = true
 	return v
@@ -233,7 +233,7 @@ func (b *Base) ExecDMA(c *kernel.Ctx, d *task.DMASite, src, dst mem.Addr, words 
 		c.PushWasted()
 		defer c.PopWasted()
 	}
-	b.Dev.Trace("dma-exec", "%s %v->%v %dw (redundant=%v)", d.Name, src, dst, words, redundant)
+	b.Dev.Trace(kernel.EvDMAExec, "%s %v->%v %dw (redundant=%v)", d.Name, src, dst, words, redundant)
 	c.RawDMA(src, dst, words, false)
 	b.completed[k] = true
 }

@@ -1,0 +1,120 @@
+// Labeled latency/throughput histograms in the Prometheus text
+// exposition format. The service moved past plain counters here: bucket
+// distributions answer the questions the paper's evaluation asks of the
+// simulator itself (where does the time go? how wide is the spread?) for
+// the service's own hot paths.
+
+package service
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Histogram is a fixed-bucket cumulative histogram, optionally split by
+// one label. Observations are mutex-guarded (job-frequency, not
+// simulation-frequency, so contention is irrelevant); rendering follows
+// the Prometheus text exposition: per-series _bucket{le=...} lines in
+// ascending bound order ending at +Inf, then _sum and _count.
+type Histogram struct {
+	name, help string
+	label      string    // label name; "" renders unlabeled series
+	buckets    []float64 // ascending upper bounds; +Inf is implicit
+
+	mu     sync.Mutex
+	series map[string]*histSeries
+}
+
+type histSeries struct {
+	counts []uint64 // one per bucket, plus the +Inf bucket at the end
+	sum    float64
+	count  uint64
+}
+
+// NewHistogram returns a histogram with the given ascending bucket upper
+// bounds. label names the single partition label ("" for none).
+func NewHistogram(name, help, label string, buckets []float64) *Histogram {
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("service: histogram %s buckets not ascending: %v", name, buckets))
+		}
+	}
+	return &Histogram{
+		name: name, help: help, label: label,
+		buckets: buckets,
+		series:  make(map[string]*histSeries),
+	}
+}
+
+// Observe records one value under the given label value (ignored for
+// unlabeled histograms).
+func (h *Histogram) Observe(labelValue string, v float64) {
+	if h.label == "" {
+		labelValue = ""
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := h.series[labelValue]
+	if s == nil {
+		s = &histSeries{counts: make([]uint64, len(h.buckets)+1)}
+		h.series[labelValue] = s
+	}
+	i := sort.SearchFloat64s(h.buckets, v)
+	s.counts[i]++
+	s.sum += v
+	s.count++
+}
+
+// leFormat renders a bucket bound the way Prometheus clients do.
+func leFormat(b float64) string {
+	if math.IsInf(b, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+// writeTo renders the histogram. Series are ordered by label value so the
+// exposition is deterministic.
+func (h *Histogram) writeTo(w io.Writer) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", h.name, h.help, h.name)
+	values := make([]string, 0, len(h.series))
+	for v := range h.series {
+		values = append(values, v)
+	}
+	sort.Strings(values)
+	for _, v := range values {
+		s := h.series[v]
+		pair := ""
+		sep := ""
+		if h.label != "" {
+			pair = fmt.Sprintf("%s=%q", h.label, v)
+			sep = ","
+		}
+		cum := uint64(0)
+		for i, b := range h.buckets {
+			cum += s.counts[i]
+			fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", h.name, pair, sep, leFormat(b), cum)
+		}
+		cum += s.counts[len(h.buckets)]
+		fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", h.name, pair, sep, cum)
+		if h.label != "" {
+			fmt.Fprintf(w, "%s_sum{%s} %g\n%s_count{%s} %d\n", h.name, pair, s.sum, h.name, pair, s.count)
+		} else {
+			fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", h.name, s.sum, h.name, s.count)
+		}
+	}
+}
+
+// The service's bucket layouts: latencies span 1 ms jobs to multi-minute
+// exhaustive checks; rates span single-digit to millions of events/s.
+var (
+	latencyBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+		0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120}
+	rateBuckets = []float64{1, 10, 100, 1_000, 10_000, 100_000, 1_000_000}
+)

@@ -7,13 +7,20 @@
 //	GET    /jobs           list all jobs
 //	GET    /jobs/{id}      one job's status, progress and summary
 //	DELETE /jobs/{id}      cancel a job
+//
+// With WithPprof, the Go profiling endpoints are additionally mounted
+// under GET /debug/pprof/.
 package service
 
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
+	"time"
 )
 
 // Server binds the manager, registry and metrics to an http.Handler.
@@ -21,11 +28,38 @@ type Server struct {
 	mgr     *Manager
 	reg     *Registry
 	metrics *Metrics
+	log     *slog.Logger
+	pprof   bool
+}
+
+// ServerOption configures a Server at construction time.
+type ServerOption func(*Server)
+
+// WithAccessLog installs a structured access log: one record per request
+// with method, path, status and duration.
+func WithAccessLog(l *slog.Logger) ServerOption {
+	return func(s *Server) {
+		if l != nil {
+			s.log = l
+		}
+	}
+}
+
+// WithPprof mounts the Go runtime profiling handlers under
+// /debug/pprof/. Off by default: the endpoints expose host-level detail
+// (command line, heap contents) that an open sweep service should not
+// serve unless the operator asked for it.
+func WithPprof() ServerOption {
+	return func(s *Server) { s.pprof = true }
 }
 
 // NewServer returns a server over the given components.
-func NewServer(mgr *Manager, reg *Registry, metrics *Metrics) *Server {
-	return &Server{mgr: mgr, reg: reg, metrics: metrics}
+func NewServer(mgr *Manager, reg *Registry, metrics *Metrics, opts ...ServerOption) *Server {
+	s := &Server{mgr: mgr, reg: reg, metrics: metrics}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
 }
 
 // Handler returns the service's route table.
@@ -38,7 +72,61 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs", s.handleList)
 	mux.HandleFunc("GET /jobs/{id}", s.handleGet)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
-	return mux
+	if s.pprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprofSeconds(pprof.Profile))
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprofSeconds(pprof.Trace))
+	}
+	if s.log == nil {
+		return mux
+	}
+	return accessLog(s.log, mux)
+}
+
+// maxPprofSeconds caps the duration-taking profile captures: a CPU
+// profile or execution trace blocks the handler for its full window.
+const maxPprofSeconds = 60
+
+// pprofSeconds guards the duration-taking pprof handlers. The stdlib
+// handlers silently substitute a default (30 s!) for a malformed or
+// non-positive seconds parameter; here that is a 400 instead, so a typo
+// never turns into a surprise half-minute capture.
+func pprofSeconds(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if raw := r.URL.Query().Get("seconds"); raw != "" {
+			sec, err := strconv.ParseFloat(raw, 64)
+			if err != nil || sec <= 0 || sec > maxPprofSeconds {
+				writeError(w, http.StatusBadRequest, fmt.Errorf(
+					"service: seconds must be a number in (0, %d], got %q", maxPprofSeconds, raw))
+				return
+			}
+		}
+		next(w, r)
+	}
+}
+
+// statusRecorder captures the response code for the access log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// accessLog wraps next with one structured record per request.
+func accessLog(l *slog.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(rec, r)
+		l.Info("http request", "method", r.Method, "path", r.URL.Path,
+			"status", rec.status, "dur_ms", time.Since(start).Milliseconds())
+	})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -9,6 +9,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -208,6 +210,7 @@ func (j *Job) Status() Status {
 type Manager struct {
 	reg     *Registry
 	metrics *Metrics
+	log     *slog.Logger
 
 	queue chan *Job
 	quit  chan struct{}
@@ -222,10 +225,30 @@ type Manager struct {
 	nextID uint64
 }
 
+// ManagerOption configures a Manager at construction time.
+type ManagerOption func(*Manager)
+
+// WithManagerLogger installs a structured logger for the job lifecycle
+// (accept, start, finish, cancel, shutdown). Every record about a job
+// carries its "job" ID attribute. The default discards.
+func WithManagerLogger(l *slog.Logger) ManagerOption {
+	return func(m *Manager) {
+		if l != nil {
+			m.log = l
+		}
+	}
+}
+
+// discardLogger drops every record; the structured-logging default for
+// embedded use (tests, smoke runs) where nothing consumes the stream.
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
 // NewManager starts a manager draining a queue of the given capacity
 // with the given number of concurrent job workers (each job additionally
 // fans out over its own sweep workers).
-func NewManager(reg *Registry, metrics *Metrics, queueSize, workers int) *Manager {
+func NewManager(reg *Registry, metrics *Metrics, queueSize, workers int, opts ...ManagerOption) *Manager {
 	if queueSize < 1 {
 		queueSize = 1
 	}
@@ -235,9 +258,13 @@ func NewManager(reg *Registry, metrics *Metrics, queueSize, workers int) *Manage
 	m := &Manager{
 		reg:     reg,
 		metrics: metrics,
+		log:     discardLogger(),
 		queue:   make(chan *Job, queueSize),
 		quit:    make(chan struct{}),
 		jobs:    make(map[uint64]*Job),
+	}
+	for _, opt := range opts {
+		opt(m)
 	}
 	for i := 0; i < workers; i++ {
 		m.wg.Add(1)
@@ -312,6 +339,8 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 	default:
 		cancel()
 		m.metrics.JobsRejected.Add(1)
+		m.log.Warn("job rejected: queue full",
+			"app", spec.App, "runtime", spec.Runtime, "mode", modeName(spec.Mode))
 		return nil, ErrQueueFull
 	}
 	m.mu.Lock()
@@ -319,7 +348,18 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 	m.order = append(m.order, j.ID)
 	m.mu.Unlock()
 	m.metrics.JobsAccepted.Add(1)
+	m.log.Info("job accepted", "job", j.ID, "app", spec.App,
+		"runtime", spec.Runtime, "mode", modeName(spec.Mode), "runs", spec.Runs)
 	return j, nil
+}
+
+// modeName normalizes JobSpec.Mode for logs and metric labels ("" is a
+// sweep).
+func modeName(mode string) string {
+	if mode == "" {
+		return "sweep"
+	}
+	return mode
 }
 
 // Get returns the job with the given ID.
@@ -352,6 +392,7 @@ func (m *Manager) Cancel(id uint64) bool {
 		// later pops it will skip it.
 		m.metrics.JobsCancelled.Add(1)
 	}
+	m.log.Info("job cancel requested", "job", id, "state", j.State().String())
 	return true
 }
 
@@ -363,6 +404,8 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	if !m.closed.CompareAndSwap(false, true) {
 		return nil
 	}
+	m.log.Info("manager shutting down",
+		"queued", m.QueueDepth(), "running", m.RunningJobs())
 	close(m.quit)
 
 	workersDone := make(chan struct{})
@@ -419,9 +462,19 @@ func (m *Manager) runJob(j *Job) {
 	}
 	j.mu.Lock()
 	j.started = time.Now()
+	queued := j.started.Sub(j.submitted)
 	j.mu.Unlock()
 	m.running.Add(1)
 	defer m.running.Add(-1)
+
+	mode := modeName(j.Spec.Mode)
+	jl := m.log.With("job", j.ID)
+	m.metrics.QueueWait.Observe(mode, queued.Seconds())
+	jl.Info("job started", "app", j.Spec.App, "runtime", j.Spec.Runtime,
+		"mode", mode, "queued_ms", queued.Milliseconds())
+	// Registered before the recover barrier so it observes the finalized
+	// job even when the job panicked.
+	defer m.observeFinished(j, jl)
 
 	defer func() {
 		if r := recover(); r != nil {
@@ -462,6 +515,38 @@ func (m *Manager) runJob(j *Job) {
 		m.metrics.JobsCompleted.Add(1)
 		j.finalize(Succeeded, sum, "")
 	}
+}
+
+// observeFinished folds a finished job into the latency and throughput
+// histograms and logs its outcome. It runs after finalize (the recover
+// barrier included), so the terminal state and timestamps are set.
+func (m *Manager) observeFinished(j *Job, jl *slog.Logger) {
+	st := j.State()
+	mode := modeName(j.Spec.Mode)
+	j.mu.Lock()
+	ran := j.finished.Sub(j.started)
+	errMsg := j.errMsg
+	j.mu.Unlock()
+	m.metrics.JobDuration.Observe(mode, ran.Seconds())
+	done, total := j.Progress()
+	if ran > 0 {
+		rate := float64(done) / ran.Seconds()
+		if mode == "check" {
+			m.metrics.CheckRate.Observe(mode, rate)
+		} else {
+			m.metrics.SweepRate.Observe(mode, rate)
+		}
+	}
+	attrs := []any{"state", st.String(), "ran_ms", ran.Milliseconds(),
+		"done", done, "total", total}
+	if errMsg != "" {
+		attrs = append(attrs, "error", errMsg)
+	}
+	if st == Failed {
+		jl.Error("job finished", attrs...)
+		return
+	}
+	jl.Info("job finished", attrs...)
 }
 
 // runCheckJob executes one failure-point check. A report with divergences

@@ -33,6 +33,13 @@ type Metrics struct {
 	CheckPoints      atomic.Int64
 	CheckDivergences atomic.Int64
 
+	// The distribution surface: per-job latency and throughput
+	// histograms, labeled by job mode where both modes flow in.
+	JobDuration *Histogram
+	QueueWait   *Histogram
+	SweepRate   *Histogram
+	CheckRate   *Histogram
+
 	mu       sync.Mutex
 	appT     time.Duration
 	overT    time.Duration
@@ -46,7 +53,19 @@ type Metrics struct {
 
 // NewMetrics returns a metrics set anchored at the current time (the
 // runs-per-second gauge divides by service uptime).
-func NewMetrics() *Metrics { return &Metrics{start: time.Now()} }
+func NewMetrics() *Metrics {
+	return &Metrics{
+		start: time.Now(),
+		JobDuration: NewHistogram("easeio_job_duration_seconds",
+			"Wall-clock execution time of finished jobs.", "mode", latencyBuckets),
+		QueueWait: NewHistogram("easeio_job_queue_wait_seconds",
+			"Time jobs spent waiting in the bounded queue before a worker picked them up.", "mode", latencyBuckets),
+		SweepRate: NewHistogram("easeio_job_runs_per_second",
+			"Per-job sweep throughput (finished seeded runs over execution time).", "mode", rateBuckets),
+		CheckRate: NewHistogram("easeio_job_check_points_per_second",
+			"Per-job check throughput (explored failure points over execution time).", "mode", rateBuckets),
+	}
+}
 
 // NoteSummary folds one job's (possibly partial) sweep summary into the
 // cumulative work-split gauges. Summary work fields are per-run means, so
@@ -102,6 +121,11 @@ func (m *Metrics) WriteTo(w io.Writer, queueDepth, running int) {
 
 	gauge("easeio_queue_depth", "Jobs waiting in the bounded queue.", float64(queueDepth))
 	gauge("easeio_running_jobs", "Jobs currently executing.", float64(running))
+
+	m.JobDuration.writeTo(w)
+	m.QueueWait.writeTo(w)
+	m.SweepRate.writeTo(w)
+	m.CheckRate.writeTo(w)
 
 	uptime := time.Since(m.start).Seconds()
 	gauge("easeio_uptime_seconds", "Seconds since the service started.", uptime)

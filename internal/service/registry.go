@@ -13,6 +13,7 @@ package service
 
 import (
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 
@@ -77,12 +78,21 @@ func (b *Blueprint) Describe() (Info, error) {
 // Registry maps blueprint names to registered applications. It is safe
 // for concurrent use.
 type Registry struct {
-	mu sync.RWMutex
-	m  map[string]*Blueprint
+	mu  sync.RWMutex
+	m   map[string]*Blueprint
+	log *slog.Logger
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry { return &Registry{m: make(map[string]*Blueprint)} }
+
+// SetLogger installs a structured logger for registration events. A nil
+// logger (the default) discards them.
+func (r *Registry) SetLogger(l *slog.Logger) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.log = l
+}
 
 // Register adds a named blueprint. Registering a duplicate name is an
 // error — jobs refer to blueprints by name, and silently swapping the
@@ -97,6 +107,9 @@ func (r *Registry) Register(name string, factory experiments.AppFactory) error {
 		return fmt.Errorf("service: blueprint %q already registered", name)
 	}
 	r.m[name] = &Blueprint{Name: name, Factory: factory}
+	if r.log != nil {
+		r.log.Info("blueprint registered", "name", name, "count", len(r.m))
+	}
 	return nil
 }
 

@@ -1,0 +1,74 @@
+// Golden-file test for the Chrome trace exporter through the public
+// facade: a fixed-seed weather run must export byte-identical
+// trace_event JSON. The golden file doubles as the format contract —
+// any exporter change shows up as a reviewable diff. Rerun with -update
+// to accept an intentional one.
+
+package easeio
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateTrace = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+// TestChromeTraceGoldenWeather pins the exporter output for the
+// weather benchmark under EaseIO at seed 1 — the exact run the README's
+// observability quickstart produces with easeio-sim -trace.
+func TestChromeTraceGoldenWeather(t *testing.T) {
+	bench, err := NewWeatherBench(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := &TraceBuffer{}
+	if _, err := Run(bench.App, NewEaseIO(), WithSeed(1), WithTracer(buf)); err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := WriteChromeTrace(buf, &got); err != nil {
+		t.Fatal(err)
+	}
+
+	// The export must be a loadable trace regardless of golden drift:
+	// valid JSON, the envelope Perfetto expects, a non-empty event array
+	// where every event carries the required phase and pid fields.
+	var envelope struct {
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+		TraceEvents     []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(got.Bytes(), &envelope); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if envelope.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want \"ms\"", envelope.DisplayTimeUnit)
+	}
+	if len(envelope.TraceEvents) == 0 {
+		t.Fatal("no trace events exported")
+	}
+	for i, ev := range envelope.TraceEvents {
+		if ev["ph"] == nil || ev["pid"] == nil {
+			t.Fatalf("event %d missing ph/pid: %v", i, ev)
+		}
+	}
+
+	path := filepath.Join("testdata", "weather_trace.golden.json")
+	if *updateTrace {
+		if err := os.WriteFile(path, got.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("no golden file %s (run go test . -update): %v", path, err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Errorf("trace differs from golden file %s (rerun with -update to accept):\n--- got ---\n%s",
+			path, got.String())
+	}
+}
