@@ -44,6 +44,7 @@ race:
 
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkSweepThroughput -benchtime $(BENCHTIME) .
+	$(GO) test -run '^$$' -bench 'BenchmarkCheckThroughput/fig6' -benchtime $(BENCHTIME) .
 	$(GO) test -run '^$$' -bench 'BenchmarkTrace|BenchmarkRunTraced' -benchtime $(BENCHTIME) ./internal/kernel
 
 # Every benchmark in the module (slow; `make bench` is the curated cut).
@@ -54,11 +55,13 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseRuntimeKind$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzClassify$$' -fuzztime $(FUZZTIME) ./internal/dma
 	$(GO) test -run '^$$' -fuzz '^FuzzLint$$' -fuzztime $(FUZZTIME) ./internal/frontend
+	$(GO) test -run '^$$' -fuzz '^FuzzSchedule$$' -fuzztime $(FUZZTIME) ./internal/power
 
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseRuntimeKind$$' -fuzztime 3s .
 	$(GO) test -run '^$$' -fuzz '^FuzzClassify$$' -fuzztime 3s ./internal/dma
 	$(GO) test -run '^$$' -fuzz '^FuzzLint$$' -fuzztime 3s ./internal/frontend
+	$(GO) test -run '^$$' -fuzz '^FuzzSchedule$$' -fuzztime 3s ./internal/power
 
 serve-smoke:
 	$(GO) run ./cmd/easeio-served -smoke

@@ -7,11 +7,13 @@
 package easeio
 
 import (
+	"context"
 	"runtime"
 	"testing"
 	"time"
 
 	"easeio/internal/apps"
+	"easeio/internal/check"
 	"easeio/internal/core"
 	"easeio/internal/experiments"
 	"easeio/internal/kernel"
@@ -361,6 +363,52 @@ func BenchmarkSweepThroughput(b *testing.B) {
 			b.ReportMetric(totalRuns/b.Elapsed().Seconds(), "runs/s")
 			b.ReportMetric(float64(ms1.Mallocs-ms0.Mallocs)/totalRuns, "allocs/run")
 		})
+	}
+}
+
+// BenchmarkCheckThroughput compares the model checker's two replay paths
+// on exhaustive runs: checkpointed suffix replay (the default — restore
+// a golden-prefix snapshot, simulate only the post-failure suffix)
+// against from-boot re-simulation of every point. fig6 is the paper's
+// WAR-via-DMA scenario; its single dominant task restarts from its
+// beginning after any failure, so the suffix is nearly the whole run and
+// the checkpointed win is bounded by the prefix skipped (~1.5×
+// asymptotically). weather is a multi-task pipeline whose committed
+// prefix stays committed, where suffix replay pays only the interrupted
+// task and the gap widens with app length. Single-worker so the ratio
+// isolates per-point replay cost rather than scheduling; both paths
+// render byte-identical reports.
+func BenchmarkCheckThroughput(b *testing.B) {
+	cases := []struct {
+		app    string
+		newApp experiments.AppFactory
+	}{
+		{"fig6", check.Fig6Bench},
+		{"weather", func() (*apps.Bench, error) { return apps.NewWeatherApp(apps.DefaultWeatherConfig()) }},
+	}
+	for _, tc := range cases {
+		for _, fromBoot := range []bool{false, true} {
+			name := tc.app + "/checkpointed"
+			if fromBoot {
+				name = tc.app + "/fromboot"
+			}
+			b.Run(name, func(b *testing.B) {
+				cfg := check.Config{Exhaustive: true, Workers: 1, FromBoot: fromBoot}
+				points := 0
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					rep, err := check.Run(context.Background(), tc.newApp, experiments.EaseIO, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !rep.Passed() {
+						b.Fatalf("%s diverged:\n%s", tc.app, rep.Render())
+					}
+					points += rep.Explored
+				}
+				b.ReportMetric(float64(points)/b.Elapsed().Seconds(), "points/s")
+			})
+		}
 	}
 }
 

@@ -7,7 +7,11 @@
 // Usage:
 //
 //	easeio-check [-app NAME|all] [-runtime NAME|all] [-exhaustive] [-grid N]
-//	             [-seed S] [-off D] [-workers N] [-broken]
+//	             [-seed S] [-off D] [-workers N] [-fromboot] [-broken]
+//
+// Replays restore golden-prefix checkpoints and simulate only the
+// post-failure suffix by default; -fromboot re-simulates every replay
+// from boot instead. Both modes render byte-identical reports.
 //
 // -app accepts the registered blueprint names (easeio-served's registry)
 // plus "fig6", the paper's Figure 6 WAR-via-DMA scenario. -broken checks
@@ -43,6 +47,7 @@ func main() {
 		seed       = flag.Int64("seed", 0, "seed for the golden run and every replay")
 		off        = flag.Duration("off", time.Millisecond, "recharge duration of the injected failure")
 		workers    = flag.Int("workers", 0, "parallel replays (0 = GOMAXPROCS); results are worker-invariant")
+		fromBoot   = flag.Bool("fromboot", false, "re-simulate every replay from boot instead of restoring golden-prefix checkpoints (slower; reports are byte-identical)")
 		broken     = flag.Bool("broken", false, "seeded-bug demo: disable regional privatization (fig6 under EaseIO must fail)")
 	)
 	flag.Parse()
@@ -52,6 +57,7 @@ func main() {
 		Off:        *off,
 		Grid:       *grid,
 		Exhaustive: *exhaustive,
+		FromBoot:   *fromBoot,
 		Workers:    *workers,
 	}
 	if *broken {

@@ -84,6 +84,27 @@ func (r *Runtime) Reset(dev *kernel.Device) error {
 	return nil
 }
 
+var _ kernel.SnapshotterInto = (*Runtime)(nil)
+
+// SnapshotState implements kernel.Snapshotter. Alpaca's reboot-surviving
+// volatile state is exactly what rtbase tracks; the privatization maps
+// and current task are per-attempt and rebuilt by OnBoot/BeginTask.
+func (r *Runtime) SnapshotState() any { return r.SnapshotBaseInto(nil) }
+
+// SnapshotStateInto implements kernel.SnapshotterInto.
+func (r *Runtime) SnapshotStateInto(prev any) any {
+	p, _ := prev.(*rtbase.BaseState)
+	return r.SnapshotBaseInto(p)
+}
+
+// RestoreState implements kernel.Snapshotter.
+func (r *Runtime) RestoreState(dev *kernel.Device, state any) {
+	r.RestoreBase(dev, *state.(*rtbase.BaseState))
+	clear(r.active)
+	clear(r.dirty)
+	r.curTask = nil
+}
+
 // OnBoot implements kernel.Hooks.
 func (r *Runtime) OnBoot(c *kernel.Ctx) {
 	r.LoadBoot(c)

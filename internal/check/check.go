@@ -45,6 +45,14 @@ type Config struct {
 	// Exhaustive replays every candidate cut point instead of pruning
 	// hash-equivalent intervals.
 	Exhaustive bool
+	// FromBoot forces every replay to re-simulate from boot instead of
+	// restoring a checkpoint of the golden prefix and simulating only
+	// the post-failure suffix. The two modes produce byte-identical
+	// reports; from-boot is the O(run) escape hatch kept for
+	// cross-validation and for runtimes that do not implement
+	// kernel.Snapshotter and kernel.Resetter (which fall back to it
+	// automatically).
+	FromBoot bool
 	// Workers bounds parallel replays (defaults to GOMAXPROCS). The
 	// Report is worker-count-invariant.
 	Workers int
@@ -151,10 +159,33 @@ func Run(ctx context.Context, newApp experiments.AppFactory, kind experiments.Ru
 		Candidates:    len(rec.cuts),
 	}
 	if rep.Candidates == 0 {
+		// Nothing to explore, and nothing to diverge: a run that never
+		// crossed a charge-slice boundary has no point at which a power
+		// failure could land. Say so explicitly instead of rendering a
+		// confusingly empty pass.
+		rep.Note = "no candidate failure points: the golden run never crossed a charge-slice boundary"
 		return rep, nil
 	}
 
-	e := &explorer{cfg: cfg, newApp: newApp, newRT: newRT, golden: g, cuts: rec.cuts}
+	fromBoot := cfg.FromBoot
+	var rcr *recorder
+	if !fromBoot {
+		// Checkpointed replay needs the runtime to checkpoint its hook
+		// state and to reset in place for recording passes; probe the
+		// golden session's runtime and fall back to from-boot replay when
+		// it can't. The recorder re-runs recording passes on the session's
+		// own device, runtime and app — golden state was already copied
+		// out above, so checkpointed mode costs no extra builds.
+		_, canSnap := rt.(kernel.Snapshotter)
+		_, canReset := rt.(kernel.Resetter)
+		if canSnap && canReset {
+			rcr = newRecorder(bench, rt, dev, cfg.Seed)
+		} else {
+			fromBoot = true
+		}
+	}
+
+	e := &explorer{cfg: cfg, newApp: newApp, newRT: newRT, golden: g, cuts: rec.cuts, fromBoot: fromBoot, rec: rcr}
 	results, err := e.explore(ctx)
 	for i, res := range results {
 		if !res.evaluated {
@@ -184,49 +215,94 @@ type outcome struct {
 	div       *Divergence // nil when the replay matched golden
 }
 
-// replayer owns one worker's app instance, schedule and session — the
-// same blueprint/instance reuse path sweeps take. A replay mutates the
-// schedule's failure point in place and lets the session reset the
-// device.
+// replayer owns one worker's app instance and schedule. In from-boot
+// mode it re-simulates the whole run per point through a session (the
+// same blueprint/instance reuse path sweeps take); in checkpointed mode
+// it restores a golden-prefix checkpoint into its own attached device
+// and simulates only the post-failure suffix (kernel.ResumeWithFailure).
+// Both modes classify identically, so the Report is byte-identical
+// either way.
 type replayer struct {
 	bench  *apps.Bench
 	sch    *power.Schedule
-	sess   *kernel.Session
 	golden *golden
 	seed   int64
+
+	// from-boot mode
+	sess *kernel.Session
+
+	// checkpointed mode: a device with the blueprint attached, overwritten
+	// by every restore.
+	dev *kernel.Device
+	rt  kernel.Hooks
 }
 
-func newReplayer(newApp experiments.AppFactory, newRT func() kernel.Hooks, g *golden, cfg Config) (*replayer, error) {
+func newReplayer(newApp experiments.AppFactory, newRT func() kernel.Hooks, g *golden, cfg Config, fromBoot bool) (*replayer, error) {
 	bench, err := newApp()
 	if err != nil {
 		return nil, fmt.Errorf("check: build replay app: %w", err)
 	}
 	sch := power.NewScheduleWithOff(cfg.Off)
-	return &replayer{
-		bench:  bench,
-		sch:    sch,
-		sess:   kernel.NewSession(newRT(), bench.App, sch),
-		golden: g,
-		seed:   cfg.Seed,
-	}, nil
+	r := &replayer{bench: bench, sch: sch, golden: g, seed: cfg.Seed}
+	if fromBoot {
+		r.sess = kernel.NewSession(newRT(), bench.App, sch)
+		return r, nil
+	}
+	if err := bench.App.Validate(); err != nil {
+		return nil, fmt.Errorf("check: replay app: %w", err)
+	}
+	rt := newRT()
+	dev := kernel.NewDevice(sch, cfg.Seed)
+	if err := rt.Attach(dev, bench.App); err != nil {
+		return nil, fmt.Errorf("check: attach replay app: %w", err)
+	}
+	r.dev, r.rt = dev, rt
+	return r, nil
 }
 
-// eval replays the run with a single failure at cut and classifies the
-// result against golden. The outcome hash covers the correctness verdict,
-// the failure count, every non-time-sensitive memory word and the
-// divergence kind — the equivalence the pruning relies on.
+// eval replays the run from boot with a single failure at cut and
+// classifies the result against golden.
 func (r *replayer) eval(cut time.Duration) outcome {
 	r.sch.FailAt = []time.Duration{cut}
 	run, err := r.sess.Run(r.seed)
+	if err != nil {
+		return r.classify(nil, nil, nil, err)
+	}
+	return r.classify(r.sess.Device(), r.sess.Runtime(), run, nil)
+}
+
+// evalFrom restores the golden-prefix checkpoint taken at cut, applies
+// the injected failure, and simulates only the suffix.
+func (r *replayer) evalFrom(cp *checkpoint, cut time.Duration) outcome {
+	r.sch.FailAt = []time.Duration{cut}
+	r.sch.Reset(0)
+	r.dev.Restore(cp.dev)
+	r.rt.(kernel.Snapshotter).RestoreState(r.dev, cp.rt)
+	if err := kernel.ResumeWithFailure(r.dev, r.rt, r.bench.App); err != nil {
+		return r.classify(nil, nil, nil, err)
+	}
+	return r.classify(r.dev, r.rt, r.dev.Run, nil)
+}
+
+// classify compares one replay's final state against golden. The outcome
+// hash covers the correctness verdict, the failure count, every
+// non-time-sensitive memory word and the divergence kind — the
+// equivalence the pruning relies on.
+func (r *replayer) classify(dev *kernel.Device, rt kernel.Hooks, run *stats.Run, err error) outcome {
 	if err != nil {
 		return outcome{evaluated: true, hash: hashString("error:" + err.Error()),
 			div: &Divergence{Kind: "error", Detail: err.Error()}}
 	}
 
-	dev, rt := r.sess.Device(), r.sess.Runtime()
-	h := fnv.New64a()
-	var buf [2]byte
-	put := func(w uint16) { buf[0], buf[1] = byte(w), byte(w>>8); h.Write(buf[:]) }
+	// Manual FNV-1a over the words' little-endian bytes — identical to
+	// feeding hash/fnv two bytes per word, without the per-word interface
+	// call (classify runs once per replayed point over every app word).
+	const fnvOffset, fnvPrime = 14695981039346656037, 1099511628211
+	h := uint64(fnvOffset)
+	put := func(w uint16) {
+		h = (h ^ uint64(w&0xff)) * fnvPrime
+		h = (h ^ uint64(w>>8)) * fnvPrime
+	}
 	if run.Correct {
 		put(1)
 	} else {
@@ -239,8 +315,9 @@ func (r *replayer) eval(cut time.Duration) outcome {
 		if r.golden.sensed[i] {
 			continue
 		}
+		a := rt.AddrOf(v) // hoisted out of kernel.ReadVar's per-word path
 		for w := 0; w < v.Words; w++ {
-			got := kernel.ReadVar(dev, rt, v, w)
+			got := dev.Mem.Read(a.Add(w))
 			put(got)
 			if want := r.golden.vars[i][w]; got != want && div == nil {
 				div = &Divergence{Kind: "memory", Detail: fmt.Sprintf(
@@ -264,9 +341,11 @@ func (r *replayer) eval(cut time.Duration) outcome {
 			run.OnTime, r.golden.onTime)}
 	}
 	if div != nil {
-		h.Write([]byte(div.Kind))
+		for i := 0; i < len(div.Kind); i++ {
+			h = (h ^ uint64(div.Kind[i])) * fnvPrime
+		}
 	}
-	return outcome{evaluated: true, hash: h.Sum64(), div: div}
+	return outcome{evaluated: true, hash: h, div: div}
 }
 
 // sumWork totals the run's committed work buckets; with nothing pending

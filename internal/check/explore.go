@@ -26,12 +26,15 @@ import (
 )
 
 type explorer struct {
-	cfg    Config
-	newApp experiments.AppFactory
-	newRT  func() kernel.Hooks
-	golden *golden
-	cuts   []time.Duration
+	cfg      Config
+	newApp   experiments.AppFactory
+	newRT    func() kernel.Hooks
+	golden   *golden
+	cuts     []time.Duration
+	fromBoot bool
+	rec      *recorder // nil in from-boot mode
 
+	reps []*replayer  // worker pool, grown lazily by round demand
 	done atomic.Int64 // evaluated points, feeds Config.Progress
 }
 
@@ -39,33 +42,73 @@ type explorer struct {
 // returning one outcome slot per candidate (unevaluated slots are pruned
 // intervals). On cancellation it returns what was evaluated so far plus
 // ctx's error.
+//
+// In checkpointed mode each round is recorded first: a golden pass with
+// a snapshotting sink captures one checkpoint per pending point (in
+// batches of checkpointBatch to bound memory), and the workers restore
+// and resume instead of re-running from boot. The replayer pool is sized
+// lazily by actual round demand — a round with fewer points than
+// Workers never pays for app builds it cannot use.
 func (e *explorer) explore(ctx context.Context) ([]outcome, error) {
 	n := len(e.cuts)
 	out := make([]outcome, n)
-
-	workers := e.cfg.Workers
-	if workers > n {
-		workers = n
-	}
-	reps := make([]*replayer, workers)
-	for i := range reps {
-		r, err := newReplayer(e.newApp, e.newRT, e.golden, e.cfg)
-		if err != nil {
-			return out, err
-		}
-		reps[i] = r
-	}
+	rec := e.rec
 
 	pending := e.seedPoints(n)
 	planned := 0
 	for len(pending) > 0 {
 		planned += len(pending)
-		if err := e.evalRound(ctx, reps, out, pending, planned); err != nil {
-			return out, err
+		batch := len(pending)
+		if rec != nil && batch > checkpointBatch {
+			batch = checkpointBatch
+		}
+		for start := 0; start < len(pending); start += batch {
+			end := start + batch
+			if end > len(pending) {
+				end = len(pending)
+			}
+			idxs := pending[start:end]
+			var cps map[int]*checkpoint
+			if rec != nil {
+				if err := ctx.Err(); err != nil {
+					return out, err
+				}
+				var err error
+				if cps, err = rec.record(e.cuts, idxs); err != nil {
+					return out, err
+				}
+			}
+			if err := e.grow(len(idxs)); err != nil {
+				return out, err
+			}
+			if err := e.evalRound(ctx, out, idxs, cps, planned); err != nil {
+				return out, err
+			}
+			if rec != nil {
+				// evalRound is a barrier: every replay of this batch has
+				// finished, so its checkpoints can back the next batch.
+				rec.recycle(cps)
+			}
 		}
 		pending = nextRound(out)
 	}
 	return out, nil
+}
+
+// grow ensures the pool covers min(Workers, demand) replayers.
+func (e *explorer) grow(demand int) error {
+	want := e.cfg.Workers
+	if demand < want {
+		want = demand
+	}
+	for len(e.reps) < want {
+		r, err := newReplayer(e.newApp, e.newRT, e.golden, e.cfg, e.fromBoot)
+		if err != nil {
+			return err
+		}
+		e.reps = append(e.reps, r)
+	}
+	return nil
 }
 
 // seedPoints returns the initial candidate indices: everything in
@@ -110,14 +153,26 @@ func nextRound(out []outcome) []int {
 }
 
 // evalRound evaluates the given candidate indices on the worker pool.
-// Results land in out by index, so completion order is irrelevant.
-func (e *explorer) evalRound(ctx context.Context, reps []*replayer, out []outcome, idxs []int, planned int) error {
+// Results land in out by index, so completion order is irrelevant. cps
+// is nil in from-boot mode; in checkpointed mode it holds one checkpoint
+// per index.
+func (e *explorer) evalRound(ctx context.Context, out []outcome, idxs []int, cps map[int]*checkpoint, planned int) error {
+	evalOne := func(r *replayer, i int) outcome {
+		if cps != nil {
+			return r.evalFrom(cps[i], e.cuts[i])
+		}
+		return r.eval(e.cuts[i])
+	}
+	reps := e.reps
+	if len(reps) > len(idxs) {
+		reps = reps[:len(idxs)]
+	}
 	if len(reps) == 1 {
 		for _, i := range idxs {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			out[i] = reps[0].eval(e.cuts[i])
+			out[i] = evalOne(reps[0], i)
 			e.progress(planned)
 		}
 		return nil
@@ -132,7 +187,7 @@ func (e *explorer) evalRound(ctx context.Context, reps []*replayer, out []outcom
 				if ctx.Err() != nil {
 					continue // drain without evaluating
 				}
-				out[i] = r.eval(e.cuts[i])
+				out[i] = evalOne(r, i)
 				e.progress(planned)
 			}
 		}(r)

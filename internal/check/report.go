@@ -48,6 +48,10 @@ type Report struct {
 	Explored   int
 	Pruned     int
 
+	// Note carries a non-failure explanation worth surfacing, e.g. that
+	// the golden run produced no candidate failure points at all.
+	Note string
+
 	// Divergences lists every explored failure point that broke an
 	// oracle, in candidate order.
 	Divergences []Divergence
@@ -69,6 +73,9 @@ func (r *Report) Render() string {
 	fmt.Fprintf(&b, "check %s under %s (seed %d, off %v)\n", r.App, r.Runtime, r.Seed, r.Off)
 	fmt.Fprintf(&b, "  golden: on-time %v, correct=%v\n", r.GoldenOnTime, r.GoldenCorrect)
 	fmt.Fprintf(&b, "  candidates %d, explored %d, pruned %d\n", r.Candidates, r.Explored, r.Pruned)
+	if r.Note != "" {
+		fmt.Fprintf(&b, "  note: %s\n", r.Note)
+	}
 	if r.Passed() {
 		b.WriteString("  PASS: every explored failure point matches the golden run\n")
 		return b.String()

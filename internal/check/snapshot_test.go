@@ -1,0 +1,158 @@
+package check
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"easeio/internal/experiments"
+	"easeio/internal/kernel"
+	"easeio/internal/mem"
+	"easeio/internal/power"
+)
+
+var allKinds = []experiments.RuntimeKind{
+	experiments.Alpaca, experiments.InK, experiments.EaseIO, experiments.JustDo,
+}
+
+// TestReplayModesByteIdentical pins the checkpointed replay's correctness
+// claim: restoring a golden-prefix checkpoint and simulating only the
+// post-failure suffix must render the exact same exhaustive report as
+// re-simulating every replay from boot — byte for byte, divergences
+// included (the baselines' fig6 failures must reproduce identically too).
+func TestReplayModesByteIdentical(t *testing.T) {
+	type cell struct {
+		name string
+		app  experiments.AppFactory
+		kind experiments.RuntimeKind
+	}
+	var cells []cell
+	for _, k := range allKinds {
+		cells = append(cells, cell{"fig6/" + k.String(), Fig6Bench, k})
+	}
+	if !testing.Short() {
+		for _, k := range allKinds {
+			cells = append(cells, cell{"temp/" + k.String(), tempFactory, k})
+		}
+		cells = append(cells, cell{"dma/EaseIO", dmaFactory, experiments.EaseIO})
+	}
+	for _, c := range cells {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			cfg := Config{Exhaustive: true, Workers: 2}
+			ckpt, err := Run(context.Background(), c.app, c.kind, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.FromBoot = true
+			boot, err := Run(context.Background(), c.app, c.kind, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ckpt.Render() != boot.Render() {
+				t.Errorf("checkpointed and from-boot reports differ:\n--- checkpointed ---\n%s--- from boot ---\n%s",
+					ckpt.Render(), boot.Render())
+			}
+		})
+	}
+}
+
+// TestCheckpointFidelityTorture exercises the snapshot/restore primitives
+// directly, outside the checker's own plumbing: take checkpoints of the
+// golden pass at seeded-random cut points, restore each into a fresh
+// second device, resume with the injected failure, and compare the
+// complete final state — FRAM word for word, the ledger, and the full run
+// statistics — against a from-boot run that fails at exactly the same
+// point.
+func TestCheckpointFidelityTorture(t *testing.T) {
+	const seed = 7
+	for _, kind := range allKinds {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			t.Parallel()
+			bench, err := Fig6Bench()
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec := &cutRecorder{}
+			sess := kernel.NewSession(experiments.NewRuntime(kind), bench.App, power.Continuous{})
+			sess.Cuts = rec
+			if _, err := sess.Run(seed); err != nil {
+				t.Fatal(err)
+			}
+			if len(rec.cuts) < 2 {
+				t.Fatalf("only %d candidate cut points", len(rec.cuts))
+			}
+
+			// First and last cut plus a seeded-random sample in between.
+			rng := rand.New(rand.NewSource(0xf1de))
+			picks := map[int]bool{0: true, len(rec.cuts) - 1: true}
+			for len(picks) < 12 && len(picks) < len(rec.cuts) {
+				picks[rng.Intn(len(rec.cuts))] = true
+			}
+			idxs := make([]int, 0, len(picks))
+			for i := range picks {
+				idxs = append(idxs, i)
+			}
+			sort.Ints(idxs)
+
+			rcr := newRecorder(bench, sess.Runtime(), sess.Device(), seed)
+			cps, err := rcr.record(rec.cuts, idxs)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			for _, idx := range idxs {
+				cut := rec.cuts[idx]
+
+				// From-boot reference: a fresh run with one scheduled
+				// failure at the cut.
+				refBench, err := Fig6Bench()
+				if err != nil {
+					t.Fatal(err)
+				}
+				refDev := kernel.NewDevice(power.NewSchedule(cut), seed)
+				refRT := experiments.NewRuntime(kind)
+				if err := kernel.RunApp(refDev, refRT, refBench.App); err != nil {
+					t.Fatal(err)
+				}
+
+				// Checkpointed path: restore the golden-prefix snapshot into
+				// a second instance and simulate only the suffix.
+				sufBench, err := Fig6Bench()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := sufBench.App.Validate(); err != nil {
+					t.Fatal(err)
+				}
+				sufDev := kernel.NewDevice(power.NewSchedule(cut), seed)
+				sufRT := experiments.NewRuntime(kind)
+				if err := sufRT.Attach(sufDev, sufBench.App); err != nil {
+					t.Fatal(err)
+				}
+				cp := cps[idx]
+				sufDev.Restore(cp.dev)
+				sufRT.(kernel.Snapshotter).RestoreState(sufDev, cp.rt)
+				if err := kernel.ResumeWithFailure(sufDev, sufRT, sufBench.App); err != nil {
+					t.Fatal(err)
+				}
+
+				if diffs := sufDev.Mem.Diff(refDev.Mem.Snapshot(mem.FRAM), 4); diffs != nil {
+					t.Errorf("cut %v: final FRAM differs at words %v", cut, diffs)
+				}
+				if !reflect.DeepEqual(refDev.Ledger, sufDev.Ledger) {
+					t.Errorf("cut %v: ledgers differ:\nfrom-boot: %+v\nresumed:   %+v",
+						cut, refDev.Ledger, sufDev.Ledger)
+				}
+				if !reflect.DeepEqual(refDev.Run, sufDev.Run) {
+					t.Errorf("cut %v: run stats differ:\nfrom-boot: %+v\nresumed:   %+v",
+						cut, refDev.Run, sufDev.Run)
+				}
+			}
+		})
+	}
+}

@@ -287,6 +287,30 @@ func (r *Runtime) Reset(dev *kernel.Device) error {
 	return nil
 }
 
+var _ kernel.SnapshotterInto = (*Runtime)(nil)
+
+// SnapshotState implements kernel.Snapshotter. All of EaseIO's durable
+// bookkeeping (flags, generations, timestamps, instance counters, the
+// privatization bump pointer) lives in FRAM and is captured by the
+// device snapshot; what remains is rtbase's measurement bookkeeping. The
+// current task, region index and block skip depth are per-attempt and
+// rebuilt by OnBoot.
+func (r *Runtime) SnapshotState() any { return r.SnapshotBaseInto(nil) }
+
+// SnapshotStateInto implements kernel.SnapshotterInto.
+func (r *Runtime) SnapshotStateInto(prev any) any {
+	p, _ := prev.(*rtbase.BaseState)
+	return r.SnapshotBaseInto(p)
+}
+
+// RestoreState implements kernel.Snapshotter.
+func (r *Runtime) RestoreState(dev *kernel.Device, state any) {
+	r.RestoreBase(dev, *state.(*rtbase.BaseState))
+	r.curTask = nil
+	r.regionIdx = 0
+	r.blockSkipDepth = 0
+}
+
 // --- helpers ---
 
 func (r *Runtime) inst(taskID int) uint16 { return r.Dev.Mem.Read(r.instCtr[taskID]) }

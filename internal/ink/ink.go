@@ -76,6 +76,26 @@ func (r *Runtime) Reset(dev *kernel.Device) error {
 	return nil
 }
 
+var _ kernel.SnapshotterInto = (*Runtime)(nil)
+
+// SnapshotState implements kernel.Snapshotter. InK's double-buffer index
+// words live in FRAM (captured by the device snapshot); the dirty map and
+// current task are per-attempt and rebuilt by OnBoot/BeginTask.
+func (r *Runtime) SnapshotState() any { return r.SnapshotBaseInto(nil) }
+
+// SnapshotStateInto implements kernel.SnapshotterInto.
+func (r *Runtime) SnapshotStateInto(prev any) any {
+	p, _ := prev.(*rtbase.BaseState)
+	return r.SnapshotBaseInto(p)
+}
+
+// RestoreState implements kernel.Snapshotter.
+func (r *Runtime) RestoreState(dev *kernel.Device, state any) {
+	r.RestoreBase(dev, *state.(*rtbase.BaseState))
+	clear(r.dirty)
+	r.cur = nil
+}
+
 // activeAddr returns the committed copy's address (index word 0 = master,
 // 1 = shadow buffer).
 func (r *Runtime) activeAddr(v *task.NVVar) mem.Addr {

@@ -90,6 +90,26 @@ func (r *Runtime) Reset(dev *kernel.Device) error {
 	return nil
 }
 
+var _ kernel.SnapshotterInto = (*Runtime)(nil)
+
+// SnapshotState implements kernel.Snapshotter. JustDo's progress counter
+// and value log are durable FRAM words (captured by the device
+// snapshot); the volatile sequence counter is per-attempt and rebuilt at
+// boot.
+func (r *Runtime) SnapshotState() any { return r.SnapshotBaseInto(nil) }
+
+// SnapshotStateInto implements kernel.SnapshotterInto.
+func (r *Runtime) SnapshotStateInto(prev any) any {
+	p, _ := prev.(*rtbase.BaseState)
+	return r.SnapshotBaseInto(p)
+}
+
+// RestoreState implements kernel.Snapshotter.
+func (r *Runtime) RestoreState(dev *kernel.Device, state any) {
+	r.RestoreBase(dev, *state.(*rtbase.BaseState))
+	r.seq = 0
+}
+
 // OnBoot implements kernel.Hooks.
 func (r *Runtime) OnBoot(c *kernel.Ctx) {
 	r.LoadBoot(c)

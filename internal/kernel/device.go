@@ -41,15 +41,16 @@ type Device struct {
 	Cuts CutSink
 
 	// randSrc is the reseedable source behind Rand, kept so Reset can
-	// rewind the peripheral randomness without reallocating it.
-	randSrc rand.Source
+	// rewind the peripheral randomness without reallocating it and so
+	// Snapshot can record the stream position (see checkpoint.go).
+	randSrc *countingSource
 }
 
 // NewDevice assembles a fresh device around the given supply, seeding both
 // the supply and the peripheral randomness.
 func NewDevice(supply power.Supply, seed int64) *Device {
 	supply.Reset(seed)
-	src := rand.NewSource(seed ^ 0x5ea10)
+	src := newCountingSource(seed ^ 0x5ea10)
 	return &Device{
 		Mem:     mem.New(),
 		Clock:   timekeeper.New(),
@@ -94,13 +95,44 @@ type Resetter interface {
 	Reset(dev *Device) error
 }
 
+// Snapshotter is the optional interface a runtime implements to support
+// device checkpointing, mirroring Resetter for the hook struct's
+// volatile state. SnapshotState must capture exactly the volatile
+// bookkeeping that survives reboots (execution counters, completion
+// records, instance numbers — state a reboot does not clear); state that
+// every boot rebuilds (the current task, privatization buffers, dirty
+// maps) must instead be cleared by RestoreState, because a restored
+// checkpoint is always resumed through the reboot path (see
+// ResumeWithFailure). The returned state must be independent of the
+// runtime instance: restoring it into a different instance attached to
+// an equivalently laid-out device must be exact.
+type Snapshotter interface {
+	Hooks
+	SnapshotState() any
+	RestoreState(dev *Device, state any)
+}
+
+// SnapshotterInto is an optional extension of Snapshotter for callers
+// that take checkpoints in bulk: SnapshotStateInto behaves like
+// SnapshotState but may reuse the storage of prev — a state previously
+// returned by this runtime type and no longer needed — instead of
+// allocating. A nil (or foreign) prev allocates fresh.
+type SnapshotterInto interface {
+	Snapshotter
+	SnapshotStateInto(prev any) any
+}
+
 // CutSink receives the on-time of every charge-slice boundary — exactly
 // the points at which the supply is consulted and a power failure can
 // land. A golden continuous-power pass with a recording sink therefore
 // enumerates every distinct failure point of a run: the candidate set the
 // failure-point model checker (internal/check) replays against. The sink
-// is called from the hot charging path; implementations must be cheap and
-// must not touch the device.
+// is called from the hot charging path after the slice's time and energy
+// have been charged but before the supply is stepped, so the device
+// state it observes is byte-identical to the state a replay sees at the
+// instant a failure fires at that boundary — which is what lets a sink
+// take checkpoints (Device.Snapshot) that a suffix replay can restore.
+// Implementations must be cheap and must not mutate the device.
 type CutSink interface {
 	NoteCut(onTime time.Duration)
 }

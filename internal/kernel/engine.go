@@ -39,31 +39,57 @@ func RunApp(dev *Device, rt Hooks, app *task.App) error {
 func RunAttached(dev *Device, rt Hooks, app *task.App) error {
 	dev.Run.App = app.Name
 	dev.Run.Runtime = rt.Name()
+	return runLoop(dev, rt, app, false)
+}
 
+// ResumeWithFailure continues a run from a device state restored to a
+// charge-slice boundary (Device.Restore of a Checkpoint taken by a
+// CutSink, plus the runtime's Snapshotter restore), applying the power
+// failure that a supply firing at exactly that boundary would have
+// caused: the pending attempt is wasted, volatile memory is cleared, the
+// supply recharges, and execution proceeds through the normal reboot
+// loop to completion. The checker's checkpointed replay path is built on
+// this: golden-prefix state + ResumeWithFailure is byte-equivalent to a
+// full from-boot run with one scheduled failure at the same cut, except
+// that no task-abort trace event is emitted for the interrupted attempt
+// (the unwind happened in the pass that took the checkpoint).
+// dev.Run.App and dev.Run.Runtime are restored from the checkpoint and
+// left untouched.
+func ResumeWithFailure(dev *Device, rt Hooks, app *task.App) error {
+	return runLoop(dev, rt, app, true)
+}
+
+// runLoop is the engine's reboot loop. With failed=false it starts with
+// a clean boot; with failed=true it first handles a power failure
+// already in effect at the current device state.
+func runLoop(dev *Device, rt Hooks, app *task.App, failed bool) error {
 	ctx := &Ctx{Dev: dev, RT: rt}
 	for {
-		failed, err := bootAndRun(ctx)
+		if failed {
+			dev.Run.PowerFailures++
+			dev.Ledger.FailAttempt()
+			dev.Mem.PowerFailure()
+			dev.Trace(EvPowerFailure, "#%d", dev.Run.PowerFailures)
+			off := dev.Supply.Recharge(dev.Clock.Now())
+			dev.Clock.Off(off)
+			dev.Trace(EvRecharge, "off for %v", off)
+			if h, ok := dev.Supply.(*power.Harvested); ok && h.Dead() {
+				dev.Run.Stuck = true
+				finish(dev, rt, app)
+				return nil
+			}
+			if dev.Clock.Boots() > maxBoots {
+				return fmt.Errorf("kernel: %s/%s did not terminate within %d boots (non-termination bug)",
+					app.Name, rt.Name(), maxBoots)
+			}
+		}
+		var err error
+		failed, err = bootAndRun(ctx)
 		if err != nil {
 			return err
 		}
 		if !failed {
 			break
-		}
-		dev.Run.PowerFailures++
-		dev.Ledger.FailAttempt()
-		dev.Mem.PowerFailure()
-		dev.Trace(EvPowerFailure, "#%d", dev.Run.PowerFailures)
-		off := dev.Supply.Recharge(dev.Clock.Now())
-		dev.Clock.Off(off)
-		dev.Trace(EvRecharge, "off for %v", off)
-		if h, ok := dev.Supply.(*power.Harvested); ok && h.Dead() {
-			dev.Run.Stuck = true
-			finish(dev, rt, app)
-			return nil
-		}
-		if dev.Clock.Boots() > maxBoots {
-			return fmt.Errorf("kernel: %s/%s did not terminate within %d boots (non-termination bug)",
-				app.Name, rt.Name(), maxBoots)
 		}
 	}
 	finish(dev, rt, app)

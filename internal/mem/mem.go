@@ -270,6 +270,78 @@ func (m *Memory) Restore(s Snapshot) {
 	copy(m.banks[s.Bank], s.Words)
 }
 
+// DeviceSnapshot captures the full mid-run state of a Memory: every
+// bank's used prefix plus the access counters and high-water marks. The
+// allocator state (watermarks and region records) is deliberately not
+// copied — a snapshot may only be restored into a memory with the same
+// allocation layout, which RestoreAll verifies. Copying just the used
+// prefix (everything at or below max(alloc, highWater) per bank, the
+// same bound Reset clears) keeps snapshots proportional to the app's
+// footprint instead of the 256 KB FRAM bank.
+type DeviceSnapshot struct {
+	used      [numBanks][]uint16
+	alloc     [numBanks]int
+	counts    [numBanks]Counters
+	highWater [numBanks]int
+}
+
+// usedWords returns how many words of bank b can differ from zero: the
+// larger of the allocator watermark and the high-water mark (raw DMA
+// writes can land above the watermark).
+func (m *Memory) usedWords(b Bank) int {
+	n := m.alloc[b]
+	if m.highWater[b] > n {
+		n = m.highWater[b]
+	}
+	return n
+}
+
+// SnapshotAll captures every bank's used prefix together with the access
+// counters and high-water marks.
+func (m *Memory) SnapshotAll() *DeviceSnapshot { return m.SnapshotAllInto(nil) }
+
+// SnapshotAllInto is SnapshotAll reusing s's buffers when s is non-nil —
+// the allocation-free path for callers that recycle snapshots (the
+// checker takes one per candidate failure point; fresh buffers each
+// time dominated its recording cost).
+func (m *Memory) SnapshotAllInto(s *DeviceSnapshot) *DeviceSnapshot {
+	if s == nil {
+		s = &DeviceSnapshot{}
+	}
+	s.alloc = m.alloc
+	s.counts = m.counts
+	s.highWater = m.highWater
+	for b := Bank(0); b < numBanks; b++ {
+		n := m.usedWords(b)
+		s.used[b] = append(s.used[b][:0], m.banks[b][:n]...)
+	}
+	return s
+}
+
+// RestoreAll overwrites the memory's contents, counters and high-water
+// marks from a snapshot taken earlier. The target must have the same
+// allocator watermarks as the snapshotted memory (i.e. the same
+// blueprint attached in the same order); it panics otherwise, since
+// restoring into a different layout is a harness bug. Words above the
+// target's own used prefix are provably zero in both memories, so only
+// the prefixes are touched.
+func (m *Memory) RestoreAll(s *DeviceSnapshot) {
+	if m.alloc != s.alloc {
+		panic(fmt.Sprintf("mem: restore-all layout mismatch: alloc %v vs %v",
+			m.alloc, s.alloc))
+	}
+	for b := Bank(0); b < numBanks; b++ {
+		// The copy overwrites the snapshot's prefix; only the tail the
+		// current memory used beyond it needs explicit clearing.
+		if n, k := m.usedWords(b), len(s.used[b]); n > k {
+			clear(m.banks[b][k:n])
+		}
+		copy(m.banks[b], s.used[b])
+	}
+	m.counts = s.counts
+	m.highWater = s.highWater
+}
+
 // Diff reports the word offsets (up to max) at which the snapshot and the
 // current bank contents differ. A nil result means the bank matches the
 // snapshot exactly.

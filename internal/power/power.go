@@ -87,7 +87,7 @@ func DefaultTimerConfig() TimerConfig {
 // Timer is the timer-driven Supply.
 type Timer struct {
 	cfg  TimerConfig
-	src  rand.Source // reseeded in place across runs
+	src  *countingSource // reseeded in place across runs; counts draws for checkpointing
 	rng  *rand.Rand
 	next time.Duration // onTime at which the next failure fires
 }
@@ -112,7 +112,7 @@ func (t *Timer) Name() string {
 // rand.New(rand.NewSource(seed)) would have.
 func (t *Timer) Reset(seed int64) {
 	if t.src == nil {
-		t.src = rand.NewSource(seed)
+		t.src = newCountingSource(seed)
 		t.rng = rand.New(t.src)
 	} else {
 		t.src.Seed(seed)

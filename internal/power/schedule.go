@@ -6,6 +6,7 @@
 package power
 
 import (
+	"sort"
 	"time"
 
 	"easeio/internal/units"
@@ -15,8 +16,14 @@ import (
 // off-time after each failure. Once the list is exhausted the supply never
 // fails again.
 type Schedule struct {
-	// FailAt lists cumulative on-times at which the supply cuts power. It
-	// must be sorted ascending.
+	// FailAt lists cumulative on-times at which the supply cuts power.
+	//
+	// Invariant: FailAt must be strictly ascending. Step only ever
+	// compares against FailAt[next], so an out-of-order earlier point
+	// could never fire and a duplicate would fire twice at the same
+	// on-time. The constructors establish the invariant by sorting and
+	// deduplicating; code that builds a Schedule literal or mutates
+	// FailAt directly must maintain it.
 	FailAt []time.Duration
 	// Off is the recharge time after every failure.
 	Off time.Duration
@@ -33,12 +40,29 @@ func NewSchedule(failAt ...time.Duration) *Schedule {
 // NewScheduleWithOff returns a scheduled supply with an explicit recharge
 // time. A non-positive off falls back to the 1 ms default: a zero-length
 // off-period would make the failure invisible to wall-clock-driven
-// semantics (Timely windows, sensor processes).
+// semantics (Timely windows, sensor processes). The failure points are
+// copied, sorted, and deduplicated to establish the FailAt invariant.
 func NewScheduleWithOff(off time.Duration, failAt ...time.Duration) *Schedule {
 	if off <= 0 {
 		off = time.Millisecond
 	}
-	return &Schedule{FailAt: failAt, Off: off}
+	return &Schedule{FailAt: normalizeFailAt(failAt), Off: off}
+}
+
+// normalizeFailAt returns a sorted, deduplicated copy of the failure
+// points — the strictly-ascending form Step's single-cursor scan
+// requires.
+func normalizeFailAt(failAt []time.Duration) []time.Duration {
+	pts := make([]time.Duration, len(failAt))
+	copy(pts, failAt)
+	sort.Slice(pts, func(i, j int) bool { return pts[i] < pts[j] })
+	out := pts[:0]
+	for i, p := range pts {
+		if i == 0 || p != pts[i-1] {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // Name implements Supply.

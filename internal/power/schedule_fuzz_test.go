@@ -1,0 +1,103 @@
+package power
+
+import (
+	"testing"
+	"time"
+)
+
+// walkSchedule steps in 50µs charge slices until horizon, recording the
+// on-time of every failure.
+func walkSchedule(s *Schedule, horizon time.Duration) []time.Duration {
+	var fired []time.Duration
+	for on := 50 * time.Microsecond; on <= horizon; on += 50 * time.Microsecond {
+		if s.Step(0, on, 0, 0) {
+			fired = append(fired, on)
+			s.Recharge(0)
+		}
+	}
+	return fired
+}
+
+// Regression: an unsorted FailAt list used to let the later point shadow
+// the earlier one — Step only compares against FailAt[next], so with
+// [5ms, 2ms] the 2ms failure could never fire at 2ms; it fired as a
+// bogus immediate second failure right after the 5ms one. The
+// constructors now sort.
+func TestScheduleUnsortedFailAt(t *testing.T) {
+	s := NewSchedule(5*time.Millisecond, 2*time.Millisecond)
+	fired := walkSchedule(s, 10*time.Millisecond)
+	want := []time.Duration{2 * time.Millisecond, 5 * time.Millisecond}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %d failures %v, want %v", len(fired), fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Errorf("failure %d at %v, want %v", i, fired[i], want[i])
+		}
+	}
+}
+
+// Regression: duplicate points used to fire twice at the same on-time
+// (one real failure plus an immediate spurious one). The constructors
+// now deduplicate.
+func TestScheduleDuplicateFailAt(t *testing.T) {
+	s := NewSchedule(3*time.Millisecond, 3*time.Millisecond, 3*time.Millisecond)
+	if len(s.FailAt) != 1 {
+		t.Fatalf("FailAt = %v, want one deduplicated point", s.FailAt)
+	}
+	if fired := walkSchedule(s, 6*time.Millisecond); len(fired) != 1 {
+		t.Errorf("fired %v, want exactly one failure", fired)
+	}
+	if s.Remaining() != 0 {
+		t.Errorf("remaining = %d, want 0", s.Remaining())
+	}
+}
+
+// FuzzSchedule builds schedules from arbitrary (unsorted, possibly
+// duplicated) point lists and checks the constructor invariant plus the
+// walk behavior: every unique point fires exactly once, in ascending
+// order, never before its scheduled on-time.
+func FuzzSchedule(f *testing.F) {
+	f.Add([]byte{0x88, 0x13, 0xd0, 0x07})             // 5ms, 2ms — the regression pair
+	f.Add([]byte{0xb8, 0x0b, 0xb8, 0x0b, 0xb8, 0x0b}) // 3ms ×3 — duplicates
+	f.Add([]byte{})                                   // empty schedule
+	f.Add([]byte{0x00, 0x00, 0x01, 0x00})             // zero and sub-slice points
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var failAt []time.Duration
+		for i := 0; i+1 < len(data) && len(failAt) < 8; i += 2 {
+			us := int(data[i]) | int(data[i+1])<<8
+			failAt = append(failAt, time.Duration(us)*time.Microsecond)
+		}
+		s := NewSchedule(failAt...)
+
+		uniq := map[time.Duration]bool{}
+		for _, p := range failAt {
+			uniq[p] = true
+		}
+		if len(s.FailAt) != len(uniq) {
+			t.Fatalf("FailAt %v: %d points from %d unique inputs", s.FailAt, len(s.FailAt), len(uniq))
+		}
+		for i := 1; i < len(s.FailAt); i++ {
+			if s.FailAt[i] <= s.FailAt[i-1] {
+				t.Fatalf("FailAt %v not strictly ascending at %d", s.FailAt, i)
+			}
+		}
+
+		horizon := time.Millisecond
+		if n := len(s.FailAt); n > 0 {
+			horizon += s.FailAt[n-1]
+		}
+		fired := walkSchedule(s, horizon)
+		if len(fired) != len(s.FailAt) {
+			t.Fatalf("fired %d failures, want %d (%v)", len(fired), len(s.FailAt), s.FailAt)
+		}
+		for i, at := range fired {
+			if at < s.FailAt[i] {
+				t.Errorf("failure %d fired at %v, before scheduled %v", i, at, s.FailAt[i])
+			}
+		}
+		if s.Remaining() != 0 {
+			t.Errorf("remaining = %d after full walk, want 0", s.Remaining())
+		}
+	})
+}

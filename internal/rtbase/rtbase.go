@@ -123,6 +123,74 @@ func (b *Base) ResetRun(dev *kernel.Device) {
 	b.writeInitial()
 }
 
+// BaseState is the checkpointable part of a Base: the task-pointer cache
+// and the measurement-side bookkeeping that survives reboots. Everything
+// is keyed by value types (site/task IDs, instance numbers), so a state
+// captured from one runtime instance restores exactly into another
+// instance attached to an equivalently built app — attach order and task
+// numbering are deterministic. Addresses (addrs, taskPtr) are layout,
+// not state: each instance's own attach established them identically.
+type BaseState struct {
+	cur       int
+	execCount map[ioKey]int
+	completed map[ioKey]bool
+	taskInst  map[int]int
+}
+
+// SnapshotBase deep-copies the base's checkpointable state. Runtimes
+// build their kernel.Snapshotter implementation on it.
+func (b *Base) SnapshotBase() BaseState { return *b.SnapshotBaseInto(nil) }
+
+// SnapshotBaseInto is SnapshotBase reusing prev's allocation and maps
+// when prev is non-nil (prev's previous contents are overwritten); nil
+// allocates. It backs kernel.SnapshotterInto, the bulk-checkpointing
+// path of the failure-point checker.
+func (b *Base) SnapshotBaseInto(prev *BaseState) *BaseState {
+	if prev == nil {
+		prev = &BaseState{
+			execCount: make(map[ioKey]int, len(b.execCount)),
+			completed: make(map[ioKey]bool, len(b.completed)),
+			taskInst:  make(map[int]int, len(b.taskInst)),
+		}
+	} else {
+		clear(prev.execCount)
+		clear(prev.completed)
+		clear(prev.taskInst)
+	}
+	prev.cur = b.cur
+	for k, v := range b.execCount {
+		prev.execCount[k] = v
+	}
+	for k, v := range b.completed {
+		prev.completed[k] = v
+	}
+	for k, v := range b.taskInst {
+		prev.taskInst[k] = v
+	}
+	return prev
+}
+
+// RestoreBase re-establishes a previously captured state on a device
+// whose memory has been restored to the matching checkpoint. The state
+// is copied, never aliased, so one checkpoint restores any number of
+// times.
+func (b *Base) RestoreBase(dev *kernel.Device, s BaseState) {
+	b.Dev = dev
+	b.cur = s.cur
+	clear(b.execCount)
+	clear(b.completed)
+	clear(b.taskInst)
+	for k, v := range s.execCount {
+		b.execCount[k] = v
+	}
+	for k, v := range s.completed {
+		b.completed[k] = v
+	}
+	for k, v := range s.taskInst {
+		b.taskInst[k] = v
+	}
+}
+
 // Compute charges application CPU work straight through — the default
 // for task-based runtimes, whose recovery granularity is the task.
 func (b *Base) Compute(c *kernel.Ctx, n int64) { c.ChargeCycles(n) }

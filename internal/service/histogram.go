@@ -50,8 +50,21 @@ func NewHistogram(name, help, label string, buckets []float64) *Histogram {
 	}
 }
 
+// maxLabelValues caps the number of distinct label values a histogram
+// tracks. Label values arrive from request payloads (blueprint names,
+// runtime kinds), so an attacker — or just a misbehaving sweep client —
+// could otherwise grow the series map without bound. Observations past
+// the cap fold into the overflowLabel series, so totals stay right even
+// when per-value attribution saturates.
+const maxLabelValues = 32
+
+// overflowLabel is the series that absorbs observations whose label
+// value didn't fit under maxLabelValues.
+const overflowLabel = "other"
+
 // Observe records one value under the given label value (ignored for
-// unlabeled histograms).
+// unlabeled histograms). At most maxLabelValues distinct label values
+// get their own series; later values fold into the "other" series.
 func (h *Histogram) Observe(labelValue string, v float64) {
 	if h.label == "" {
 		labelValue = ""
@@ -59,6 +72,10 @@ func (h *Histogram) Observe(labelValue string, v float64) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	s := h.series[labelValue]
+	if s == nil && len(h.series) >= maxLabelValues {
+		labelValue = overflowLabel
+		s = h.series[labelValue]
+	}
 	if s == nil {
 		s = &histSeries{counts: make([]uint64, len(h.buckets)+1)}
 		h.series[labelValue] = s

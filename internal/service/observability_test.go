@@ -119,6 +119,40 @@ func TestHistogramBuckets(t *testing.T) {
 	NewHistogram("bad", "", "", []float64{1, 1})
 }
 
+// TestHistogramLabelCardinalityCap: label values come from request
+// payloads, so the series map must not grow without bound. Past the cap,
+// observations fold into the "other" series and totals stay exact.
+func TestHistogramLabelCardinalityCap(t *testing.T) {
+	h := NewHistogram("t_seconds", "help.", "app", []float64{1})
+	const flood = 4 * maxLabelValues
+	for i := 0; i < flood; i++ {
+		h.Observe(fmt.Sprintf("app-%03d", i), 0.5)
+	}
+	if n := len(h.series); n > maxLabelValues+1 {
+		t.Fatalf("series map grew to %d entries, cap is %d plus %q", n, maxLabelValues, overflowLabel)
+	}
+	other := h.series[overflowLabel]
+	if other == nil {
+		t.Fatalf("overflow series %q missing after %d distinct labels", overflowLabel, flood)
+	}
+	if want := uint64(flood - maxLabelValues); other.count != want {
+		t.Errorf("overflow series holds %d observations, want %d", other.count, want)
+	}
+	var total uint64
+	for _, s := range h.series {
+		total += s.count
+	}
+	if total != flood {
+		t.Errorf("total observations %d, want %d — the cap must not drop data", total, flood)
+	}
+
+	// A label value seen before the cap keeps its own series afterwards.
+	h.Observe("app-000", 0.5)
+	if got := h.series["app-000"].count; got != 2 {
+		t.Errorf("pre-cap series count = %d, want 2", got)
+	}
+}
+
 // TestPprofDisabledByDefault: the profiling endpoints expose host detail
 // and must not be mounted unless asked for.
 func TestPprofDisabledByDefault(t *testing.T) {

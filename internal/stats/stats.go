@@ -106,6 +106,34 @@ type Run struct {
 	Stuck   bool
 }
 
+// Clone returns an independent deep copy of the run (PerSite is the only
+// reference field). Device checkpoints hold clones so that restoring the
+// same checkpoint twice never aliases counters between replays.
+func (r *Run) Clone() *Run { return r.CloneInto(nil) }
+
+// CloneInto deep-copies r into dst, reusing dst's PerSite map when
+// possible; a nil dst allocates. It returns the copy.
+func (r *Run) CloneInto(dst *Run) *Run {
+	if dst == nil {
+		dst = &Run{}
+	}
+	per := dst.PerSite
+	*dst = *r
+	dst.PerSite = nil
+	if r.PerSite != nil {
+		if per == nil {
+			per = make(map[string]int, len(r.PerSite))
+		} else {
+			clear(per)
+		}
+		for k, v := range r.PerSite {
+			per[k] = v
+		}
+		dst.PerSite = per
+	}
+	return dst
+}
+
 // TotalEnergy returns the energy committed across all buckets.
 func (r *Run) TotalEnergy() units.Energy {
 	var e units.Energy

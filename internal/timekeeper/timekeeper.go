@@ -27,6 +27,26 @@ func New() *Clock { return &Clock{} }
 // runs.
 func (c *Clock) Reset() { *c = Clock{} }
 
+// State is a copyable snapshot of a clock's position, for device
+// checkpointing.
+type State struct {
+	wall   time.Duration
+	uptime time.Duration
+	onTime time.Duration
+	boots  int
+}
+
+// State captures the clock's current position.
+func (c *Clock) State() State {
+	return State{wall: c.wall, uptime: c.uptime, onTime: c.onTime, boots: c.boots}
+}
+
+// Restore rewinds (or advances) the clock to a previously captured
+// position.
+func (c *Clock) Restore(s State) {
+	c.wall, c.uptime, c.onTime, c.boots = s.wall, s.uptime, s.onTime, s.boots
+}
+
 // Run advances the clock by d of powered-on execution.
 func (c *Clock) Run(d time.Duration) {
 	if d < 0 {
