@@ -1,0 +1,71 @@
+// Steady-state allocation pins for the pooled hot paths. The dense-ID
+// refactor sized every per-run structure once at attach from the frozen
+// program tables; these tests keep the per-run paths allocation-free so
+// a regression (a map sneaking back in, an unguarded trace call boxing
+// its varargs, a snapshot dropping its buffer reuse) fails loudly
+// instead of shaving sweep throughput quietly.
+package easeio
+
+import (
+	"testing"
+
+	"easeio/internal/apps"
+	"easeio/internal/experiments"
+	"easeio/internal/kernel"
+)
+
+// TestPooledRunZeroAlloc pins zero heap allocations per steady-state
+// pooled sweep run: after the first run attaches the runtime and the
+// second settles lazily-created scratch, Session.Run must reset and
+// re-execute entirely in place for every runtime.
+func TestPooledRunZeroAlloc(t *testing.T) {
+	cfg := apps.DefaultDMAConfig()
+	cfg.Words = 100
+	for _, kind := range []experiments.RuntimeKind{
+		experiments.EaseIO, experiments.Alpaca, experiments.InK, experiments.JustDo,
+	} {
+		bench, err := apps.NewDMAApp(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt := experiments.NewRuntime(kind)
+		sess := kernel.NewSession(rt, bench.App, experiments.TimerSupply())
+		if _, ok := rt.(kernel.Resetter); !ok {
+			t.Fatalf("%s: pooled path requires a Resetter runtime", rt.Name())
+		}
+		seed := int64(0)
+		run := func() {
+			seed++
+			if _, err := sess.Run(seed); err != nil {
+				t.Fatal(err)
+			}
+		}
+		run() // attach
+		run() // settle lazily-created scratch (device ctx, reader, memo)
+		if avg := testing.AllocsPerRun(20, run); avg > 0 {
+			t.Errorf("%s: steady-state pooled run allocates %.1f times, want 0", rt.Name(), avg)
+		}
+	}
+}
+
+// TestCheckpointSnapshotZeroAlloc pins zero allocations per recycled
+// device checkpoint: SnapshotInto with a reused checkpoint must be pure
+// copies into existing buffers — the failure-point checker takes one
+// per candidate failure point, thousands per checked run.
+func TestCheckpointSnapshotZeroAlloc(t *testing.T) {
+	cfg := apps.DefaultDMAConfig()
+	cfg.Words = 100
+	bench, err := apps.NewDMAApp(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := kernel.NewSession(experiments.NewRuntime(experiments.EaseIO), bench.App, experiments.TimerSupply())
+	if _, err := sess.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	dev := sess.Device()
+	cp := dev.Snapshot() // sizes the buffers
+	if avg := testing.AllocsPerRun(20, func() { cp = dev.SnapshotInto(cp) }); avg > 0 {
+		t.Errorf("recycled SnapshotInto allocates %.1f times, want 0", avg)
+	}
+}

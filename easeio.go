@@ -256,7 +256,8 @@ func NewSession(app *App, rt Runtime, opts ...Option) (*Session, error) {
 }
 
 // Run executes the application once with the given seed and returns the
-// run's statistics.
+// run's statistics. The returned record is reused (reset in place) by the
+// next Run on this session — read it or Clone it before running again.
 func (s *Session) Run(seed int64) (*Result, error) { return s.s.Run(seed) }
 
 // DeviceHolder is implemented by runtimes that expose the simulated

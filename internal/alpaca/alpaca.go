@@ -24,25 +24,34 @@ import (
 	"easeio/internal/task"
 )
 
-// Runtime is one per-run Alpaca instance.
+// Runtime is one per-run Alpaca instance. All state is held in flat
+// slices indexed by the program's dense task and variable IDs; the
+// per-attempt privatization set is epoch-stamped instead of cleared, so
+// resetting it is a single counter bump.
 type Runtime struct {
 	rtbase.Base
 
-	// priv maps (task, var) to the private copy's FRAM address.
-	priv map[privKey]mem.Addr
-	// active tracks which variables are currently privatized (volatile:
-	// rebuilt by BeginTask after every boot, mirroring Alpaca's task-entry
+	// priv holds the private copy addresses: priv[taskID][i] backs the
+	// i-th variable of that task's WAR list.
+	priv [][]mem.Addr
+	// active/dirty are per-variable epoch stamps: a variable is
+	// privatized (resp. written) this attempt iff its stamp equals epoch.
+	// Bumping epoch empties both sets at once (volatile state, rebuilt by
+	// BeginTask after every boot, mirroring Alpaca's task-entry
 	// privatization pass).
-	active map[*task.NVVar]mem.Addr
-	// dirty tracks privatized variables written during the attempt.
-	dirty map[*task.NVVar]bool
+	active  []mem.Addr
+	activeE []uint32
+	dirtyE  []uint32
+	epoch   uint32
+	// commits is the reusable commit scratch buffer.
+	commits []commitEntry
 	// curTask is the task being executed (for deterministic commit order).
 	curTask *task.Task
 }
 
-type privKey struct {
-	taskID int
-	varID  int
+type commitEntry struct {
+	v *task.NVVar
+	p mem.Addr
 }
 
 // New returns a fresh Alpaca runtime.
@@ -59,16 +68,34 @@ func (r *Runtime) Attach(dev *kernel.Device, app *task.App) error {
 	if err := r.Init(dev, app, "Alpaca"); err != nil {
 		return err
 	}
-	r.priv = make(map[privKey]mem.Addr)
-	r.active = make(map[*task.NVVar]mem.Addr)
-	r.dirty = make(map[*task.NVVar]bool)
+	r.priv = make([][]mem.Addr, len(app.Tasks))
+	r.active = make([]mem.Addr, len(app.Vars))
+	r.activeE = make([]uint32, len(app.Vars))
+	r.dirtyE = make([]uint32, len(app.Vars))
+	r.epoch = 1 // zero stamps in the fresh slices never match
 	for _, t := range app.Tasks {
-		for _, v := range r.Meta(t).WAR {
-			k := privKey{t.ID, v.ID}
-			r.priv[k] = dev.Mem.Alloc(mem.FRAM, "Alpaca", "priv:"+t.Name+":"+v.Name, v.Words)
+		war := r.Meta(t).WAR
+		if len(war) == 0 {
+			continue
+		}
+		r.priv[t.ID] = make([]mem.Addr, len(war))
+		for i, v := range war {
+			r.priv[t.ID][i] = dev.Mem.Alloc(mem.FRAM, "Alpaca", "priv:"+t.Name+":"+v.Name, v.Words)
 		}
 	}
 	return nil
+}
+
+// bumpEpoch empties the active and dirty sets in O(1). On the (rare)
+// uint32 wraparound the stamp slices are flushed so stale stamps from
+// 2^32 attempts ago cannot collide with the restarted epoch.
+func (r *Runtime) bumpEpoch() {
+	r.epoch++
+	if r.epoch == 0 {
+		clear(r.activeE)
+		clear(r.dirtyE)
+		r.epoch = 1
+	}
 }
 
 var _ kernel.Resetter = (*Runtime)(nil)
@@ -78,8 +105,7 @@ var _ kernel.Resetter = (*Runtime)(nil)
 // volatile privatization maps rebuild at task entry.
 func (r *Runtime) Reset(dev *kernel.Device) error {
 	r.ResetRun(dev)
-	clear(r.active)
-	clear(r.dirty)
+	r.bumpEpoch()
 	r.curTask = nil
 	return nil
 }
@@ -100,16 +126,14 @@ func (r *Runtime) SnapshotStateInto(prev any) any {
 // RestoreState implements kernel.Snapshotter.
 func (r *Runtime) RestoreState(dev *kernel.Device, state any) {
 	r.RestoreBase(dev, *state.(*rtbase.BaseState))
-	clear(r.active)
-	clear(r.dirty)
+	r.bumpEpoch()
 	r.curTask = nil
 }
 
 // OnBoot implements kernel.Hooks.
 func (r *Runtime) OnBoot(c *kernel.Ctx) {
 	r.LoadBoot(c)
-	clear(r.active)
-	clear(r.dirty)
+	r.bumpEpoch()
 }
 
 // CurrentTask implements kernel.Hooks.
@@ -120,17 +144,17 @@ func (r *Runtime) CurrentTask() *task.Task { return r.Current() }
 // privatization leaves no partial state (the real Alpaca achieves this by
 // re-running privatization idempotently from the master copies).
 func (r *Runtime) BeginTask(c *kernel.Ctx, t *task.Task) {
-	clear(r.active)
-	clear(r.dirty)
+	r.bumpEpoch()
 	r.curTask = t
-	for _, v := range r.Meta(t).WAR {
-		p := r.priv[privKey{t.ID, v.ID}]
+	for wi, v := range r.Meta(t).WAR {
+		p := r.priv[t.ID][wi]
 		c.ChargeOverheadCycles(int64(v.Words) * mcu.PrivatizeWordCycles)
 		master := r.MasterAddr(v)
 		for i := 0; i < v.Words; i++ {
 			r.Dev.Mem.Write(p.Add(i), r.Dev.Mem.Read(master.Add(i)))
 		}
-		r.active[v] = p
+		r.active[v.ID] = p
+		r.activeE[v.ID] = r.epoch
 	}
 }
 
@@ -138,36 +162,30 @@ func (r *Runtime) BeginTask(c *kernel.Ctx, t *task.Task) {
 // the masters, then advance the task pointer (pseudo-atomically, see
 // rtbase).
 func (r *Runtime) Transition(c *kernel.Ctx, next *task.Task) {
-	type commitEntry struct {
-		v *task.NVVar
-		p mem.Addr
-	}
-	var commits []commitEntry
+	r.commits = r.commits[:0]
 	if r.curTask != nil {
 		for _, v := range r.Meta(r.curTask).WAR {
-			p, ok := r.active[v]
-			if !ok || !r.dirty[v] {
+			if r.activeE[v.ID] != r.epoch || r.dirtyE[v.ID] != r.epoch {
 				continue
 			}
 			c.ChargeOverheadCycles(int64(v.Words) * mcu.CommitWordCycles)
-			commits = append(commits, commitEntry{v, p})
+			r.commits = append(r.commits, commitEntry{v, r.active[v.ID]})
 		}
 	}
 	r.CommitTransition(c, next, func() {
-		for _, e := range commits {
+		for _, e := range r.commits {
 			master := r.MasterAddr(e.v)
 			for i := 0; i < e.v.Words; i++ {
 				r.Dev.Mem.Write(master.Add(i), r.Dev.Mem.Read(e.p.Add(i)))
 			}
 		}
 	})
-	clear(r.active)
-	clear(r.dirty)
+	r.bumpEpoch()
 }
 
 func (r *Runtime) addrFor(v *task.NVVar) mem.Addr {
-	if p, ok := r.active[v]; ok {
-		return p
+	if r.activeE[v.ID] == r.epoch {
+		return r.active[v.ID]
 	}
 	return r.MasterAddr(v)
 }
@@ -181,8 +199,8 @@ func (r *Runtime) Load(c *kernel.Ctx, v *task.NVVar, i int) uint16 {
 // Store implements kernel.Hooks.
 func (r *Runtime) Store(c *kernel.Ctx, v *task.NVVar, i int, val uint16) {
 	c.ChargeMemAccess(mem.FRAM, true, false)
-	if _, ok := r.active[v]; ok {
-		r.dirty[v] = true
+	if r.activeE[v.ID] == r.epoch {
+		r.dirtyE[v.ID] = r.epoch
 	}
 	r.Dev.Mem.Write(r.addrFor(v).Add(i), val)
 }

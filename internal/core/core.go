@@ -73,22 +73,19 @@ func DefaultConfig() Config {
 	}
 }
 
-// Runtime is one per-run EaseIO instance.
+// Runtime is one per-run EaseIO instance. All attach-time metadata lives
+// in flat slices indexed by the program's dense IDs (site, block, DMA,
+// task), so the per-I/O hot paths never hash pointers.
 type Runtime struct {
 	rtbase.Base
 	cfg Config
 
-	sites   map[*task.IOSite]*siteMeta
-	blocks  map[*task.IOBlock]*blockMeta
-	dmas    map[*task.DMASite]*dmaMeta
-	regions map[regionKey]*regionMeta
+	sites   []siteMeta     // by I/O site ID
+	blocks  []blockMeta    // by I/O block ID
+	dmas    []dmaMeta      // by DMA site ID
+	regions [][]regionMeta // by task ID, then region index
 	// instCtr maps task ID to the NV instance-counter address.
 	instCtr []mem.Addr
-	// siteTask and blockTask map sites/blocks to their owning task (flags
-	// are versioned against that task's instance counter; a DMA's owner is
-	// carried on its dmaMeta).
-	siteTask  map[*task.IOSite]int
-	blockTask map[*task.IOBlock]int
 
 	// privBuf is the shared DMA privatization buffer.
 	privBuf mem.Addr
@@ -101,28 +98,34 @@ type Runtime struct {
 	blockSkipDepth int
 }
 
-type regionKey struct {
-	taskID int
-	index  int
-}
-
 // siteMeta holds the FRAM metadata of one I/O site: per-instance flag,
 // value and timestamp slots, plus a site-wide generation counter and
-// per-instance dependence snapshots.
+// per-instance dependence snapshots. info points at the frozen program
+// table record (semantic, window, instance count, dependence IDs) and ok
+// marks sites the analysis attached; owner is the owning task's ID
+// (flags are versioned against that task's instance counter).
 type siteMeta struct {
+	info  *task.SiteInfo
+	ok    bool
+	owner int32
 	flags mem.Addr // Instances words
 	gen   mem.Addr // 1 word
 	vals  mem.Addr // Instances words (if Returns)
 	ts    mem.Addr // Instances × 4 words (if Timely)
-	snaps mem.Addr // Instances × len(DependsOn) words
+	snaps mem.Addr // Instances × len(Deps) words
 }
 
 type blockMeta struct {
-	flag mem.Addr // 1 word
-	ts   mem.Addr // 4 words (if Timely)
+	info  *task.BlockInfo
+	ok    bool
+	owner int32
+	flag  mem.Addr // 1 word
+	ts    mem.Addr // 4 words (if Timely)
 }
 
 type dmaMeta struct {
+	info *task.DMAInfo
+	ok   bool
 	// privFlag marks a valid snapshot in the privatization buffer.
 	privFlag mem.Addr
 	// claimFlag marks a claimed buffer chunk (separately from the
@@ -166,12 +169,16 @@ func (r *Runtime) Attach(dev *kernel.Device, app *task.App) error {
 	if err := r.Init(dev, app, rtName); err != nil {
 		return err
 	}
-	r.sites = make(map[*task.IOSite]*siteMeta)
-	r.blocks = make(map[*task.IOBlock]*blockMeta)
-	r.dmas = make(map[*task.DMASite]*dmaMeta)
-	r.regions = make(map[regionKey]*regionMeta)
-	r.siteTask = make(map[*task.IOSite]int)
-	r.blockTask = make(map[*task.IOBlock]int)
+	r.sites = make([]siteMeta, len(app.Sites))
+	for i := range r.sites {
+		r.sites[i].owner = -1
+	}
+	r.blocks = make([]blockMeta, len(app.Blks))
+	for i := range r.blocks {
+		r.blocks[i].owner = -1
+	}
+	r.dmas = make([]dmaMeta, len(app.DMAs))
+	r.regions = make([][]regionMeta, len(app.Tasks))
 	r.instCtr = make([]mem.Addr, len(app.Tasks))
 
 	for _, t := range app.Tasks {
@@ -184,22 +191,25 @@ func (r *Runtime) Attach(dev *kernel.Device, app *task.App) error {
 	for _, t := range app.Tasks {
 		m := r.Meta(t)
 		for _, s := range m.Sites {
-			if owner, dup := r.siteTask[s]; dup && owner != t.ID {
+			sm := &r.sites[s.ID]
+			if sm.owner >= 0 && int(sm.owner) != t.ID {
 				return fmt.Errorf("core: I/O site %q used by tasks %q and %q; "+
 					"declare one site per task (the paper's compiler names flags per function×task)",
-					s.Name, app.Tasks[owner].Name, t.Name)
+					s.Name, app.Tasks[sm.owner].Name, t.Name)
 			}
-			r.siteTask[s] = t.ID
+			sm.owner = int32(t.ID)
 		}
 		for _, b := range m.Blocks {
-			r.blockTask[b] = t.ID
+			r.blocks[b.ID].owner = int32(t.ID)
 		}
 	}
 
 	for _, t := range app.Tasks {
 		m := r.Meta(t)
 		for _, s := range m.Sites {
-			sm := &siteMeta{}
+			sm := &r.sites[s.ID]
+			sm.info = r.Prog.SiteInfo(s.ID)
+			sm.ok = true
 			n := s.Instances
 			sm.flags = dev.Mem.Alloc(mem.FRAM, rtName, "lock:"+s.Name, n)
 			sm.gen = dev.Mem.Alloc(mem.FRAM, rtName, "gen:"+s.Name, 1)
@@ -212,19 +222,20 @@ func (r *Runtime) Attach(dev *kernel.Device, app *task.App) error {
 			if len(s.DependsOn) > 0 {
 				sm.snaps = dev.Mem.Alloc(mem.FRAM, rtName, "dep:"+s.Name, n*len(s.DependsOn))
 			}
-			r.sites[s] = sm
 		}
 		for _, b := range m.Blocks {
-			bm := &blockMeta{flag: dev.Mem.Alloc(mem.FRAM, rtName, "blk:"+b.Name, 1)}
+			bm := &r.blocks[b.ID]
+			bm.info = r.Prog.BlockInfo(b.ID)
+			bm.ok = true
+			bm.flag = dev.Mem.Alloc(mem.FRAM, rtName, "blk:"+b.Name, 1)
 			if b.Sem == task.Timely {
 				bm.ts = dev.Mem.Alloc(mem.FRAM, rtName, "blkts:"+b.Name, 4)
 			}
-			r.blocks[b] = bm
 		}
+		r.regions[t.ID] = make([]regionMeta, len(m.Regions))
 		for i, reg := range m.Regions {
-			rm := &regionMeta{
-				flag: dev.Mem.Alloc(mem.FRAM, rtName, fmt.Sprintf("reg:%s:%d", t.Name, i), 1),
-			}
+			rm := &r.regions[t.ID][i]
+			rm.flag = dev.Mem.Alloc(mem.FRAM, rtName, fmt.Sprintf("reg:%s:%d", t.Name, i), 1)
 			if r.cfg.RegionalPrivatization {
 				for _, rv := range reg.Vars {
 					rm.vars = append(rm.vars, rv)
@@ -233,10 +244,12 @@ func (r *Runtime) Attach(dev *kernel.Device, app *task.App) error {
 							fmt.Sprintf("regpriv:%s:%d:%s", t.Name, i, rv.Var.Name), rv.Words()))
 				}
 			}
-			r.regions[regionKey{t.ID, i}] = rm
 		}
 		for _, d := range m.DMAs {
-			dm := &dmaMeta{taskID: t.ID}
+			dm := &r.dmas[d.ID]
+			dm.info = r.Prog.DMAInfo(d.ID)
+			dm.ok = true
+			dm.taskID = t.ID
 			dm.privFlag = dev.Mem.Alloc(mem.FRAM, rtName, "dmaflag:"+d.Name, 1)
 			dm.claimFlag = dev.Mem.Alloc(mem.FRAM, rtName, "dmaclaim:"+d.Name, 1)
 			dm.privOff = dev.Mem.Alloc(mem.FRAM, rtName, "dmaoff:"+d.Name, 1)
@@ -251,7 +264,6 @@ func (r *Runtime) Attach(dev *kernel.Device, app *task.App) error {
 			if dm.regionAfter == 0 {
 				return fmt.Errorf("core: DMA site %q not found at a region boundary of task %q", d.Name, t.Name)
 			}
-			r.dmas[d] = dm
 		}
 	}
 
@@ -401,16 +413,19 @@ func (r *Runtime) AddrOf(v *task.NVVar) mem.Addr { return r.MasterAddr(v) }
 
 // --- I/O sites ---
 
-// CallIO implements kernel.Hooks.
+// CallIO implements kernel.Hooks. Semantic, window, instance count and
+// dependence list all come from the frozen program tables through the
+// site's flat metadata record.
 func (r *Runtime) CallIO(c *kernel.Ctx, s *task.IOSite, idx int) uint16 {
-	sm := r.sites[s]
-	if sm == nil {
+	if uint(s.ID) >= uint(len(r.sites)) || !r.sites[s.ID].ok {
 		panic(fmt.Sprintf("core: I/O site %q not attached (missing from analysis?)", s.Name))
 	}
-	if idx < 0 || idx >= s.Instances {
+	sm := &r.sites[s.ID]
+	info := sm.info
+	if idx < 0 || idx >= info.Instances {
 		panic(fmt.Sprintf("core: site %q instance %d out of range (declare .Loop(n))", s.Name, idx))
 	}
-	taskID := r.siteTask[s]
+	taskID := int(sm.owner)
 
 	// An enclosing completed block skips everything inside (§3.3.1:
 	// higher scope, higher precedence).
@@ -418,16 +433,16 @@ func (r *Runtime) CallIO(c *kernel.Ctx, s *task.IOSite, idx int) uint16 {
 		return r.restoreValue(c, s, sm, idx)
 	}
 
-	if s.Sem != task.Always {
+	if info.Sem != task.Always {
 		c.ChargeOverheadCycles(mcu.FlagCheckCycles)
 		done := r.flagSet(sm.flags.Add(idx), taskID)
-		if done && r.depsChanged(c, s, sm, idx) {
+		if done && r.depsChanged(c, sm, idx) {
 			done = false
 		}
-		if done && s.Sem == task.Timely {
+		if done && info.Sem == task.Timely {
 			c.ChargeOverheadCycles(mcu.TimeCompareCycles)
 			last := r.readTime(sm.ts.Add(4 * idx))
-			if c.Now()-last > s.Window {
+			if c.Now()-last > info.Window {
 				done = false
 			}
 		}
@@ -441,12 +456,12 @@ func (r *Runtime) CallIO(c *kernel.Ctx, s *task.IOSite, idx int) uint16 {
 // restoreValue skips a completed operation, restoring its private value.
 func (r *Runtime) restoreValue(c *kernel.Ctx, s *task.IOSite, sm *siteMeta, idx int) uint16 {
 	r.NoteIOSkip(s)
-	if !s.Returns {
+	if !sm.info.Returns {
 		return 0
 	}
 	if !r.cfg.ValuePrivatization {
 		// Ablation: no stored value; re-execute instead (unsafe).
-		return r.executeSite(c, s, sm, idx, r.siteTask[s])
+		return r.executeSite(c, s, sm, idx, int(sm.owner))
 	}
 	c.ChargeMemAccess(mem.FRAM, false, true)
 	return r.Dev.Mem.Read(sm.vals.Add(idx))
@@ -454,15 +469,16 @@ func (r *Runtime) restoreValue(c *kernel.Ctx, s *task.IOSite, sm *siteMeta, idx 
 
 // depsChanged compares stored dependence snapshots against the current
 // generation counters.
-func (r *Runtime) depsChanged(c *kernel.Ctx, s *task.IOSite, sm *siteMeta, idx int) bool {
+func (r *Runtime) depsChanged(c *kernel.Ctx, sm *siteMeta, idx int) bool {
+	deps := sm.info.Deps
 	changed := false
-	for di, dep := range s.DependsOn {
+	for di, dep := range deps {
 		c.ChargeOverheadCycles(mcu.FlagCheckCycles)
-		dm := r.sites[dep]
-		if dm == nil {
+		dm := &r.sites[dep]
+		if !dm.ok {
 			continue
 		}
-		snap := r.Dev.Mem.Read(sm.snaps.Add(idx*len(s.DependsOn) + di))
+		snap := r.Dev.Mem.Read(sm.snaps.Add(idx*len(deps) + di))
 		if snap != r.Dev.Mem.Read(dm.gen) {
 			changed = true
 		}
@@ -476,36 +492,37 @@ func (r *Runtime) depsChanged(c *kernel.Ctx, s *task.IOSite, sm *siteMeta, idx i
 // committed in the ledger (its durable flag means no future attempt will
 // redo it).
 func (r *Runtime) executeSite(c *kernel.Ctx, s *task.IOSite, sm *siteMeta, idx, taskID int) uint16 {
+	info := sm.info
 	mark := r.Dev.Ledger.Mark()
 	val := r.ExecIO(c, s, idx)
 
-	if s.Returns && r.cfg.ValuePrivatization {
+	if info.Returns && r.cfg.ValuePrivatization {
 		c.ChargeMemAccess(mem.FRAM, true, true)
 	}
-	if s.Sem == task.Timely {
+	if info.Sem == task.Timely {
 		c.ChargeOverheadCycles(mcu.TimestampCycles)
 	}
 	c.ChargeOverheadCycles(mcu.FlagSetCycles) // lock flag
 	c.ChargeOverheadCycles(mcu.FlagSetCycles) // generation bump
-	c.ChargeOverheadCycles(int64(len(s.DependsOn)) * mcu.FlagSetCycles)
+	c.ChargeOverheadCycles(int64(len(info.Deps)) * mcu.FlagSetCycles)
 
 	// Apply the durable state after the charges survived.
-	if s.Returns && r.cfg.ValuePrivatization {
+	if info.Returns && r.cfg.ValuePrivatization {
 		r.Dev.Mem.Write(sm.vals.Add(idx), val)
 	}
-	if s.Sem == task.Timely {
+	if info.Sem == task.Timely {
 		r.writeTime(sm.ts.Add(4*idx), c.Now())
 	}
-	if s.Sem != task.Always {
+	if info.Sem != task.Always {
 		r.setFlag(sm.flags.Add(idx), taskID)
 	}
 	r.Dev.Mem.Write(sm.gen, r.Dev.Mem.Read(sm.gen)+1)
-	for di, dep := range s.DependsOn {
-		if dm := r.sites[dep]; dm != nil {
-			r.Dev.Mem.Write(sm.snaps.Add(idx*len(s.DependsOn)+di), r.Dev.Mem.Read(dm.gen))
+	for di, dep := range info.Deps {
+		if dm := &r.sites[dep]; dm.ok {
+			r.Dev.Mem.Write(sm.snaps.Add(idx*len(info.Deps)+di), r.Dev.Mem.Read(dm.gen))
 		}
 	}
-	if s.Sem != task.Always {
+	if info.Sem != task.Always {
 		r.Dev.Ledger.CommitSince(mark)
 	}
 	return val
@@ -515,10 +532,11 @@ func (r *Runtime) executeSite(c *kernel.Ctx, s *task.IOSite, sm *siteMeta, idx, 
 
 // IOBlock implements kernel.Hooks.
 func (r *Runtime) IOBlock(c *kernel.Ctx, b *task.IOBlock, body func()) {
-	bm := r.blocks[b]
-	if bm == nil {
+	if uint(b.ID) >= uint(len(r.blocks)) || !r.blocks[b.ID].ok {
 		panic(fmt.Sprintf("core: I/O block %q not attached", b.Name))
 	}
+	bm := &r.blocks[b.ID]
+	info := bm.info
 	if r.blockSkipDepth > 0 {
 		// An outer completed block dominates: skip this block too.
 		r.blockSkipDepth++
@@ -526,18 +544,20 @@ func (r *Runtime) IOBlock(c *kernel.Ctx, b *task.IOBlock, body func()) {
 		r.blockSkipDepth--
 		return
 	}
-	taskID := r.blockTask[b]
+	taskID := int(bm.owner)
 
 	c.ChargeOverheadCycles(mcu.FlagCheckCycles)
 	done := r.flagSet(bm.flag, taskID)
 	valid := true
-	if done && b.Sem == task.Timely {
+	if done && info.Sem == task.Timely {
 		c.ChargeOverheadCycles(mcu.TimeCompareCycles)
-		valid = c.Now()-r.readTime(bm.ts) <= b.Window
+		valid = c.Now()-r.readTime(bm.ts) <= info.Window
 	}
-	if done && valid && b.Sem != task.Always {
+	if done && valid && info.Sem != task.Always {
 		// Completed and still valid: members restore their outputs.
-		r.Dev.Trace(kernel.EvBlockSkip, "%s", b.Name)
+		if r.Dev.TraceOn() {
+			r.Dev.Trace(kernel.EvBlockSkip, "%s", b.Name)
+		}
 		r.blockSkipDepth++
 		body()
 		r.blockSkipDepth--
@@ -546,21 +566,23 @@ func (r *Runtime) IOBlock(c *kernel.Ctx, b *task.IOBlock, body func()) {
 	if done && !valid {
 		// Violation: block semantics override member semantics — every
 		// member (including nested blocks) re-executes (§4.2.1).
-		r.Dev.Trace(kernel.EvBlockViolation, "%s", b.Name)
-		r.invalidateBlock(c, b)
+		if r.Dev.TraceOn() {
+			r.Dev.Trace(kernel.EvBlockViolation, "%s", b.Name)
+		}
+		r.invalidateBlock(c, info)
 	}
 
 	mark := r.Dev.Ledger.Mark()
 	body()
 
-	if b.Sem == task.Timely {
+	if info.Sem == task.Timely {
 		c.ChargeOverheadCycles(mcu.TimestampCycles)
 	}
 	c.ChargeOverheadCycles(mcu.FlagSetCycles)
-	if b.Sem == task.Timely {
+	if info.Sem == task.Timely {
 		r.writeTime(bm.ts, c.Now())
 	}
-	if b.Sem != task.Always {
+	if info.Sem != task.Always {
 		r.setFlag(bm.flag, taskID)
 		r.Dev.Ledger.CommitSince(mark)
 	}
@@ -568,23 +590,23 @@ func (r *Runtime) IOBlock(c *kernel.Ctx, b *task.IOBlock, body func()) {
 
 // invalidateBlock clears the lock flags of every member site and nested
 // block, forcing re-execution under the block's semantics.
-func (r *Runtime) invalidateBlock(c *kernel.Ctx, b *task.IOBlock) {
-	for _, s := range b.Members {
-		sm := r.sites[s]
-		if sm == nil {
+func (r *Runtime) invalidateBlock(c *kernel.Ctx, info *task.BlockInfo) {
+	for _, s := range info.Members {
+		sm := &r.sites[s]
+		if !sm.ok {
 			continue
 		}
 		c.ChargeOverheadCycles(mcu.FlagSetCycles)
-		for i := 0; i < s.Instances; i++ {
+		for i := 0; i < sm.info.Instances; i++ {
 			r.clearFlag(sm.flags.Add(i))
 		}
 	}
-	for _, sub := range b.SubBlocks {
-		if bm := r.blocks[sub]; bm != nil {
+	for _, sub := range info.SubBlocks {
+		if bm := &r.blocks[sub]; bm.ok {
 			c.ChargeOverheadCycles(mcu.FlagSetCycles)
 			r.clearFlag(bm.flag)
 		}
-		r.invalidateBlock(c, sub)
+		r.invalidateBlock(c, r.Prog.BlockInfo(int(sub)))
 	}
 }
 
@@ -593,30 +615,32 @@ func (r *Runtime) invalidateBlock(c *kernel.Ctx, b *task.IOBlock) {
 // DMACopy implements kernel.Hooks: classify, apply the matching
 // re-execution semantic, then cross into the next privatization region.
 func (r *Runtime) DMACopy(c *kernel.Ctx, d *task.DMASite, src, dst task.Loc, words int) {
-	dm := r.dmas[d]
-	if dm == nil {
+	if uint(d.ID) >= uint(len(r.dmas)) || !r.dmas[d.ID].ok {
 		panic(fmt.Sprintf("core: DMA site %q not attached", d.Name))
 	}
+	dm := &r.dmas[d.ID]
 	srcA, dstA := c.ResolveLoc(src), c.ResolveLoc(dst)
 	if err := dma.Validate(srcA, dstA, words); err != nil {
 		panic(err)
 	}
 	kind := dma.Classify(srcA.Bank, dstA.Bank)
-	if d.Exclude {
+	if dm.info.Exclude {
 		// Programmer-excluded: handled as Always at compile time (§4.3);
 		// no classification or privatization work at run time.
 		kind = task.DMAVolatileToVolatile
 	} else {
 		c.ChargeOverheadCycles(mcu.FlagCheckCycles) // runtime classification
 	}
-	r.Dev.Trace(kernel.EvDMAClass, "%s kind=%v exclude=%v", d.Name, kind, d.Exclude)
+	if r.Dev.TraceOn() {
+		r.Dev.Trace(kernel.EvDMAClass, "%s kind=%v exclude=%v", d.Name, kind, dm.info.Exclude)
+	}
 
-	depsChanged := r.dmaDepsChanged(c, d, dm)
+	depsChanged := r.dmaDepsChanged(c, dm)
 
 	switch kind {
 	case task.DMAToNonVolatile:
 		// Single: completion is the following region's flag.
-		reg := r.regions[regionKey{dm.taskID, dm.regionAfter}]
+		reg := &r.regions[dm.taskID][dm.regionAfter]
 		c.ChargeOverheadCycles(mcu.FlagCheckCycles)
 		done := r.flagSet(reg.flag, dm.taskID) && !depsChanged
 		if done {
@@ -624,7 +648,7 @@ func (r *Runtime) DMACopy(c *kernel.Ctx, d *task.DMASite, src, dst task.Loc, wor
 		} else {
 			mark := r.Dev.Ledger.Mark()
 			r.ExecDMA(c, d, srcA, dstA, words)
-			r.snapDMADeps(c, d, dm)
+			r.snapDMADeps(c, dm)
 			if r.flagSet(reg.flag, dm.taskID) {
 				// A dependence change re-executed a completed transfer:
 				// the old region snapshot is stale. Clear the flag so the
@@ -653,7 +677,7 @@ func (r *Runtime) DMACopy(c *kernel.Ctx, d *task.DMASite, src, dst task.Loc, wor
 			c.ChargeMemAccess(mem.FRAM, true, true)
 			r.setFlag(dm.privFlag, dm.taskID)
 			r.Dev.Mem.Write(dm.privOff, uint16(off))
-			r.snapDMADeps(c, d, dm)
+			r.snapDMADeps(c, dm)
 			r.Dev.Ledger.CommitSince(mark)
 		}
 		// Phase 2: privatization buffer → destination (repeats after
@@ -668,12 +692,12 @@ func (r *Runtime) DMACopy(c *kernel.Ctx, d *task.DMASite, src, dst task.Loc, wor
 	r.enterRegion(c, dm.regionAfter)
 }
 
-func (r *Runtime) dmaDepsChanged(c *kernel.Ctx, d *task.DMASite, dm *dmaMeta) bool {
+func (r *Runtime) dmaDepsChanged(c *kernel.Ctx, dm *dmaMeta) bool {
 	changed := false
-	for di, dep := range d.DependsOn {
+	for di, dep := range dm.info.Deps {
 		c.ChargeOverheadCycles(mcu.FlagCheckCycles)
-		sm := r.sites[dep]
-		if sm == nil {
+		sm := &r.sites[dep]
+		if !sm.ok {
 			continue
 		}
 		if r.Dev.Mem.Read(dm.snaps.Add(di)) != r.Dev.Mem.Read(sm.gen) {
@@ -683,10 +707,10 @@ func (r *Runtime) dmaDepsChanged(c *kernel.Ctx, d *task.DMASite, dm *dmaMeta) bo
 	return changed
 }
 
-func (r *Runtime) snapDMADeps(c *kernel.Ctx, d *task.DMASite, dm *dmaMeta) {
-	for di, dep := range d.DependsOn {
-		sm := r.sites[dep]
-		if sm == nil {
+func (r *Runtime) snapDMADeps(c *kernel.Ctx, dm *dmaMeta) {
+	for di, dep := range dm.info.Deps {
+		sm := &r.sites[dep]
+		if !sm.ok {
 			continue
 		}
 		c.ChargeOverheadCycles(mcu.FlagSetCycles)
@@ -733,15 +757,18 @@ func (r *Runtime) enterRegion(c *kernel.Ctx, idx int) {
 		return
 	}
 	t := r.curTask
-	rm := r.regions[regionKey{t.ID, idx}]
-	if rm == nil {
+	regs := r.regions[t.ID]
+	if uint(idx) >= uint(len(regs)) {
 		panic(fmt.Sprintf("core: task %q has no region %d (stale analysis?)", t.Name, idx))
 	}
+	rm := &regs[idx]
 	c.ChargeOverheadCycles(mcu.FlagCheckCycles)
 	if r.flagSet(rm.flag, t.ID) {
 		// Recovery: restore every region range from its private copy,
 		// undoing partial work from the interrupted attempt.
-		r.Dev.Trace(kernel.EvRegionRestore, "%s region %d (%d ranges)", t.Name, idx, len(rm.vars))
+		if r.Dev.TraceOn() {
+			r.Dev.Trace(kernel.EvRegionRestore, "%s region %d (%d ranges)", t.Name, idx, len(rm.vars))
+		}
 		for vi, rv := range rm.vars {
 			c.ChargeOverheadCycles(int64(rv.Words()) * mcu.CommitWordCycles)
 			master := r.MasterAddr(rv.Var).Add(rv.Lo)
@@ -758,7 +785,9 @@ func (r *Runtime) enterRegion(c *kernel.Ctx, idx int) {
 		c.ChargeOverheadCycles(int64(rv.Words()) * mcu.PrivatizeWordCycles)
 	}
 	c.ChargeOverheadCycles(mcu.FlagSetCycles)
-	r.Dev.Trace(kernel.EvRegionPrivatize, "%s region %d (%d ranges)", t.Name, idx, len(rm.vars))
+	if r.Dev.TraceOn() {
+		r.Dev.Trace(kernel.EvRegionPrivatize, "%s region %d (%d ranges)", t.Name, idx, len(rm.vars))
+	}
 	for vi, rv := range rm.vars {
 		master := r.MasterAddr(rv.Var).Add(rv.Lo)
 		for w := 0; w < rv.Words(); w++ {

@@ -21,6 +21,7 @@ import (
 	"math/rand"
 	"time"
 
+	"easeio/internal/lazyrand"
 	"easeio/internal/task"
 	"easeio/internal/units"
 )
@@ -57,7 +58,7 @@ func Analyze(app *task.App) error {
 
 // newAnalysisRand seeds the deterministic randomness analysis runs hand
 // to task bodies that ask for it.
-func newAnalysisRand() *rand.Rand { return rand.New(rand.NewSource(1)) }
+func newAnalysisRand() *rand.Rand { return rand.New(lazyrand.New(1)) }
 
 func analyzeTask(app *task.App, t *task.Task) (*task.TaskMeta, error) {
 	rec := &recorder{

@@ -29,14 +29,21 @@ import (
 	"easeio/internal/task"
 )
 
-// Runtime is one per-run InK instance.
+// Runtime is one per-run InK instance. All state lives in flat slices
+// indexed by the program's dense variable IDs; the per-attempt dirty set
+// is epoch-stamped so clearing it is a single counter bump.
 type Runtime struct {
 	rtbase.Base
 
-	shadow map[*task.NVVar]mem.Addr // second buffer per variable
-	index  map[*task.NVVar]mem.Addr // persistent index word per variable
-	dirty  map[*task.NVVar]bool     // written (shadowed) this attempt
-	cur    *task.Task
+	shadow []mem.Addr // second buffer, by variable ID
+	index  []mem.Addr // persistent index word, by variable ID
+	// dirtyE stamps variables written (shadowed) this attempt: dirty iff
+	// the stamp equals epoch.
+	dirtyE []uint32
+	epoch  uint32
+	// flips is the reusable commit scratch buffer.
+	flips []*task.NVVar
+	cur   *task.Task
 }
 
 // New returns a fresh InK runtime.
@@ -54,14 +61,25 @@ func (r *Runtime) Attach(dev *kernel.Device, app *task.App) error {
 	if err := r.Init(dev, app, "InK"); err != nil {
 		return err
 	}
-	r.shadow = make(map[*task.NVVar]mem.Addr, len(app.Vars))
-	r.index = make(map[*task.NVVar]mem.Addr, len(app.Vars))
-	r.dirty = make(map[*task.NVVar]bool)
-	for _, v := range app.Vars {
-		r.shadow[v] = dev.Mem.Alloc(mem.FRAM, "InK", "shadow:"+v.Name, v.Words)
-		r.index[v] = dev.Mem.Alloc(mem.FRAM, "InK", "index:"+v.Name, 1)
+	r.shadow = make([]mem.Addr, len(app.Vars))
+	r.index = make([]mem.Addr, len(app.Vars))
+	r.dirtyE = make([]uint32, len(app.Vars))
+	r.epoch = 1 // zero stamps in the fresh slice never match
+	for i, v := range app.Vars {
+		r.shadow[i] = dev.Mem.Alloc(mem.FRAM, "InK", "shadow:"+v.Name, v.Words)
+		r.index[i] = dev.Mem.Alloc(mem.FRAM, "InK", "index:"+v.Name, 1)
 	}
 	return nil
+}
+
+// bumpEpoch empties the dirty set in O(1); on uint32 wraparound the
+// stamps are flushed so ancient epochs cannot collide.
+func (r *Runtime) bumpEpoch() {
+	r.epoch++
+	if r.epoch == 0 {
+		clear(r.dirtyE)
+		r.epoch = 1
+	}
 }
 
 var _ kernel.Resetter = (*Runtime)(nil)
@@ -71,7 +89,7 @@ var _ kernel.Resetter = (*Runtime)(nil)
 // shadow buffers start unwritten, exactly as after Attach.
 func (r *Runtime) Reset(dev *kernel.Device) error {
 	r.ResetRun(dev)
-	clear(r.dirty)
+	r.bumpEpoch()
 	r.cur = nil
 	return nil
 }
@@ -92,23 +110,23 @@ func (r *Runtime) SnapshotStateInto(prev any) any {
 // RestoreState implements kernel.Snapshotter.
 func (r *Runtime) RestoreState(dev *kernel.Device, state any) {
 	r.RestoreBase(dev, *state.(*rtbase.BaseState))
-	clear(r.dirty)
+	r.bumpEpoch()
 	r.cur = nil
 }
 
 // activeAddr returns the committed copy's address (index word 0 = master,
 // 1 = shadow buffer).
 func (r *Runtime) activeAddr(v *task.NVVar) mem.Addr {
-	if r.Dev.Mem.Read(r.index[v]) == 0 {
+	if r.Dev.Mem.Read(r.index[v.ID]) == 0 {
 		return r.MasterAddr(v)
 	}
-	return r.shadow[v]
+	return r.shadow[v.ID]
 }
 
 // inactiveAddr returns the working copy's address.
 func (r *Runtime) inactiveAddr(v *task.NVVar) mem.Addr {
-	if r.Dev.Mem.Read(r.index[v]) == 0 {
-		return r.shadow[v]
+	if r.Dev.Mem.Read(r.index[v.ID]) == 0 {
+		return r.shadow[v.ID]
 	}
 	return r.MasterAddr(v)
 }
@@ -116,7 +134,7 @@ func (r *Runtime) inactiveAddr(v *task.NVVar) mem.Addr {
 // OnBoot implements kernel.Hooks.
 func (r *Runtime) OnBoot(c *kernel.Ctx) {
 	r.LoadBoot(c)
-	clear(r.dirty)
+	r.bumpEpoch()
 }
 
 // CurrentTask implements kernel.Hooks.
@@ -125,7 +143,7 @@ func (r *Runtime) CurrentTask() *task.Task { return r.Current() }
 // BeginTask implements kernel.Hooks: InK defers its copying to the first
 // write of each variable, so task entry is cheap.
 func (r *Runtime) BeginTask(c *kernel.Ctx, t *task.Task) {
-	clear(r.dirty)
+	r.bumpEpoch()
 	r.cur = t
 }
 
@@ -133,22 +151,22 @@ func (r *Runtime) BeginTask(c *kernel.Ctx, t *task.Task) {
 // variable. The flips are charged first and applied pseudo-atomically with
 // the task-pointer update (see rtbase).
 func (r *Runtime) Transition(c *kernel.Ctx, next *task.Task) {
-	var flips []*task.NVVar
+	r.flips = r.flips[:0]
 	if r.cur != nil {
 		for _, v := range r.Meta(r.cur).Writes {
-			if r.dirty[v] {
+			if r.dirtyE[v.ID] == r.epoch {
 				c.ChargeMemAccess(mem.FRAM, true, true)
-				flips = append(flips, v)
+				r.flips = append(r.flips, v)
 			}
 		}
 	}
 	r.CommitTransition(c, next, func() {
-		for _, v := range flips {
-			idx := r.index[v]
+		for _, v := range r.flips {
+			idx := r.index[v.ID]
 			r.Dev.Mem.Write(idx, 1-r.Dev.Mem.Read(idx))
 		}
 	})
-	clear(r.dirty)
+	r.bumpEpoch()
 }
 
 // Load implements kernel.Hooks: reads hit the working copy if this attempt
@@ -158,7 +176,7 @@ func (r *Runtime) Load(c *kernel.Ctx, v *task.NVVar, i int) uint16 {
 	c.ChargeMemAccess(mem.FRAM, false, true) // index word
 	c.ChargeMemAccess(mem.FRAM, false, false)
 	a := r.activeAddr(v)
-	if r.dirty[v] {
+	if r.dirtyE[v.ID] == r.epoch {
 		a = r.inactiveAddr(v)
 	}
 	return r.Dev.Mem.Read(a.Add(i))
@@ -169,13 +187,13 @@ func (r *Runtime) Load(c *kernel.Ctx, v *task.NVVar, i int) uint16 {
 // keep their untouched words), then the write lands on the working copy.
 func (r *Runtime) Store(c *kernel.Ctx, v *task.NVVar, i int, val uint16) {
 	c.ChargeMemAccess(mem.FRAM, false, true) // index word
-	if !r.dirty[v] {
+	if r.dirtyE[v.ID] != r.epoch {
 		c.ChargeOverheadCycles(int64(v.Words) * mcu.PrivatizeWordCycles)
 		src, dst := r.activeAddr(v), r.inactiveAddr(v)
 		for w := 0; w < v.Words; w++ {
 			r.Dev.Mem.Write(dst.Add(w), r.Dev.Mem.Read(src.Add(w)))
 		}
-		r.dirty[v] = true
+		r.dirtyE[v.ID] = r.epoch
 	}
 	c.ChargeMemAccess(mem.FRAM, true, false)
 	r.Dev.Mem.Write(r.inactiveAddr(v).Add(i), val)

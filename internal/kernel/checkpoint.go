@@ -9,6 +9,7 @@ package kernel
 import (
 	"math/rand"
 
+	"easeio/internal/lazyrand"
 	"easeio/internal/mem"
 	"easeio/internal/power"
 	"easeio/internal/stats"
@@ -30,12 +31,14 @@ import (
 // bounded by the longest run's draw count and is dropped on a real
 // reseed.
 type countingSource struct {
-	// src is created on the first unmemoized draw: math/rand's seeding
-	// costs ~µs, and many simulated runs never sample peripheral
-	// randomness at all. src == nil implies the memo is empty (entries
-	// only ever come from src), so a fresh source is at the right
-	// position; once created, src always sits at len(hist) draws past
-	// seed.
+	// src is created on the first unmemoized draw: many simulated runs
+	// never sample peripheral randomness at all. src == nil implies the
+	// memo is empty (entries only ever come from src), so a fresh
+	// source is at the right position; once created, src always sits at
+	// len(hist) draws past seed. The source is a lazyrand.Source —
+	// bit-identical to rand.NewSource but with O(1) reseeding, so the
+	// per-run Seed on the pooled path costs ten word-stores instead of
+	// math/rand's ~µs eager state fill.
 	src   rand.Source64
 	seed  int64
 	draws uint64   // position in the stream
@@ -55,7 +58,7 @@ func (c *countingSource) next() uint64 {
 		return v
 	}
 	if c.src == nil {
-		c.src = rand.NewSource(c.seed).(rand.Source64)
+		c.src = lazyrand.New(c.seed)
 	}
 	v := c.src.Uint64()
 	c.hist = append(c.hist, v)
@@ -85,7 +88,7 @@ func (c *countingSource) Seed(seed int64) {
 func (c *countingSource) seek(seed int64, n uint64) {
 	c.Seed(seed)
 	if uint64(len(c.hist)) < n && c.src == nil {
-		c.src = rand.NewSource(c.seed).(rand.Source64)
+		c.src = lazyrand.New(c.seed)
 	}
 	for uint64(len(c.hist)) < n {
 		c.hist = append(c.hist, c.src.Uint64())
@@ -135,10 +138,14 @@ func (d *Device) SnapshotInto(cp *Checkpoint) *Checkpoint {
 	cp.run = d.Run.CloneInto(cp.run)
 	cp.randSeed = d.randSrc.seed
 	cp.randDraws = d.randSrc.draws
-	cp.supplyName, cp.supply = "", nil
 	if s, ok := d.Supply.(power.Snapshottable); ok {
 		cp.supplyName = d.Supply.Name()
-		cp.supply = s.SnapshotState()
+		// The Into variant reuses the previous state's box when it came
+		// from the same supply type, keeping recycled snapshots free of
+		// the per-call interface-boxing allocation.
+		cp.supply = s.SnapshotStateInto(cp.supply)
+	} else {
+		cp.supplyName, cp.supply = "", nil
 	}
 	return cp
 }
@@ -153,7 +160,7 @@ func (d *Device) Restore(cp *Checkpoint) {
 	d.Mem.RestoreAll(cp.mem)
 	d.Clock.Restore(cp.clock)
 	*d.Ledger = cp.ledger
-	d.Run = cp.run.Clone()
+	d.Run = cp.run.CloneInto(d.Run)
 	d.randSrc.seek(cp.randSeed, cp.randDraws)
 	if s, ok := d.Supply.(power.Snapshottable); ok && cp.supply != nil && d.Supply.Name() == cp.supplyName {
 		s.RestoreState(cp.supply)

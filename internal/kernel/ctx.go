@@ -5,12 +5,15 @@
 package kernel
 
 import (
+	"math"
 	"math/rand"
 	"time"
 
 	"easeio/internal/lea"
 	"easeio/internal/mcu"
 	"easeio/internal/mem"
+	"easeio/internal/power"
+	"easeio/internal/stats"
 	"easeio/internal/task"
 	"easeio/internal/units"
 )
@@ -83,7 +86,20 @@ func (c *Ctx) chargeStep(d *Device, step time.Duration, se units.Energy, overhea
 	if d.Cuts != nil {
 		d.Cuts.NoteCut(d.Clock.OnTime())
 	}
-	if d.Supply.Step(d.Clock.Now(), d.Clock.OnTime(), step, se) {
+	// Devirtualize the per-slice supply step for the two supplies every
+	// sweep runs under: Timer.Step is a single duration comparison and
+	// Continuous never fails, so the common cases inline instead of
+	// paying an interface call on every charged word.
+	var failed bool
+	switch s := d.Supply.(type) {
+	case *power.Timer:
+		failed = s.Step(d.Clock.Now(), d.Clock.OnTime(), step, se)
+	case power.Continuous:
+		// never fails
+	default:
+		failed = d.Supply.Step(d.Clock.Now(), d.Clock.OnTime(), step, se)
+	}
+	if failed {
 		panic(powerFailure{})
 	}
 }
@@ -162,9 +178,75 @@ func (c *Ctx) ResolveLoc(l task.Loc) mem.Addr {
 // interposition entirely — exactly like hardware DMA bypasses the CPU.
 func (c *Ctx) RawDMA(src, dst mem.Addr, words int, overhead bool) {
 	c.Charge(mcu.Cycles(mcu.DMASetupCycles), mcu.CyclesEnergy(mcu.DMASetupCycles), overhead)
+	if words <= 0 {
+		return
+	}
+	d := c.Dev
+	// A DMA word is 2 cycles — far below one charge slice — so the word
+	// loop charges via chargeStep directly, which is exactly what Charge's
+	// single-slice fast path would do minus the per-word re-dispatch.
+	wdt, we := mcu.Cycles(mcu.DMAWordCycles), mcu.DMAWordEnergy
+	if wdt > chargeSlice {
+		panic("kernel: DMA word cost exceeds one charge slice")
+	}
+	// The window bounds-checks the whole transfer up front and makes the
+	// per-word move inlinable; a power failure mid-loop still leaves
+	// exactly the charged prefix copied and counted.
+	w := d.Mem.CopyWindowFor(src, dst, words)
+
+	// Bulk fast path: when nothing observes intermediate slice states (no
+	// cut sink) and the supply's next failure point is a known constant
+	// (continuous, timer, schedule — all pure on-time comparisons), every
+	// word that provably completes before that point can be charged and
+	// moved in one batch. Sums of identical integer charges are exact, so
+	// the clock, ledger, counters and memory land byte-identical to the
+	// per-word loop, including a failure cutting the copy mid-transfer.
+	if d.Cuts == nil && w.Bulkable() {
+		fireAt, known := time.Duration(math.MaxInt64), false
+		switch s := d.Supply.(type) {
+		case power.Continuous:
+			known = true
+		case *power.Timer:
+			fireAt, known = s.FireAt(), true
+		case *power.Schedule:
+			fireAt, known = s.FireAt(), true
+		}
+		if known {
+			var pend *stats.Totals
+			switch {
+			case c.wastedDepth > 0:
+				pend = &d.Ledger.committed[stats.Wasted]
+			case overhead:
+				pend = &d.Ledger.pending[1]
+			default:
+				pend = &d.Ledger.pending[0]
+			}
+			free := 0 // words whose slices end strictly before the failure
+			if head := fireAt - d.Clock.OnTime(); head > 0 {
+				free = words
+				if f := (head - 1) / wdt; f < time.Duration(words) {
+					free = int(f)
+				}
+			}
+			if free > 0 {
+				dt := time.Duration(free) * wdt
+				d.Clock.Run(dt)
+				pend.Add(stats.Totals{T: dt, E: units.Energy(free) * we})
+				w.MoveN(0, free)
+				if free == words {
+					return
+				}
+			}
+			// The next word's slice reaches the firing point: charge it
+			// and fail before the move, exactly as the per-word loop would.
+			d.Clock.Run(wdt)
+			pend.Add(stats.Totals{T: wdt, E: we})
+			panic(powerFailure{})
+		}
+	}
 	for i := 0; i < words; i++ {
-		c.Charge(mcu.Cycles(mcu.DMAWordCycles), mcu.DMAWordEnergy, overhead)
-		c.Dev.Mem.Write(dst.Add(i), c.Dev.Mem.Read(src.Add(i)))
+		c.chargeStep(d, wdt, we, overhead)
+		w.Move(i)
 	}
 }
 

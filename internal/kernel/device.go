@@ -44,6 +44,33 @@ type Device struct {
 	// rewind the peripheral randomness without reallocating it and so
 	// Snapshot can record the stream position (see checkpoint.go).
 	randSrc *countingSource
+
+	// ctx is the engine's reusable execution context (see runLoop) and
+	// reader/readerFunc the reusable CheckOutput scanner (see finish) —
+	// per-run scratch kept on the device so steady-state pooled runs
+	// allocate nothing.
+	ctx        Ctx
+	reader     checkReader
+	readerFunc func(v *task.NVVar, i int) uint16
+}
+
+// checkReader scans final memory for CheckOutput, memoizing a direct
+// read view of each variable's master words (checkers read variables
+// word by word, thousands of words per run). It lives on the Device so
+// finish can rebind it per run without allocating a fresh closure.
+type checkReader struct {
+	dev   *Device
+	rt    Hooks
+	lastV *task.NVVar
+	view  mem.ReadView
+}
+
+func (r *checkReader) read(v *task.NVVar, i int) uint16 {
+	if v != r.lastV {
+		r.lastV = v
+		r.view = r.dev.Mem.View(r.rt.AddrOf(v), v.Words)
+	}
+	return r.view.At(i)
 }
 
 // NewDevice assembles a fresh device around the given supply, seeding both
@@ -77,7 +104,10 @@ func (d *Device) Reset(supply power.Supply, seed int64) {
 	// Reseeding the source puts Rand in exactly the state rand.New would:
 	// Rand buffers nothing outside its Read method, which nothing uses.
 	d.randSrc.Seed(seed ^ 0x5ea10)
-	d.Run = &stats.Run{Seed: seed}
+	// Reset the run record in place: the previous run's record is
+	// invalidated (Session.Run documents that the returned statistics are
+	// only valid until the next reset; clone to retain).
+	d.Run.ResetForRun(seed)
 	if r, ok := d.Tracer.(interface{ Reset() }); ok && r != nil {
 		r.Reset()
 	}

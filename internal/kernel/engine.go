@@ -8,7 +8,6 @@ import (
 	"time"
 
 	"easeio/internal/mcu"
-	"easeio/internal/mem"
 	"easeio/internal/power"
 	"easeio/internal/task"
 )
@@ -63,16 +62,21 @@ func ResumeWithFailure(dev *Device, rt Hooks, app *task.App) error {
 // a clean boot; with failed=true it first handles a power failure
 // already in effect at the current device state.
 func runLoop(dev *Device, rt Hooks, app *task.App, failed bool) error {
-	ctx := &Ctx{Dev: dev, RT: rt}
+	ctx := &dev.ctx
+	*ctx = Ctx{Dev: dev, RT: rt}
 	for {
 		if failed {
 			dev.Run.PowerFailures++
 			dev.Ledger.FailAttempt()
 			dev.Mem.PowerFailure()
-			dev.Trace(EvPowerFailure, "#%d", dev.Run.PowerFailures)
+			if dev.TraceOn() {
+				dev.Trace(EvPowerFailure, "#%d", dev.Run.PowerFailures)
+			}
 			off := dev.Supply.Recharge(dev.Clock.Now())
 			dev.Clock.Off(off)
-			dev.Trace(EvRecharge, "off for %v", off)
+			if dev.TraceOn() {
+				dev.Trace(EvRecharge, "off for %v", off)
+			}
 			if h, ok := dev.Supply.(*power.Harvested); ok && h.Dead() {
 				dev.Run.Stuck = true
 				finish(dev, rt, app)
@@ -106,7 +110,7 @@ func bootAndRun(ctx *Ctx) (failed bool, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			if _, ok := r.(powerFailure); ok {
-				if attempt != nil {
+				if attempt != nil && ctx.Dev.TraceOn() {
 					ctx.Dev.Trace(EvTaskAbort, "%s", attempt.Name)
 				}
 				failed = true
@@ -117,7 +121,9 @@ func bootAndRun(ctx *Ctx) (failed bool, err error) {
 	}()
 	ctx.wastedDepth = 0
 	ctx.Dev.Clock.Boot()
-	ctx.Dev.Trace(EvBoot, "#%d", ctx.Dev.Clock.Boots())
+	if ctx.Dev.TraceOn() {
+		ctx.Dev.Trace(EvBoot, "#%d", ctx.Dev.Clock.Boots())
+	}
 	ctx.ChargeOverheadCycles(mcu.BootCycles)
 	ctx.RT.OnBoot(ctx)
 	for {
@@ -127,7 +133,9 @@ func bootAndRun(ctx *Ctx) (failed bool, err error) {
 		}
 		ctx.Dev.Run.TaskAttempts++
 		ctx.transitioned = false
-		ctx.Dev.Trace(EvTaskBegin, "%s (attempt %d)", t.Name, ctx.Dev.Run.TaskAttempts)
+		if ctx.Dev.TraceOn() {
+			ctx.Dev.Trace(EvTaskBegin, "%s (attempt %d)", t.Name, ctx.Dev.Run.TaskAttempts)
+		}
 		attempt = t
 		ctx.RT.BeginTask(ctx, t)
 		t.Body(ctx)
@@ -136,7 +144,9 @@ func bootAndRun(ctx *Ctx) (failed bool, err error) {
 		}
 		attempt = nil
 		ctx.Dev.Run.TaskCommits++
-		ctx.Dev.Trace(EvTaskCommit, "%s", t.Name)
+		if ctx.Dev.TraceOn() {
+			ctx.Dev.Trace(EvTaskCommit, "%s", t.Name)
+		}
 	}
 }
 
@@ -146,16 +156,14 @@ func finish(dev *Device, rt Hooks, app *task.App) {
 	dev.Run.WallTime = dev.Clock.Now()
 	dev.Run.OnTime = dev.Clock.OnTime()
 	if app.CheckOutput != nil && !dev.Run.Stuck {
-		// Checkers scan variables word by word; memoize the master-address
-		// lookup per variable instead of resolving it per word.
-		var lastV *task.NVVar
-		var lastA mem.Addr
-		dev.Run.Correct = app.CheckOutput(func(v *task.NVVar, i int) uint16 {
-			if v != lastV {
-				lastV, lastA = v, rt.AddrOf(v)
-			}
-			return dev.Mem.Read(lastA.Add(i))
-		})
+		// Checkers scan variables word by word; the device's reusable
+		// checkReader memoizes the master-address lookup per variable and
+		// the bound method value is built once per device.
+		dev.reader = checkReader{dev: dev, rt: rt}
+		if dev.readerFunc == nil {
+			dev.readerFunc = dev.reader.read
+		}
+		dev.Run.Correct = app.CheckOutput(dev.readerFunc)
 	} else {
 		dev.Run.Correct = !dev.Run.Stuck
 	}

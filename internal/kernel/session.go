@@ -49,6 +49,9 @@ func (s *Session) Runtime() Hooks { return s.rt }
 // runs reuse it when the runtime implements Resetter. A structural error
 // (attach failure, non-termination) discards the device so the next call
 // starts from a clean attach.
+//
+// The returned record is the device's own, reset in place by the next
+// Run on the reuse path — read it (or Clone it) before running again.
 func (s *Session) Run(seed int64) (*stats.Run, error) {
 	r, ok := s.rt.(Resetter)
 	if s.dev == nil || !ok {

@@ -139,6 +139,11 @@ type TraceWriter struct{ W io.Writer }
 // Event implements Tracer.
 func (t TraceWriter) Event(e TraceEvent) { fmt.Fprintln(t.W, e) }
 
+// TraceOn reports whether a tracer is attached. Hot paths guard their
+// Trace calls with it so the variadic argument slice is never
+// materialized on untraced runs (the common case for sweeps).
+func (d *Device) TraceOn() bool { return d.Tracer != nil }
+
 // Trace emits an event if a tracer is attached to the device. Runtimes
 // and the engine call it at decision points; the fmt.Sprintf cost is only
 // paid when tracing is on and the event carries arguments.

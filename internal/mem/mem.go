@@ -158,9 +158,12 @@ func (m *Memory) Owners() []string {
 }
 
 // check validates an address. The failure path lives in checkFail so that
-// check — and the Read/Write hot paths around it — stay inlinable.
+// check — and the Read/Write hot paths around it — stay inlinable. The
+// unsigned comparison folds the negative-word and past-end tests into
+// one branch, which keeps Read/Write within the inlining budget at their
+// own call sites (the DMA word loop lives or dies by this).
 func (m *Memory) check(a Addr, what string) {
-	if a.Bank >= numBanks || a.Word < 0 || a.Word >= len(m.banks[a.Bank]) {
+	if uint(a.Bank) >= uint(numBanks) || uint(a.Word) >= uint(len(m.banks[a.Bank])) {
 		m.checkFail(a, what)
 	}
 }
@@ -218,6 +221,94 @@ func (m *Memory) WriteBlock(a Addr, src []uint16, n int) {
 // Counts returns the access counters of bank b.
 func (m *Memory) Counts(b Bank) Counters { return m.counts[b] }
 
+// CopyWindow is a pre-validated word-at-a-time copy between two ranges —
+// the DMA hot path. Constructing one performs every word's bounds check
+// up front; Move then transfers word i with exactly the counting and
+// high-water effects of Read followed by Write, but cheap enough to
+// inline into the kernel's per-word charge loop. A window is invalidated
+// by anything that reallocates the memory (nothing does after New).
+type CopyWindow struct {
+	src, dst []uint16
+	reads    *int64
+	writes   *int64
+	hw       *int
+	dstBase  int
+	bulk     bool
+}
+
+// CopyWindowFor validates the n-word source and destination ranges and
+// returns a window over them. n must be positive.
+func (m *Memory) CopyWindowFor(src, dst Addr, n int) CopyWindow {
+	m.check(src, "read")
+	m.check(src.Add(n-1), "read")
+	m.check(dst, "write")
+	m.check(dst.Add(n-1), "write")
+	return CopyWindow{
+		src:     m.banks[src.Bank][src.Word : src.Word+n],
+		dst:     m.banks[dst.Bank][dst.Word : dst.Word+n],
+		reads:   &m.counts[src.Bank].Reads,
+		writes:  &m.counts[dst.Bank].Writes,
+		hw:      &m.highWater[dst.Bank],
+		dstBase: dst.Word,
+		// A destination that starts inside the source range (same bank,
+		// later start) makes the forward word-at-a-time copy propagate
+		// already-copied values; only then does MoveN's memmove diverge.
+		bulk: !(src.Bank == dst.Bank && dst.Word > src.Word && dst.Word < src.Word+n),
+	}
+}
+
+// Move copies word i of the window, counting one read and one write.
+func (w *CopyWindow) Move(i int) {
+	*w.reads++
+	*w.writes++
+	if b := w.dstBase + i + 1; b > *w.hw {
+		*w.hw = b
+	}
+	w.dst[i] = w.src[i]
+}
+
+// Bulkable reports whether MoveN is byte-equivalent to the same words
+// moved one Move at a time (false only for value-propagating overlap).
+func (w *CopyWindow) Bulkable() bool { return w.bulk }
+
+// MoveN copies words [i, i+n) of the window at once, with the exact
+// counting and high-water effects of n consecutive Move calls.
+func (w *CopyWindow) MoveN(i, n int) {
+	if n <= 0 {
+		return
+	}
+	*w.reads += int64(n)
+	*w.writes += int64(n)
+	if b := w.dstBase + i + n; b > *w.hw {
+		*w.hw = b
+	}
+	copy(w.dst[i:i+n], w.src[i:i+n])
+}
+
+// ReadView is a pre-validated read-only view of a word range, for tight
+// scan loops (the output checker reads every word of every result
+// variable once per run). At counts one read per call, identical to
+// per-word Read.
+type ReadView struct {
+	words []uint16
+	reads *int64
+}
+
+// View validates the n-word range at a and returns a read view of it.
+func (m *Memory) View(a Addr, n int) ReadView {
+	m.check(a, "read")
+	if n > 0 {
+		m.check(a.Add(n-1), "read")
+	}
+	return ReadView{words: m.banks[a.Bank][a.Word : a.Word+n], reads: &m.counts[a.Bank].Reads}
+}
+
+// At returns word i of the view and counts the read.
+func (v ReadView) At(i int) uint16 {
+	*v.reads++
+	return v.words[i]
+}
+
 // Reset clears all memory contents, access counters and high-water marks
 // while preserving the allocator state and allocation records, so a
 // runtime attached to this memory keeps its addresses valid across runs.
@@ -238,13 +329,18 @@ func (m *Memory) Reset() {
 }
 
 // PowerFailure clears every volatile bank, exactly what a real power
-// failure does to SRAM and LEA-RAM. FRAM contents survive.
+// failure does to SRAM and LEA-RAM. FRAM contents survive. Only the used
+// prefix is touched: every write path (Read/Write, blocks, copy windows)
+// maintains the high-water mark, and Restore re-establishes it, so words
+// above max(alloc, highWater) are provably zero already — clearing them
+// again cost a full 4 KB memclr per bank per failure, which showed up in
+// sweep profiles.
 func (m *Memory) PowerFailure() {
 	for b := Bank(0); b < numBanks; b++ {
 		if !b.Volatile() {
 			continue
 		}
-		clear(m.banks[b])
+		clear(m.banks[b][:m.usedWords(b)])
 	}
 }
 
@@ -261,13 +357,23 @@ func (m *Memory) Snapshot(b Bank) Snapshot {
 	return Snapshot{Bank: b, Words: words}
 }
 
-// Restore overwrites bank contents from a snapshot taken earlier.
+// Restore overwrites bank contents from a snapshot taken earlier. It
+// raises the bank's high-water mark over any restored nonzero word, so
+// the invariant that words above the used prefix are zero (which
+// PowerFailure and Reset rely on to clear only that prefix) survives
+// restoring a snapshot with a larger footprint.
 func (m *Memory) Restore(s Snapshot) {
 	if len(s.Words) != len(m.banks[s.Bank]) {
 		panic(fmt.Sprintf("mem: restore size mismatch for %s: %d vs %d",
 			s.Bank, len(s.Words), len(m.banks[s.Bank])))
 	}
 	copy(m.banks[s.Bank], s.Words)
+	for i := len(s.Words) - 1; i >= m.usedWords(s.Bank); i-- {
+		if s.Words[i] != 0 {
+			m.highWater[s.Bank] = i + 1
+			break
+		}
+	}
 }
 
 // DeviceSnapshot captures the full mid-run state of a Memory: every

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"easeio/internal/energy"
+	"easeio/internal/lazyrand"
 	"easeio/internal/mcu"
 	"easeio/internal/units"
 )
@@ -87,6 +88,7 @@ func DefaultTimerConfig() TimerConfig {
 // Timer is the timer-driven Supply.
 type Timer struct {
 	cfg  TimerConfig
+	name string          // formatted once; cfg is fixed after NewTimer
 	src  *countingSource // reseeded in place across runs; counts draws for checkpointing
 	rng  *rand.Rand
 	next time.Duration // onTime at which the next failure fires
@@ -97,15 +99,15 @@ func NewTimer(cfg TimerConfig) *Timer {
 	if cfg.OnMax < cfg.OnMin || cfg.OffMax < cfg.OffMin {
 		panic("power: invalid timer config: max below min")
 	}
-	t := &Timer{cfg: cfg}
+	t := &Timer{cfg: cfg, name: fmt.Sprintf("timer[%v,%v]", cfg.OnMin, cfg.OnMax)}
 	t.Reset(0)
 	return t
 }
 
-// Name implements Supply.
-func (t *Timer) Name() string {
-	return fmt.Sprintf("timer[%v,%v]", t.cfg.OnMin, t.cfg.OnMax)
-}
+// Name implements Supply. The name is formatted once at construction:
+// checkpointing records it per snapshot, and a Sprintf there was a
+// measurable share of bulk-snapshot cost.
+func (t *Timer) Name() string { return t.name }
 
 // Reset implements Supply. The random source is reseeded in place on
 // reuse, which leaves the generator in exactly the state a fresh
@@ -132,6 +134,12 @@ func (t *Timer) uniform(lo, hi time.Duration) time.Duration {
 func (t *Timer) Step(_, onTime, _ time.Duration, _ units.Energy) bool {
 	return onTime >= t.next
 }
+
+// FireAt returns the cumulative on-time at which Step will next report
+// failure. It is constant between failures (only Recharge moves it),
+// which lets the kernel batch charge slices that provably finish before
+// it — the bulk-DMA fast path.
+func (t *Timer) FireAt() time.Duration { return t.next }
 
 // Recharge implements Supply: draws the off duration and schedules the
 // next firing interval.
@@ -188,7 +196,7 @@ func (s *Harvested) Reset(seed int64) {
 		start = s.Cap.Von
 	}
 	if s.Jitter > 0 {
-		rng := rand.New(rand.NewSource(seed))
+		rng := rand.New(lazyrand.New(seed))
 		s.gain = 1 - s.Jitter + 2*s.Jitter*rng.Float64()
 		if s.StartAtVon {
 			// A cycling device is caught at a random charge between the

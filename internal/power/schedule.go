@@ -6,6 +6,7 @@
 package power
 
 import (
+	"math"
 	"sort"
 	"time"
 
@@ -80,6 +81,17 @@ func (s *Schedule) Step(_, onTime, _ time.Duration, _ units.Energy) bool {
 func (s *Schedule) Recharge(time.Duration) time.Duration {
 	s.next++
 	return s.Off
+}
+
+// FireAt returns the cumulative on-time at which Step will next report
+// failure, or a duration beyond any run when the schedule is exhausted.
+// Like Timer.FireAt it is constant between failures, enabling the
+// kernel's bulk-DMA fast path.
+func (s *Schedule) FireAt() time.Duration {
+	if s.next >= len(s.FailAt) {
+		return math.MaxInt64
+	}
+	return s.FailAt[s.next]
 }
 
 // Remaining returns how many scheduled failures have not fired yet.

@@ -12,6 +12,7 @@ import (
 	"math/rand"
 	"time"
 
+	"easeio/internal/lazyrand"
 	"easeio/internal/units"
 )
 
@@ -26,18 +27,27 @@ type Snapshottable interface {
 	Supply
 	// SnapshotState captures the supply's mutable state.
 	SnapshotState() SupplyState
+	// SnapshotStateInto is SnapshotState reusing prev's storage when prev
+	// was produced by the same supply type; a nil or foreign prev
+	// allocates fresh. Bulk checkpointing (one snapshot per candidate
+	// failure point) recycles states through it to stay allocation-free.
+	SnapshotStateInto(prev SupplyState) SupplyState
 	// RestoreState re-establishes previously captured state. It panics if
 	// the state was produced by a different supply type — mixing supplies
 	// across a checkpoint boundary is a harness bug.
 	RestoreState(SupplyState)
 }
 
-// countingSource wraps math/rand's default source and counts draws, so a
-// supply's position in its random stream can be checkpointed as (seed,
-// draws) and re-established by reseeding and discarding the same number
-// of draws. Every top-level rand.Rand call maps to one or more Int63/
-// Uint64 draws, and each draw advances the underlying generator by
-// exactly one step, so the count pins the stream position exactly.
+// countingSource wraps a lazyrand source (bit-identical to math/rand's
+// default source, O(1) reseed) and counts draws, so a supply's position
+// in its random stream can be checkpointed as (seed, draws) and
+// re-established by reseeding and discarding the same number of draws.
+// Every top-level rand.Rand call maps to one or more Int63/Uint64
+// draws, and each draw advances the underlying generator by exactly one
+// step, so the count pins the stream position exactly. The O(1) reseed
+// matters because Timer.Reset reseeds once per simulated run: with
+// math/rand's eager ~µs seeding it profiled at a third of pooled sweep
+// CPU.
 type countingSource struct {
 	src   rand.Source64
 	seed  int64
@@ -45,7 +55,7 @@ type countingSource struct {
 }
 
 func newCountingSource(seed int64) *countingSource {
-	return &countingSource{src: rand.NewSource(seed).(rand.Source64), seed: seed}
+	return &countingSource{src: lazyrand.New(seed), seed: seed}
 }
 
 func (c *countingSource) Int63() int64 {
@@ -73,7 +83,8 @@ func (c *countingSource) seek(seed int64, n uint64) {
 	c.draws = n
 }
 
-// continuousState is the (empty) state of a Continuous supply.
+// continuousState is the (empty) state of a Continuous supply. Boxing a
+// zero-size value never allocates, so Continuous needs no Into plumbing.
 type continuousState struct{}
 
 func (continuousState) supplyState() {}
@@ -81,6 +92,9 @@ func (continuousState) supplyState() {}
 // SnapshotState implements Snapshottable: a Continuous supply is
 // stateless.
 func (Continuous) SnapshotState() SupplyState { return continuousState{} }
+
+// SnapshotStateInto implements Snapshottable.
+func (Continuous) SnapshotStateInto(SupplyState) SupplyState { return continuousState{} }
 
 // RestoreState implements Snapshottable.
 func (Continuous) RestoreState(s SupplyState) {
@@ -96,11 +110,21 @@ type scheduleState struct{ next int }
 func (scheduleState) supplyState() {}
 
 // SnapshotState implements Snapshottable.
-func (s *Schedule) SnapshotState() SupplyState { return scheduleState{next: s.next} }
+func (s *Schedule) SnapshotState() SupplyState { return s.SnapshotStateInto(nil) }
+
+// SnapshotStateInto implements Snapshottable.
+func (s *Schedule) SnapshotStateInto(prev SupplyState) SupplyState {
+	p, ok := prev.(*scheduleState)
+	if !ok {
+		p = &scheduleState{}
+	}
+	p.next = s.next
+	return p
+}
 
 // RestoreState implements Snapshottable.
 func (s *Schedule) RestoreState(st SupplyState) {
-	ss, ok := st.(scheduleState)
+	ss, ok := st.(*scheduleState)
 	if !ok {
 		panic(fmt.Sprintf("power: schedule restore from %T", st))
 	}
@@ -118,13 +142,21 @@ type timerState struct {
 func (timerState) supplyState() {}
 
 // SnapshotState implements Snapshottable.
-func (t *Timer) SnapshotState() SupplyState {
-	return timerState{next: t.next, seed: t.src.seed, draws: t.src.draws}
+func (t *Timer) SnapshotState() SupplyState { return t.SnapshotStateInto(nil) }
+
+// SnapshotStateInto implements Snapshottable.
+func (t *Timer) SnapshotStateInto(prev SupplyState) SupplyState {
+	p, ok := prev.(*timerState)
+	if !ok {
+		p = &timerState{}
+	}
+	*p = timerState{next: t.next, seed: t.src.seed, draws: t.src.draws}
+	return p
 }
 
 // RestoreState implements Snapshottable.
 func (t *Timer) RestoreState(st SupplyState) {
-	ts, ok := st.(timerState)
+	ts, ok := st.(*timerState)
 	if !ok {
 		panic(fmt.Sprintf("power: timer restore from %T", st))
 	}
@@ -143,13 +175,21 @@ type harvestedState struct {
 func (harvestedState) supplyState() {}
 
 // SnapshotState implements Snapshottable.
-func (s *Harvested) SnapshotState() SupplyState {
-	return harvestedState{stored: s.Cap.Stored(), gain: s.gain, dead: s.dead}
+func (s *Harvested) SnapshotState() SupplyState { return s.SnapshotStateInto(nil) }
+
+// SnapshotStateInto implements Snapshottable.
+func (s *Harvested) SnapshotStateInto(prev SupplyState) SupplyState {
+	p, ok := prev.(*harvestedState)
+	if !ok {
+		p = &harvestedState{}
+	}
+	*p = harvestedState{stored: s.Cap.Stored(), gain: s.gain, dead: s.dead}
+	return p
 }
 
 // RestoreState implements Snapshottable.
 func (s *Harvested) RestoreState(st SupplyState) {
-	hs, ok := st.(harvestedState)
+	hs, ok := st.(*harvestedState)
 	if !ok {
 		panic(fmt.Sprintf("power: harvested restore from %T", st))
 	}

@@ -24,16 +24,30 @@ import (
 // doneSentinel is the task-pointer value meaning "application finished".
 const doneSentinel = 0xFFFF
 
-// ioKey identifies one dynamic instance of an I/O or DMA site.
-type ioKey struct {
-	site     int // site or DMA ID
-	idx      int // loop instance
-	taskID   int
-	taskInst int // how many times the task had committed when this ran
-	isDMA    bool
+// ioSlot is the per-run bookkeeping of one dynamic I/O or DMA site
+// instance, held in a flat array indexed by the program's frozen slot
+// numbering (task.Program.IOSlots). taskID/taskInst version the slot:
+// bookkeeping is only ever consulted for the currently running task
+// instance, and a task must commit (bumping its instance counter) before
+// any other task can run, so a slot whose version tag is stale can never
+// be read again — it is reset in place on the next touch. This makes the
+// fixed-size array observationally equivalent to the unbounded
+// (site, idx, task, instance)-keyed map it replaced.
+type ioSlot struct {
+	taskID   int32
+	taskInst int32
+	// execCount counts execution attempts of this instance (Table 4's
+	// "Re-exe." counts every re-execution, completed or not).
+	execCount int32
+	// completed marks instances whose operation finished at least once
+	// (re-executing those is truly redundant work, charged to Wasted).
+	completed bool
 }
 
-// Base is embedded by each runtime implementation.
+// Base is embedded by each runtime implementation. All per-run state is
+// held in flat slices sized once at Init from the frozen program tables
+// (variable count, task count, I/O slot count); ResetRun clears those
+// prefixes in place and never reallocates.
 type Base struct {
 	Dev *kernel.Device
 	App *task.App
@@ -45,18 +59,14 @@ type Base struct {
 	// RTName attributes metadata allocations in the memory report.
 	RTName string
 
-	addrs   map[*task.NVVar]mem.Addr
+	addrs   []mem.Addr // master copy addresses, by variable ID
 	taskPtr mem.Addr
 	cur     int // volatile cache of the task pointer
 
-	// Measurement-world bookkeeping (never charged). execCount counts
-	// execution attempts per dynamic instance (Table 4's "Re-exe."
-	// counts every re-execution, completed or not); completed marks
-	// instances whose operation finished at least once (re-executing
-	// those is truly redundant work, charged to the Wasted bucket).
-	execCount map[ioKey]int
-	completed map[ioKey]bool
-	taskInst  map[int]int
+	// Measurement-world bookkeeping (never charged), by program slot
+	// resp. task ID.
+	slots    []ioSlot
+	taskInst []int32
 }
 
 // Device returns the device the runtime is attached to, or nil before
@@ -82,12 +92,11 @@ func (b *Base) Init(dev *kernel.Device, app *task.App, rtName string) error {
 	b.App = app
 	b.Prog = prog
 	b.RTName = rtName
-	b.addrs = make(map[*task.NVVar]mem.Addr, len(app.Vars))
-	b.execCount = make(map[ioKey]int)
-	b.completed = make(map[ioKey]bool)
-	b.taskInst = make(map[int]int)
-	for _, v := range app.Vars {
-		b.addrs[v] = dev.Mem.Alloc(mem.FRAM, "app", v.Name, v.Words)
+	b.addrs = make([]mem.Addr, len(app.Vars))
+	b.slots = make([]ioSlot, prog.IOSlots())
+	b.taskInst = make([]int32, len(app.Tasks))
+	for i, v := range app.Vars {
+		b.addrs[i] = dev.Mem.Alloc(mem.FRAM, "app", v.Name, v.Words)
 	}
 	b.taskPtr = dev.Mem.Alloc(mem.FRAM, rtName, "taskptr", 1)
 	b.writeInitial()
@@ -100,10 +109,9 @@ func (b *Base) Meta(t *task.Task) *task.TaskMeta { return b.Prog.MetaOf(t) }
 // writeInitial writes the durable words the attach path owns: variable
 // initial values and the task pointer at the entry task.
 func (b *Base) writeInitial() {
-	for _, v := range b.App.Vars {
-		a := b.addrs[v]
-		for i, w := range v.Init {
-			b.Dev.Mem.Write(a.Add(i), w)
+	for i, v := range b.App.Vars {
+		if len(v.Init) > 0 {
+			b.Dev.Mem.WriteBlock(b.addrs[i], v.Init, len(v.Init))
 		}
 	}
 	entry := b.App.Entry()
@@ -112,61 +120,46 @@ func (b *Base) writeInitial() {
 }
 
 // ResetRun returns the base to its post-Init state on a device whose
-// memory was just cleared by Device.Reset: bookkeeping is dropped and the
-// initial durable words are rewritten at their existing addresses.
-// Runtimes embed this in their kernel.Resetter implementation.
+// memory was just cleared by Device.Reset: the watermarked bookkeeping
+// prefixes (sized once at Init from the frozen tables) are cleared in
+// place and the initial durable words are rewritten at their existing
+// addresses. Runtimes embed this in their kernel.Resetter implementation.
 func (b *Base) ResetRun(dev *kernel.Device) {
 	b.Dev = dev
-	clear(b.execCount)
-	clear(b.completed)
+	clear(b.slots)
 	clear(b.taskInst)
 	b.writeInitial()
 }
 
 // BaseState is the checkpointable part of a Base: the task-pointer cache
 // and the measurement-side bookkeeping that survives reboots. Everything
-// is keyed by value types (site/task IDs, instance numbers), so a state
+// is indexed by value types (program slot numbers, task IDs), so a state
 // captured from one runtime instance restores exactly into another
-// instance attached to an equivalently built app — attach order and task
+// instance attached to an equivalently built app — attach order and slot
 // numbering are deterministic. Addresses (addrs, taskPtr) are layout,
 // not state: each instance's own attach established them identically.
 type BaseState struct {
-	cur       int
-	execCount map[ioKey]int
-	completed map[ioKey]bool
-	taskInst  map[int]int
+	cur      int
+	slots    []ioSlot
+	taskInst []int32
 }
 
 // SnapshotBase deep-copies the base's checkpointable state. Runtimes
 // build their kernel.Snapshotter implementation on it.
 func (b *Base) SnapshotBase() BaseState { return *b.SnapshotBaseInto(nil) }
 
-// SnapshotBaseInto is SnapshotBase reusing prev's allocation and maps
-// when prev is non-nil (prev's previous contents are overwritten); nil
-// allocates. It backs kernel.SnapshotterInto, the bulk-checkpointing
-// path of the failure-point checker.
+// SnapshotBaseInto is SnapshotBase reusing prev's slices when prev is
+// non-nil (prev's previous contents are overwritten); nil allocates. A
+// reused prev captured from the same program is a pure slice copy with
+// no allocation — the bulk-checkpointing path of the failure-point
+// checker (kernel.SnapshotterInto) takes thousands of these per run.
 func (b *Base) SnapshotBaseInto(prev *BaseState) *BaseState {
 	if prev == nil {
-		prev = &BaseState{
-			execCount: make(map[ioKey]int, len(b.execCount)),
-			completed: make(map[ioKey]bool, len(b.completed)),
-			taskInst:  make(map[int]int, len(b.taskInst)),
-		}
-	} else {
-		clear(prev.execCount)
-		clear(prev.completed)
-		clear(prev.taskInst)
+		prev = &BaseState{}
 	}
 	prev.cur = b.cur
-	for k, v := range b.execCount {
-		prev.execCount[k] = v
-	}
-	for k, v := range b.completed {
-		prev.completed[k] = v
-	}
-	for k, v := range b.taskInst {
-		prev.taskInst[k] = v
-	}
+	prev.slots = append(prev.slots[:0], b.slots...)
+	prev.taskInst = append(prev.taskInst[:0], b.taskInst...)
 	return prev
 }
 
@@ -177,31 +170,22 @@ func (b *Base) SnapshotBaseInto(prev *BaseState) *BaseState {
 func (b *Base) RestoreBase(dev *kernel.Device, s BaseState) {
 	b.Dev = dev
 	b.cur = s.cur
-	clear(b.execCount)
-	clear(b.completed)
-	clear(b.taskInst)
-	for k, v := range s.execCount {
-		b.execCount[k] = v
-	}
-	for k, v := range s.completed {
-		b.completed[k] = v
-	}
-	for k, v := range s.taskInst {
-		b.taskInst[k] = v
-	}
+	b.slots = append(b.slots[:0], s.slots...)
+	b.taskInst = append(b.taskInst[:0], s.taskInst...)
 }
 
 // Compute charges application CPU work straight through — the default
 // for task-based runtimes, whose recovery granularity is the task.
 func (b *Base) Compute(c *kernel.Ctx, n int64) { c.ChargeCycles(n) }
 
-// MasterAddr returns the FRAM address of a variable's master copy.
+// MasterAddr returns the FRAM address of a variable's master copy. The
+// identity check catches variables of a different blueprint whose dense
+// ID happens to be in range.
 func (b *Base) MasterAddr(v *task.NVVar) mem.Addr {
-	a, ok := b.addrs[v]
-	if !ok {
+	if uint(v.ID) >= uint(len(b.addrs)) || b.App.Vars[v.ID] != v {
 		panic(fmt.Sprintf("rtbase: variable %q not attached", v.Name))
 	}
-	return a
+	return b.addrs[v.ID]
 }
 
 // LoadBoot re-reads the persistent task pointer after a (re)boot.
@@ -245,63 +229,81 @@ func (b *Base) CommitTransition(c *kernel.Ctx, next *task.Task, extra func()) {
 // the operation already completed in a previous energy cycle. Any
 // re-execution (completed or not) counts toward the Table 4 "Re-exe."
 // statistic.
-func (b *Base) noteIO(s *task.IOSite, idx int) (k ioKey, redundant bool) {
-	k = ioKey{site: s.ID, idx: idx, taskID: b.cur, taskInst: b.taskInst[b.cur]}
-	b.execCount[k]++
+func (b *Base) noteIO(s *task.IOSite, idx int) (slot int, redundant bool) {
+	slot = b.Prog.SiteSlot(s, idx)
+	sl := &b.slots[slot]
+	cur, inst := int32(b.cur), b.taskInst[b.cur]
+	if sl.taskID != cur || sl.taskInst != inst {
+		*sl = ioSlot{taskID: cur, taskInst: inst}
+	}
+	sl.execCount++
 	b.Dev.Run.IOExecs++
 	b.Dev.Run.CountIO(s.Name)
-	if b.execCount[k] > 1 {
+	if sl.execCount > 1 {
 		b.Dev.Run.IORepeats++
 	}
-	return k, b.completed[k]
+	return slot, sl.completed
 }
 
 // NoteIOSkip records that the runtime avoided re-executing site s.
 func (b *Base) NoteIOSkip(s *task.IOSite) {
 	b.Dev.Run.IOSkips++
-	b.Dev.Trace(kernel.EvIOSkip, "%s sem=%s", s.Name, s.Sem)
+	if b.Dev.TraceOn() {
+		b.Dev.Trace(kernel.EvIOSkip, "%s sem=%s", s.Name, s.Sem)
+	}
 }
 
 // noteDMA records a DMA execution attempt (see noteIO).
-func (b *Base) noteDMA(d *task.DMASite) (k ioKey, redundant bool) {
-	k = ioKey{site: d.ID, taskID: b.cur, taskInst: b.taskInst[b.cur], isDMA: true}
-	b.execCount[k]++
+func (b *Base) noteDMA(d *task.DMASite) (slot int, redundant bool) {
+	slot = b.Prog.DMASlot(d)
+	sl := &b.slots[slot]
+	cur, inst := int32(b.cur), b.taskInst[b.cur]
+	if sl.taskID != cur || sl.taskInst != inst {
+		*sl = ioSlot{taskID: cur, taskInst: inst}
+	}
+	sl.execCount++
 	b.Dev.Run.DMAExecs++
-	if b.execCount[k] > 1 {
+	if sl.execCount > 1 {
 		b.Dev.Run.DMARepeats++
 	}
-	return k, b.completed[k]
+	return slot, sl.completed
 }
 
 // NoteDMASkip records an avoided DMA re-execution.
 func (b *Base) NoteDMASkip(d *task.DMASite) {
 	b.Dev.Run.DMASkips++
-	b.Dev.Trace(kernel.EvDMASkip, "%s", d.Name)
+	if b.Dev.TraceOn() {
+		b.Dev.Trace(kernel.EvDMASkip, "%s", d.Name)
+	}
 }
 
 // ExecIO runs the site's operation with redundancy accounting: executions
 // of an operation that already completed charge directly to the Wasted
 // bucket (work a continuous-power execution would not perform).
 func (b *Base) ExecIO(c *kernel.Ctx, s *task.IOSite, idx int) uint16 {
-	k, redundant := b.noteIO(s, idx)
+	slot, redundant := b.noteIO(s, idx)
 	if redundant {
 		c.PushWasted()
 		defer c.PopWasted()
 	}
-	b.Dev.Trace(kernel.EvIOExec, "%s[%d] sem=%s (redundant=%v)", s.Name, idx, s.Sem, redundant)
+	if b.Dev.TraceOn() {
+		b.Dev.Trace(kernel.EvIOExec, "%s[%d] sem=%s (redundant=%v)", s.Name, idx, s.Sem, redundant)
+	}
 	v := s.Exec(c, idx)
-	b.completed[k] = true
+	b.slots[slot].completed = true
 	return v
 }
 
 // ExecDMA performs the raw transfer with redundancy accounting.
 func (b *Base) ExecDMA(c *kernel.Ctx, d *task.DMASite, src, dst mem.Addr, words int) {
-	k, redundant := b.noteDMA(d)
+	slot, redundant := b.noteDMA(d)
 	if redundant {
 		c.PushWasted()
 		defer c.PopWasted()
 	}
-	b.Dev.Trace(kernel.EvDMAExec, "%s %v->%v %dw (redundant=%v)", d.Name, src, dst, words, redundant)
+	if b.Dev.TraceOn() {
+		b.Dev.Trace(kernel.EvDMAExec, "%s %v->%v %dw (redundant=%v)", d.Name, src, dst, words, redundant)
+	}
 	c.RawDMA(src, dst, words, false)
-	b.completed[k] = true
+	b.slots[slot].completed = true
 }

@@ -146,3 +146,24 @@ func TestTaskPointerPersists(t *testing.T) {
 		t.Error("done sentinel not honored")
 	}
 }
+
+// TestSnapshotBaseIntoNoAlloc pins that SnapshotBaseInto with a reused
+// state is a pure slice copy: the flat ID-indexed state made the
+// snapshot a fixed-shape copy, and this keeps it that way (the original
+// map-based state allocated three maps per snapshot even when prev was
+// supplied).
+func TestSnapshotBaseIntoNoAlloc(t *testing.T) {
+	a := twoTaskApp(t)
+	dev := kernel.NewDevice(power.Continuous{}, 1)
+	var b Base
+	if err := b.Init(dev, a, "TestRT"); err != nil {
+		t.Fatal(err)
+	}
+	prev := b.SnapshotBaseInto(nil) // sizes the slices
+	if avg := testing.AllocsPerRun(20, func() { prev = b.SnapshotBaseInto(prev) }); avg > 0 {
+		t.Errorf("reused SnapshotBaseInto allocates %.1f times, want 0", avg)
+	}
+	if got := b.SnapshotBase(); got.cur != prev.cur {
+		t.Errorf("reused snapshot diverged: cur %d vs %d", prev.cur, got.cur)
+	}
+}

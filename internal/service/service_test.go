@@ -188,7 +188,7 @@ func TestConcurrentJobsAndCancellation(t *testing.T) {
 	_, _, _, srv := newTestStack(t, 8, 4)
 
 	big, code := postJob(t, srv.URL,
-		`{"app":"dma","runtime":"EaseIO","runs":5000,"base_seed":1,"workers":2}`)
+		`{"app":"dma","runtime":"EaseIO","runs":500000,"base_seed":1,"workers":2}`)
 	if code != http.StatusAccepted {
 		t.Fatalf("big job: status %d", code)
 	}
@@ -228,7 +228,7 @@ func TestConcurrentJobsAndCancellation(t *testing.T) {
 	if final.State != "cancelled" {
 		t.Fatalf("big job ended %s, want cancelled", final.State)
 	}
-	if final.Summary == nil || final.Summary.Runs == 0 || final.Summary.Runs >= 5000 {
+	if final.Summary == nil || final.Summary.Runs == 0 || final.Summary.Runs >= 500000 {
 		t.Errorf("cancelled job should carry a partial summary, got %+v", final.Summary)
 	}
 	for i, st := range small {

@@ -134,6 +134,21 @@ func (r *Run) CloneInto(dst *Run) *Run {
 	return dst
 }
 
+// ResetForRun rewinds r to the state a fresh &Run{Seed: seed} would
+// have, reusing the PerSite map (cleared in place) when one was already
+// allocated — the pooled-session path resets one Run record per device
+// instead of allocating one per run. The map stays attached only on
+// records that counted I/O before, so for any given app the record's
+// shape after a run matches a freshly allocated one.
+func (r *Run) ResetForRun(seed int64) {
+	per := r.PerSite
+	*r = Run{Seed: seed}
+	if per != nil {
+		clear(per)
+		r.PerSite = per
+	}
+}
+
 // TotalEnergy returns the energy committed across all buckets.
 func (r *Run) TotalEnergy() units.Energy {
 	var e units.Energy

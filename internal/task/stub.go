@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"time"
 
+	"easeio/internal/lazyrand"
 	"easeio/internal/units"
 )
 
@@ -106,7 +107,7 @@ func (s *ExecStub) Now() time.Duration { return s.Clock }
 // Rand implements Exec.
 func (s *ExecStub) Rand() *rand.Rand {
 	if s.rng == nil {
-		s.rng = rand.New(rand.NewSource(s.RandSrc))
+		s.rng = rand.New(lazyrand.New(s.RandSrc))
 	}
 	return s.rng
 }
