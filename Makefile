@@ -6,7 +6,10 @@
 # detector, and a short fuzz smoke over the native fuzz targets.
 # `make serve-smoke` boots the easeio-served daemon on a loopback port,
 # pushes one sweep job through the HTTP API and verifies the result and
-# the metrics endpoint. `make fuzz` runs the fuzzers with a longer
+# the metrics endpoint. `make fleet-smoke` runs the distributed-fleet
+# self-tests: the easeio-worker kill/restart smoke (coordinator + TCP
+# workers, one killed mid-sweep) and the easeio-served HTTP smoke in
+# fleet delegation mode. `make fuzz` runs the fuzzers with a longer
 # budget for local exploration. `make ci` is the exact superset the CI
 # workflow gates merges on (check plus a one-iteration bench smoke).
 
@@ -20,7 +23,7 @@ FUZZTIME ?= 30s
 # is compiled and exercised without paying for stable numbers.
 BENCHTIME ?= 10x
 
-.PHONY: build test race vet fmt fmt-check bench bench-all fuzz fuzz-smoke serve-smoke check ci
+.PHONY: build test race vet fmt fmt-check bench bench-all fuzz fuzz-smoke serve-smoke fleet-smoke check ci
 
 build:
 	$(GO) build ./...
@@ -40,12 +43,13 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$files"; exit 1; fi
 
 race:
-	$(GO) test -race . ./internal/core ./internal/check ./internal/experiments/... ./internal/kernel/... ./internal/service/...
+	$(GO) test -race . ./internal/core ./internal/check ./internal/experiments/... ./internal/kernel/... ./internal/service/... ./internal/fleet ./internal/wire ./internal/obs
 
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkSweepThroughput -benchtime $(BENCHTIME) .
 	$(GO) test -run '^$$' -bench 'BenchmarkCheckThroughput/fig6' -benchtime $(BENCHTIME) .
 	$(GO) test -run '^$$' -bench 'BenchmarkTrace|BenchmarkRunTraced' -benchtime $(BENCHTIME) ./internal/kernel
+	$(GO) test -run '^$$' -bench BenchmarkFleetSweep -benchtime $(BENCHTIME) ./internal/fleet
 
 # Every benchmark in the module (slow; `make bench` is the curated cut).
 bench-all:
@@ -56,17 +60,25 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzClassify$$' -fuzztime $(FUZZTIME) ./internal/dma
 	$(GO) test -run '^$$' -fuzz '^FuzzLint$$' -fuzztime $(FUZZTIME) ./internal/frontend
 	$(GO) test -run '^$$' -fuzz '^FuzzSchedule$$' -fuzztime $(FUZZTIME) ./internal/power
+	$(GO) test -run '^$$' -fuzz '^FuzzCheckpointRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/wire
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeShard$$' -fuzztime $(FUZZTIME) ./internal/wire
 
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseRuntimeKind$$' -fuzztime 3s .
 	$(GO) test -run '^$$' -fuzz '^FuzzClassify$$' -fuzztime 3s ./internal/dma
 	$(GO) test -run '^$$' -fuzz '^FuzzLint$$' -fuzztime 3s ./internal/frontend
 	$(GO) test -run '^$$' -fuzz '^FuzzSchedule$$' -fuzztime 3s ./internal/power
+	$(GO) test -run '^$$' -fuzz '^FuzzCheckpointRoundTrip$$' -fuzztime 3s ./internal/wire
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeShard$$' -fuzztime 3s ./internal/wire
 
 serve-smoke:
 	$(GO) run ./cmd/easeio-served -smoke
 
-check: build fmt-check vet test race fuzz-smoke serve-smoke
+fleet-smoke:
+	$(GO) run ./cmd/easeio-worker -smoke
+	$(GO) run ./cmd/easeio-served -smoke -fleet -wal $$(mktemp -u /tmp/easeio-fleet-smoke.XXXXXX.wal)
+
+check: build fmt-check vet test race fuzz-smoke serve-smoke fleet-smoke
 
 ci:
 	$(MAKE) check

@@ -6,10 +6,19 @@
 // Usage:
 //
 //	easeio-served [-addr :8340] [-queue 64] [-jobs N] [-pprof] [-log text|json] [-smoke]
+//	              [-fleet] [-wal PATH] [-fleet-workers N] [-fleet-listen ADDR]
 //
 // -pprof mounts the Go profiling endpoints under /debug/pprof/ (off by
 // default). Logs are structured (log/slog) on stderr; every record about
 // a job carries its "job" ID.
+//
+// -fleet switches job execution to the distributed coordinator: every
+// submitted job is sharded, journaled to the -wal file (crash-consistent;
+// restarting the server resumes in-flight jobs), and executed by fleet
+// workers. -fleet-workers starts that many in-process loopback workers;
+// -fleet-listen additionally accepts remote easeio-worker processes over
+// TCP. Results are byte-identical to the in-process path — the fleet
+// changes scheduling and durability, never results.
 //
 // Submit a sweep and watch it:
 //
@@ -38,9 +47,11 @@ import (
 	"os/signal"
 	"runtime"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
+	"easeio/internal/fleet"
 	"easeio/internal/service"
 )
 
@@ -52,6 +63,11 @@ func main() {
 		pprofOn = flag.Bool("pprof", false, "mount the Go profiling endpoints under /debug/pprof/")
 		logFmt  = flag.String("log", "text", "structured log format on stderr: text or json")
 		smoke   = flag.Bool("smoke", false, "boot on a loopback port, run one job through the HTTP API, verify, exit")
+
+		fleetOn      = flag.Bool("fleet", false, "execute jobs through the distributed fleet coordinator")
+		walPath      = flag.String("wal", "easeio-fleet.wal", "fleet job journal path (crash-consistent; reopened on restart)")
+		fleetWorkers = flag.Int("fleet-workers", 2, "in-process loopback fleet workers (with -fleet)")
+		fleetListen  = flag.String("fleet-listen", "", "TCP address accepting remote easeio-worker processes (with -fleet)")
 	)
 	flag.Parse()
 
@@ -66,16 +82,42 @@ func main() {
 		log.Fatal(err)
 	}
 	metrics := service.NewMetrics()
-	mgr := service.NewManager(reg, metrics, *queue, *jobs,
-		service.WithManagerLogger(logger))
+	mgrOpts := []service.ManagerOption{service.WithManagerLogger(logger)}
 	srvOpts := []service.ServerOption{service.WithAccessLog(logger)}
+
+	var coord *fleet.Coordinator
+	var stopFleet func()
+	if *fleetOn {
+		fm := fleet.NewMetrics()
+		coord, err = fleet.New(fleet.CoordinatorConfig{
+			WALPath: *walPath, Source: reg, Metrics: fm,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		mgrOpts = append(mgrOpts, service.WithFleet(coord))
+		srvOpts = append(srvOpts, service.WithFleetMetrics(fm))
+		stopFleet, err = startFleetWorkers(logger, coord, reg, *fleetWorkers, *fleetListen)
+		if err != nil {
+			log.Fatal(err)
+		}
+		logger.Info("fleet mode", "wal", *walPath, "loopback_workers", *fleetWorkers,
+			"listen", *fleetListen)
+	}
+
+	mgr := service.NewManager(reg, metrics, *queue, *jobs, mgrOpts...)
 	if *pprofOn {
 		srvOpts = append(srvOpts, service.WithPprof())
 	}
 	handler := service.NewServer(mgr, reg, metrics, srvOpts...).Handler()
 
 	if *smoke {
-		if err := runSmoke(handler, mgr); err != nil {
+		err := runSmoke(handler, mgr)
+		if stopFleet != nil {
+			stopFleet()
+			coord.Close()
+		}
+		if err != nil {
 			log.Fatalf("smoke: FAIL: %v", err)
 		}
 		fmt.Println("smoke: PASS")
@@ -104,6 +146,54 @@ func main() {
 	if err := mgr.Shutdown(sctx); err != nil {
 		logger.Error("job manager shutdown", "error", err)
 	}
+	if stopFleet != nil {
+		stopFleet()
+		if err := coord.Close(); err != nil {
+			logger.Error("fleet coordinator shutdown", "error", err)
+		}
+	}
+}
+
+// startFleetWorkers launches the in-process loopback workers and, when
+// listen is non-empty, the TCP listener for remote easeio-worker
+// processes. The returned stop joins the loopback workers and closes
+// the listener.
+func startFleetWorkers(logger *slog.Logger, coord *fleet.Coordinator,
+	reg *service.Registry, workers int, listen string) (func(), error) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		name := fmt.Sprintf("local-%d", i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := fleet.RunLoopback(ctx, coord, name, reg, 10*time.Millisecond); err != nil {
+				logger.Error("loopback worker failed", "worker", name, "error", err)
+			}
+		}()
+	}
+	var ln net.Listener
+	if listen != "" {
+		var err error
+		ln, err = net.Listen("tcp", listen)
+		if err != nil {
+			cancel()
+			wg.Wait()
+			return nil, err
+		}
+		go func() {
+			if err := fleet.ServeFleet(ln, coord); err != nil {
+				logger.Error("fleet listener failed", "error", err)
+			}
+		}()
+	}
+	return func() {
+		if ln != nil {
+			ln.Close()
+		}
+		cancel()
+		wg.Wait()
+	}, nil
 }
 
 // buildLogger returns a slog logger writing to stderr in the requested

@@ -56,6 +56,15 @@ type Config struct {
 	// Workers bounds parallel replays (defaults to GOMAXPROCS). The
 	// Report is worker-count-invariant.
 	Workers int
+	// CutLo/CutHi restrict exploration to the candidate-index range
+	// [CutLo, CutHi) — the distributed checker's shard unit. CutHi == 0
+	// means "through the last candidate"; out-of-range bounds clamp.
+	// Shard reports merged in range order reproduce the unsharded report
+	// only in Exhaustive mode: the adaptive bisection prunes against
+	// outcomes across the whole range, so adaptive jobs must stay a
+	// single shard. The bisection itself honors the range either way
+	// (midpoints of in-range intervals stay in range).
+	CutLo, CutHi int
 	// NewRuntime overrides the runtime instance factory, e.g. to check an
 	// ablated EaseIO configuration. Defaults to experiments.NewRuntime of
 	// the kind passed to Run.
@@ -105,13 +114,21 @@ type cutRecorder struct{ cuts []time.Duration }
 // across a run, so the slice arrives sorted and duplicate-free.
 func (r *cutRecorder) NoteCut(onTime time.Duration) { r.cuts = append(r.cuts, onTime) }
 
-// Run model-checks one app×runtime blueprint: it enumerates the candidate
-// failure points with a golden pass, explores them with single-failure
-// replays, and reports every divergence found. Cancelling ctx stops the
-// exploration at the next point boundary and returns the partial report
-// alongside ctx's error.
-func Run(ctx context.Context, newApp experiments.AppFactory, kind experiments.RuntimeKind, cfg Config) (*Report, error) {
-	cfg = cfg.fill()
+// planned is a completed golden pass: everything Run needs before (or
+// instead of) exploring.
+type planned struct {
+	bench *apps.Bench
+	label string
+	newRT func() kernel.Hooks
+	g     *golden
+	cuts  []time.Duration
+	dev   *kernel.Device
+	rt    kernel.Hooks
+}
+
+// goldenPass runs the continuous-power reference and enumerates the
+// candidate failure points — the planning half of Run.
+func goldenPass(newApp experiments.AppFactory, kind experiments.RuntimeKind, cfg Config) (*planned, error) {
 	newRT := cfg.NewRuntime
 	if newRT == nil {
 		newRT = func() kernel.Hooks { return experiments.NewRuntime(kind) }
@@ -148,23 +165,114 @@ func Run(ctx context.Context, newApp experiments.AppFactory, kind experiments.Ru
 		}
 		g.vars[i] = words
 	}
+	return &planned{bench: bench, label: label, newRT: newRT, g: g, cuts: rec.cuts, dev: dev, rt: rt}, nil
+}
+
+// noCandidatesNote explains a zero-candidate report.
+const noCandidatesNote = "no candidate failure points: the golden run never crossed a charge-slice boundary"
+
+// Plan is the result of a golden pass alone: the report header fields
+// plus the candidate count, everything a coordinator needs to shard a
+// check job and reassemble the merged report without exploring anything
+// itself.
+type Plan struct {
+	App     string
+	Runtime string
+	Seed    int64
+	Off     time.Duration
+
+	GoldenOnTime  time.Duration
+	GoldenCorrect bool
+
+	// Candidates is the number of charge-slice boundaries the golden
+	// pass enumerated; shard cut ranges partition [0, Candidates).
+	Candidates int
+
+	// Note carries the zero-candidate explanation when Candidates == 0.
+	Note string
+}
+
+// Golden runs only the planning half of a checker job: the golden
+// continuous-power pass that enumerates candidate failure points. The
+// golden pass is deterministic, so a worker exploring a cut range of the
+// same configuration reproduces exactly the candidates this plan counts.
+func Golden(newApp experiments.AppFactory, kind experiments.RuntimeKind, cfg Config) (*Plan, error) {
+	cfg = cfg.fill()
+	pl, err := goldenPass(newApp, kind, cfg)
+	if err != nil {
+		return nil, err
+	}
+	p := &Plan{
+		App:           pl.bench.App.Name,
+		Runtime:       pl.label,
+		Seed:          cfg.Seed,
+		Off:           cfg.Off,
+		GoldenOnTime:  pl.g.onTime,
+		GoldenCorrect: pl.g.correct,
+		Candidates:    len(pl.cuts),
+	}
+	if p.Candidates == 0 {
+		p.Note = noCandidatesNote
+	}
+	return p, nil
+}
+
+// Report returns the report header this plan describes, with no explored
+// points — the skeleton a coordinator fills from merged shard results.
+func (p *Plan) Report() *Report {
+	return &Report{
+		App:           p.App,
+		Runtime:       p.Runtime,
+		Seed:          p.Seed,
+		Off:           p.Off,
+		GoldenOnTime:  p.GoldenOnTime,
+		GoldenCorrect: p.GoldenCorrect,
+		Candidates:    p.Candidates,
+		Note:          p.Note,
+	}
+}
+
+// Run model-checks one app×runtime blueprint: it enumerates the candidate
+// failure points with a golden pass, explores them with single-failure
+// replays, and reports every divergence found. Cancelling ctx stops the
+// exploration at the next point boundary and returns the partial report
+// alongside ctx's error.
+func Run(ctx context.Context, newApp experiments.AppFactory, kind experiments.RuntimeKind, cfg Config) (*Report, error) {
+	cfg = cfg.fill()
+	pl, err := goldenPass(newApp, kind, cfg)
+	if err != nil {
+		return nil, err
+	}
+	g, rt, dev, bench := pl.g, pl.rt, pl.dev, pl.bench
 
 	rep := &Report{
 		App:           bench.App.Name,
-		Runtime:       label,
+		Runtime:       pl.label,
 		Seed:          cfg.Seed,
 		Off:           cfg.Off,
 		GoldenOnTime:  g.onTime,
 		GoldenCorrect: g.correct,
-		Candidates:    len(rec.cuts),
+		Candidates:    len(pl.cuts),
 	}
 	if rep.Candidates == 0 {
 		// Nothing to explore, and nothing to diverge: a run that never
 		// crossed a charge-slice boundary has no point at which a power
 		// failure could land. Say so explicitly instead of rendering a
 		// confusingly empty pass.
-		rep.Note = "no candidate failure points: the golden run never crossed a charge-slice boundary"
+		rep.Note = noCandidatesNote
 		return rep, nil
+	}
+
+	// Clamp the explored candidate range (the full range by default).
+	lo, hi := cfg.CutLo, cfg.CutHi
+	if lo < 0 {
+		lo = 0
+	}
+	if hi <= 0 || hi > rep.Candidates {
+		hi = rep.Candidates
+	}
+	if lo > hi {
+		lo = hi
 	}
 
 	fromBoot := cfg.FromBoot
@@ -185,7 +293,8 @@ func Run(ctx context.Context, newApp experiments.AppFactory, kind experiments.Ru
 		}
 	}
 
-	e := &explorer{cfg: cfg, newApp: newApp, newRT: newRT, golden: g, cuts: rec.cuts, fromBoot: fromBoot, rec: rcr}
+	e := &explorer{cfg: cfg, newApp: newApp, newRT: pl.newRT, golden: g, cuts: pl.cuts,
+		lo: lo, hi: hi, fromBoot: fromBoot, rec: rcr}
 	results, err := e.explore(ctx)
 	for i, res := range results {
 		if !res.evaluated {
@@ -195,11 +304,13 @@ func Run(ctx context.Context, newApp experiments.AppFactory, kind experiments.Ru
 		if res.div != nil {
 			d := *res.div
 			d.Index = i
-			d.At = rec.cuts[i]
+			d.At = pl.cuts[i]
 			rep.Divergences = append(rep.Divergences, d)
 		}
 	}
-	rep.Pruned = rep.Candidates - rep.Explored
+	// Pruned counts only within the explored range, so shard reports
+	// don't book out-of-range candidates as pruned.
+	rep.Pruned = (hi - lo) - rep.Explored
 	if len(rep.Divergences) > 0 {
 		// Minimal failing schedule: a single failure at the earliest
 		// diverging point (divergences arrive in candidate order).

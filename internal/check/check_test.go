@@ -48,22 +48,40 @@ func TestCutRecorderEnumeratesBoundaries(t *testing.T) {
 // every index; larger sets take Grid evenly spaced indices including both
 // ends, without duplicates.
 func TestSeedPoints(t *testing.T) {
-	e := &explorer{cfg: Config{Exhaustive: true, Grid: 4}}
-	if got := e.seedPoints(10); len(got) != 10 || got[0] != 0 || got[9] != 9 {
-		t.Errorf("exhaustive seedPoints(10) = %v", got)
+	e := &explorer{cfg: Config{Exhaustive: true, Grid: 4}, lo: 0, hi: 10}
+	if got := e.seedPoints(); len(got) != 10 || got[0] != 0 || got[9] != 9 {
+		t.Errorf("exhaustive seedPoints over [0,10) = %v", got)
 	}
-	e = &explorer{cfg: Config{Grid: 4}}
-	if got := e.seedPoints(3); len(got) != 3 {
-		t.Errorf("n<=Grid seedPoints(3) = %v, want all indices", got)
+	e = &explorer{cfg: Config{Grid: 4}, lo: 0, hi: 3}
+	if got := e.seedPoints(); len(got) != 3 {
+		t.Errorf("n<=Grid seedPoints over [0,3) = %v, want all indices", got)
 	}
-	got := e.seedPoints(100)
+	e.hi = 100
+	got := e.seedPoints()
 	if len(got) != 4 || got[0] != 0 || got[len(got)-1] != 99 {
-		t.Errorf("seedPoints(100) = %v, want 4 points spanning [0,99]", got)
+		t.Errorf("seedPoints over [0,100) = %v, want 4 points spanning [0,99]", got)
 	}
 	for i := 1; i < len(got); i++ {
 		if got[i] <= got[i-1] {
 			t.Errorf("seedPoints not strictly increasing: %v", got)
 		}
+	}
+
+	// A shard range: exhaustive indices stay absolute and in range.
+	e = &explorer{cfg: Config{Exhaustive: true, Grid: 4}, lo: 5, hi: 8}
+	if got := e.seedPoints(); len(got) != 3 || got[0] != 5 || got[2] != 7 {
+		t.Errorf("exhaustive seedPoints over [5,8) = %v", got)
+	}
+	// Grid over a shard range spans exactly [lo, hi-1].
+	e = &explorer{cfg: Config{Grid: 4}, lo: 10, hi: 110}
+	got = e.seedPoints()
+	if len(got) != 4 || got[0] != 10 || got[len(got)-1] != 109 {
+		t.Errorf("grid seedPoints over [10,110) = %v, want 4 points spanning [10,109]", got)
+	}
+	// An empty range seeds nothing.
+	e = &explorer{cfg: Config{Exhaustive: true, Grid: 4}, lo: 4, hi: 4}
+	if got := e.seedPoints(); len(got) != 0 {
+		t.Errorf("seedPoints over empty range = %v", got)
 	}
 }
 
@@ -325,5 +343,61 @@ func TestOffDurationRecorded(t *testing.T) {
 	}
 	if !rep.Passed() {
 		t.Errorf("fig6 diverged with a 250µs recharge:\n%s", rep.Render())
+	}
+}
+
+// TestCutRangeShardsMergeExhaustive pins the distributed checker's merge
+// contract: in exhaustive mode, splitting [0, Candidates) into cut
+// ranges, running each range as its own checker job, and reassembling
+// the results onto the plan's report skeleton reproduces the unsharded
+// report byte for byte.
+func TestCutRangeShardsMergeExhaustive(t *testing.T) {
+	for _, kind := range allKinds {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			t.Parallel()
+			cfg := Config{Exhaustive: true, Workers: 2}
+			full, err := Run(context.Background(), Fig6Bench, kind, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			plan, err := Golden(Fig6Bench, kind, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if plan.Candidates != full.Candidates {
+				t.Fatalf("plan counts %d candidates, full run %d", plan.Candidates, full.Candidates)
+			}
+
+			for _, nShards := range []int{2, 3} {
+				merged := plan.Report()
+				for s := 0; s < nShards; s++ {
+					scfg := cfg
+					scfg.CutLo = s * plan.Candidates / nShards
+					scfg.CutHi = (s + 1) * plan.Candidates / nShards
+					part, err := Run(context.Background(), Fig6Bench, kind, scfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if part.Explored != scfg.CutHi-scfg.CutLo {
+						t.Errorf("shard %d explored %d of %d points", s, part.Explored, scfg.CutHi-scfg.CutLo)
+					}
+					if part.Pruned != 0 {
+						t.Errorf("exhaustive shard %d pruned %d points", s, part.Pruned)
+					}
+					merged.Explored += part.Explored
+					merged.Divergences = append(merged.Divergences, part.Divergences...)
+				}
+				merged.Pruned = merged.Candidates - merged.Explored
+				if len(merged.Divergences) > 0 {
+					merged.Minimal = []time.Duration{merged.Divergences[0].At}
+				}
+				if merged.Render() != full.Render() {
+					t.Errorf("%d-shard merge differs from unsharded report:\n--- merged ---\n%s--- full ---\n%s",
+						nShards, merged.Render(), full.Render())
+				}
+			}
+		})
 	}
 }

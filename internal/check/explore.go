@@ -31,6 +31,7 @@ type explorer struct {
 	newRT    func() kernel.Hooks
 	golden   *golden
 	cuts     []time.Duration
+	lo, hi   int // the explored candidate-index range [lo, hi)
 	fromBoot bool
 	rec      *recorder // nil in from-boot mode
 
@@ -50,11 +51,10 @@ type explorer struct {
 // lazily by actual round demand — a round with fewer points than
 // Workers never pays for app builds it cannot use.
 func (e *explorer) explore(ctx context.Context) ([]outcome, error) {
-	n := len(e.cuts)
-	out := make([]outcome, n)
+	out := make([]outcome, len(e.cuts))
 	rec := e.rec
 
-	pending := e.seedPoints(n)
+	pending := e.seedPoints()
 	planned := 0
 	for len(pending) > 0 {
 		planned += len(pending)
@@ -111,21 +111,27 @@ func (e *explorer) grow(demand int) error {
 	return nil
 }
 
-// seedPoints returns the initial candidate indices: everything in
-// exhaustive mode or for small candidate sets, else Grid evenly spaced
-// indices including both ends.
-func (e *explorer) seedPoints(n int) []int {
+// seedPoints returns the initial candidate indices within the explored
+// range [lo, hi): everything in exhaustive mode or for small ranges,
+// else Grid evenly spaced indices including both ends. Later bisection
+// rounds stay in range by construction: midpoints of in-range intervals
+// are in range.
+func (e *explorer) seedPoints() []int {
+	n := e.hi - e.lo
+	if n <= 0 {
+		return nil
+	}
 	if e.cfg.Exhaustive || n <= e.cfg.Grid {
 		idxs := make([]int, n)
 		for i := range idxs {
-			idxs[i] = i
+			idxs[i] = e.lo + i
 		}
 		return idxs
 	}
 	idxs := make([]int, 0, e.cfg.Grid)
 	last := -1
 	for g := 0; g < e.cfg.Grid; g++ {
-		i := g * (n - 1) / (e.cfg.Grid - 1)
+		i := e.lo + g*(n-1)/(e.cfg.Grid-1)
 		if i != last {
 			idxs = append(idxs, i)
 			last = i

@@ -63,21 +63,22 @@ func (e PanicError) Error() string {
 // shard is a contiguous range of run indices, [lo, hi).
 type shard struct{ lo, hi int }
 
-// shards splits n runs into at most workers contiguous shards of
-// near-equal size.
-func shards(n, workers int) []shard {
+// shardRange splits the run-index range [lo, hi) into at most workers
+// contiguous shards of near-equal size.
+func shardRange(lo, hi, workers int) []shard {
+	n := hi - lo
 	if workers > n {
 		workers = n
 	}
 	out := make([]shard, 0, workers)
-	lo := 0
+	cur := lo
 	for w := 0; w < workers; w++ {
 		size := n / workers
 		if w < n%workers {
 			size++
 		}
-		out = append(out, shard{lo, lo + size})
-		lo += size
+		out = append(out, shard{cur, cur + size})
+		cur += size
 	}
 	return out
 }
@@ -87,8 +88,43 @@ func shards(n, workers int) []shard {
 // instances cannot be shared across goroutines) and reuses one device and
 // runtime for every seed in its shard.
 func runManyPooled(ctx context.Context, cfg Config, newApp AppFactory, kind RuntimeKind) (stats.Summary, error) {
+	agg, errs := runRangePooled(ctx, cfg, newApp, kind, 0, cfg.Runs)
+	if err := ctx.Err(); err != nil {
+		errs = append(errs, err)
+	}
+	return agg.Summary(), errors.Join(errs...)
+}
+
+// RunRangeAgg executes the contiguous run-index slice [lo, hi) of the
+// sweep cfg describes and returns the raw aggregator fold state instead
+// of a finished Summary. This is the distributed sweep's work unit: a
+// fleet worker executes its shard with RunRangeAgg, ships the state over
+// the wire, and the coordinator merges shard states in range order.
+// Because every fold in stats.Aggregator is a sum or an append, merging
+// any contiguous partition of [0, Runs) in order reproduces the
+// sequential fold — and therefore RunMany's Summary — byte for byte,
+// whatever the shard count or each shard's inner Workers setting.
+//
+// cfg.Runs should still name the full sweep's run count (it only feeds
+// Progress totals and defaulting); the executed range is [lo, hi).
+func RunRangeAgg(ctx context.Context, cfg Config, newApp AppFactory, kind RuntimeKind, lo, hi int) (*stats.Aggregator, error) {
+	cfg = cfg.fill()
+	if lo < 0 || hi < lo {
+		return nil, fmt.Errorf("experiments: invalid run range [%d, %d)", lo, hi)
+	}
+	agg, errs := runRangePooled(ctx, cfg, newApp, kind, lo, hi)
+	if err := ctx.Err(); err != nil {
+		errs = append(errs, err)
+	}
+	return agg, errors.Join(errs...)
+}
+
+// runRangePooled is the sharded worker-pool engine behind both RunMany
+// (full range) and RunRangeAgg (fleet shards): split [lo, hi) over
+// cfg.Workers sessions, fold per worker, merge in shard order.
+func runRangePooled(ctx context.Context, cfg Config, newApp AppFactory, kind RuntimeKind, lo, hi int) (*stats.Aggregator, []error) {
 	start := time.Now()
-	sh := shards(cfg.Runs, cfg.Workers)
+	sh := shardRange(lo, hi, cfg.Workers)
 	aggs := make([]*stats.Aggregator, len(sh))
 	errss := make([][]error, len(sh))
 	var done atomic.Int64
@@ -124,10 +160,7 @@ func runManyPooled(ctx context.Context, cfg Config, newApp AppFactory, kind Runt
 		}
 		errs = append(errs, errss[w]...)
 	}
-	if err := ctx.Err(); err != nil {
-		errs = append(errs, err)
-	}
-	return agg.Summary(), errors.Join(errs...)
+	return agg, errs
 }
 
 // shardTimings accumulates worker stage durations (in nanoseconds) for

@@ -298,3 +298,36 @@ func TestAggregatorMergeMatchesSequential(t *testing.T) {
 		t.Errorf("merged summary differs from sequential summary")
 	}
 }
+
+// TestRunRangeAggMatchesRunMany pins the distributed sweep's merge
+// contract: splitting [0, Runs) into contiguous ranges, executing each
+// with RunRangeAgg (with varying inner worker counts), and merging the
+// fold states in range order must reproduce RunMany's Summary exactly —
+// including the export/import round-trip a remote shard goes through.
+func TestRunRangeAggMatchesRunMany(t *testing.T) {
+	cfg := Config{Runs: 18, BaseSeed: 11, Workers: 2}
+	want, err := RunMany(cfg, dmaFactory, EaseIO)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, cuts := range [][]int{{0, 18}, {0, 7, 18}, {0, 5, 6, 12, 18}} {
+		agg := stats.NewAggregator()
+		for i := 0; i+1 < len(cuts); i++ {
+			part := cfg
+			part.Workers = 1 + i%3 // shards must be worker-count-invariant too
+			sh, err := RunRangeAgg(context.Background(), part, dmaFactory, EaseIO, cuts[i], cuts[i+1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			agg.Merge(stats.ImportAggregator(sh.Export()))
+		}
+		if got := agg.Summary(); !reflect.DeepEqual(got, want) {
+			t.Errorf("cuts %v: merged summary differs:\n%+v\nvs\n%+v", cuts, got, want)
+		}
+	}
+
+	if _, err := RunRangeAgg(context.Background(), cfg, dmaFactory, EaseIO, 5, 3); err == nil {
+		t.Error("inverted range did not error")
+	}
+}

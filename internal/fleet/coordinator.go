@@ -1,0 +1,674 @@
+// The coordinator: plans submitted jobs into shards, leases shards to
+// pulling workers, retries failures with backoff, revokes expired
+// leases, and merges completed shards into the job's final result. Every
+// state transition is WAL-logged before it takes effect (wal.go), and
+// New replays the log so a restarted coordinator resumes mid-job: done
+// shards stay done, leased-but-unfinished shards return to the pending
+// queue (a lease is a hint, not a commitment — losing one costs only
+// recomputation), and jobs whose shards all finished re-merge
+// deterministically.
+
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"easeio/internal/check"
+	"easeio/internal/experiments"
+	"easeio/internal/stats"
+	"easeio/internal/wire"
+)
+
+// CoordinatorConfig configures New. Zero values take the defaults noted
+// on each field.
+type CoordinatorConfig struct {
+	// WALPath is the job store's backing file (required).
+	WALPath string
+	// Source resolves app names when planning check jobs and when
+	// re-planning after recovery (required for check jobs).
+	Source BlueprintSource
+	// LeaseTTL revokes a shard lease not completed in time (default 1m).
+	LeaseTTL time.Duration
+	// MaxAttempts fails the whole job after this many failed attempts of
+	// any single shard (default 3).
+	MaxAttempts int
+	// RetryBackoff delays a failed shard's next lease, doubling per
+	// attempt up to 8x (default 250ms).
+	RetryBackoff time.Duration
+	// DefaultShards is the shard count for specs that leave Shards zero
+	// (default 4).
+	DefaultShards int
+	// Metrics, when non-nil, collects the fleet metric set.
+	Metrics *Metrics
+	// Now overrides the coordinator clock (lease expiry, backoff) for
+	// tests. WAL fsync and merge latencies always use the real clock:
+	// they measure the host, not the job timeline.
+	Now func() time.Time
+}
+
+func (c CoordinatorConfig) fill() CoordinatorConfig {
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = time.Minute
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 250 * time.Millisecond
+	}
+	if c.DefaultShards <= 0 {
+		c.DefaultShards = 4
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Shard lifecycle. A failed attempt returns the shard to shardPending
+// (with backoff) until MaxAttempts, which fails the job.
+type shardStatus int
+
+const (
+	shardPending shardStatus = iota
+	shardLeased
+	shardDone
+)
+
+// shardState is one shard's live state. lo/hi is the seed-index range
+// (sweeps) or candidate cut range (checks).
+type shardState struct {
+	lo, hi      int
+	st          shardStatus
+	attempts    int // failed attempts so far
+	worker      string
+	leaseExpiry time.Time
+	notBefore   time.Time // backoff gate on the next lease
+	payload     []byte    // the encoded shard result once done
+}
+
+// job is one submitted job's live state.
+type job struct {
+	id   uint64
+	spec Spec
+	kind experiments.RuntimeKind
+
+	planned   bool
+	hasPlan   bool       // check jobs: plan holds the golden header
+	plan      planHeader // valid when hasPlan
+	shards    []*shardState
+	remaining int // shards not yet done
+
+	submitted  time.Time
+	firstLease time.Time // zero until the first shard lease
+
+	finished bool
+	result   Result
+	err      error
+	done     chan struct{} // closed when finished
+}
+
+// Coordinator is the fleet's job manager. All methods are safe for
+// concurrent use.
+type Coordinator struct {
+	cfg CoordinatorConfig
+
+	mu    sync.Mutex
+	wal   *wal
+	jobs  map[uint64]*job
+	order []uint64 // submission order, the lease scan order
+	next  uint64
+}
+
+// New opens (or creates) the WAL at cfg.WALPath, replays it, and returns
+// a coordinator resuming every unfinished job it finds there.
+func New(cfg CoordinatorConfig) (*Coordinator, error) {
+	cfg = cfg.fill()
+	if cfg.WALPath == "" {
+		return nil, fmt.Errorf("fleet: coordinator needs a WAL path")
+	}
+	var obsFsync func(time.Duration)
+	if cfg.Metrics != nil {
+		h := cfg.Metrics.WALFsync
+		obsFsync = func(d time.Duration) { h.Observe("", d.Seconds()) }
+	}
+	w, recs, err := openWAL(cfg.WALPath, obsFsync)
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{cfg: cfg, wal: w, jobs: make(map[uint64]*job)}
+	for _, r := range recs {
+		c.replay(r)
+	}
+	if err := c.recover(); err != nil {
+		w.close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Close releases the WAL. In-flight Wait calls are not interrupted.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.wal.close()
+}
+
+// replay folds one recovered WAL record into the in-memory state. It is
+// idempotent over duplicate records and tolerant of records for unknown
+// jobs (a torn log can only lose a suffix, so those cannot happen from a
+// crash; they would mean a foreign log, and are ignored rather than
+// trusted).
+func (c *Coordinator) replay(r record) {
+	if r.Type == recSubmit {
+		if _, ok := c.jobs[r.Job]; ok {
+			return
+		}
+		j := &job{id: r.Job, spec: r.Spec, submitted: c.cfg.Now(), done: make(chan struct{})}
+		j.kind, _ = experiments.ParseRuntimeKind(r.Spec.Runtime)
+		c.jobs[r.Job] = j
+		c.order = append(c.order, r.Job)
+		if r.Job >= c.next {
+			c.next = r.Job + 1
+		}
+		return
+	}
+	j, ok := c.jobs[r.Job]
+	if !ok || j.finished {
+		return
+	}
+	switch r.Type {
+	case recPlan:
+		if j.planned {
+			return
+		}
+		c.installPlan(j, r.Shards, r.HasPlan, r.Plan)
+	case recLease:
+		// Leases do not survive a restart — the shard stays pending and
+		// will be re-leased without an attempt increment. The record
+		// still matters: the job's first-lease time is durable, so the
+		// execution-deadline clock does not restart with the coordinator.
+		if j.firstLease.IsZero() {
+			j.firstLease = time.Unix(0, r.At)
+		}
+	case recShardDone:
+		if r.Shard < 0 || r.Shard >= len(j.shards) {
+			return
+		}
+		sh := j.shards[r.Shard]
+		if sh.st == shardDone {
+			return
+		}
+		sh.st = shardDone
+		sh.payload = r.Payload
+		j.remaining--
+	case recShardFail:
+		if r.Shard < 0 || r.Shard >= len(j.shards) {
+			return
+		}
+		j.shards[r.Shard].attempts++
+	case recJobDone:
+		res, err := decodeResultPayload(j.spec.Mode, r.Payload)
+		if err != nil {
+			// The payload was CRC-checked and decoded at merge time; a
+			// failure here means the format changed underneath the log.
+			c.finish(j, Result{}, fmt.Errorf("fleet: recovering job %d result: %w", r.Job, err))
+			return
+		}
+		res.Errs = r.Errs
+		c.finish(j, res, nil)
+	case recJobFail:
+		c.finish(j, Result{}, fmt.Errorf("fleet: job %d: %s", r.Job, r.Err))
+	}
+}
+
+// recover completes the replay fold: jobs that crashed before their plan
+// record re-plan now, and jobs whose last shard completed but whose
+// merge record was lost re-merge (same inputs, same bytes).
+func (c *Coordinator) recover() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, id := range c.order {
+		j := c.jobs[id]
+		if j.finished {
+			continue
+		}
+		if !j.planned {
+			if err := c.planLocked(j); err != nil {
+				if ferr := c.failJobLocked(j, err.Error()); ferr != nil {
+					return ferr
+				}
+				continue
+			}
+		}
+		if j.planned && j.remaining == 0 && !j.finished {
+			if err := c.mergeLocked(j); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Submit accepts a job, plans its shards (for check jobs this runs the
+// golden continuous-power pass synchronously — one uninterrupted run),
+// logs both transitions, and returns the job id.
+func (c *Coordinator) Submit(spec Spec) (uint64, error) {
+	if err := spec.validate(); err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id := c.next
+	c.next++
+	j := &job{id: id, spec: spec, submitted: c.cfg.Now(), done: make(chan struct{})}
+	j.kind, _ = experiments.ParseRuntimeKind(spec.Runtime)
+	if err := c.wal.append(record{Type: recSubmit, Job: id, Spec: spec}); err != nil {
+		return 0, err
+	}
+	c.jobs[id] = j
+	c.order = append(c.order, id)
+	if err := c.planLocked(j); err != nil {
+		if ferr := c.failJobLocked(j, err.Error()); ferr != nil {
+			return 0, ferr
+		}
+		return id, nil
+	}
+	if j.remaining == 0 {
+		// A plan with no shards (a check whose golden run never crossed a
+		// charge-slice boundary) finishes at submit.
+		if err := c.mergeLocked(j); err != nil {
+			return 0, err
+		}
+	}
+	return id, nil
+}
+
+// planLocked computes and logs the job's shard ranges. Sweep plans are
+// pure arithmetic over the spec; check plans run the golden pass.
+func (c *Coordinator) planLocked(j *job) error {
+	parts := j.spec.Shards
+	if parts <= 0 {
+		parts = c.cfg.DefaultShards
+	}
+	var (
+		ranges  [][2]int
+		hasPlan bool
+		ph      planHeader
+	)
+	switch j.spec.Mode {
+	case ModeSweep:
+		ranges = splitRange(0, j.spec.Runs, parts)
+	case ModeCheck:
+		if c.cfg.Source == nil {
+			return fmt.Errorf("fleet: check job %d needs a blueprint source", j.id)
+		}
+		factory, ok := c.cfg.Source.LookupFactory(j.spec.App)
+		if !ok {
+			return fmt.Errorf("fleet: unknown app %q", j.spec.App)
+		}
+		plan, err := check.Golden(factory, j.kind, check.Config{
+			Seed: j.spec.Seed, Off: j.spec.Off, Grid: j.spec.Grid,
+		})
+		if err != nil {
+			return fmt.Errorf("fleet: plan check job %d: %w", j.id, err)
+		}
+		hasPlan = true
+		ph = planHeader{
+			App: plan.App, Runtime: plan.Runtime, Off: plan.Off,
+			GoldenOnTime: plan.GoldenOnTime, GoldenCorrect: plan.GoldenCorrect,
+			Candidates: plan.Candidates, Note: plan.Note,
+		}
+		switch {
+		case plan.Candidates == 0:
+			ranges = nil
+		case !j.spec.Exhaustive:
+			// The adaptive bisection prunes against outcomes across the
+			// whole candidate range: one shard, or the merge would not be
+			// byte-identical to the in-process checker.
+			ranges = [][2]int{{0, plan.Candidates}}
+		default:
+			ranges = splitRange(0, plan.Candidates, parts)
+		}
+	}
+	if err := c.wal.append(record{Type: recPlan, Job: j.id, Shards: ranges, HasPlan: hasPlan, Plan: ph}); err != nil {
+		return err
+	}
+	c.installPlan(j, ranges, hasPlan, ph)
+	return nil
+}
+
+// installPlan applies a planned (or replayed) shard layout.
+func (c *Coordinator) installPlan(j *job, ranges [][2]int, hasPlan bool, ph planHeader) {
+	j.planned = true
+	j.hasPlan = hasPlan
+	j.plan = ph
+	j.shards = make([]*shardState, len(ranges))
+	for i, r := range ranges {
+		j.shards[i] = &shardState{lo: r[0], hi: r[1]}
+	}
+	j.remaining = len(ranges)
+}
+
+// splitRange splits [lo, hi) into at most parts contiguous near-equal
+// pieces, mirroring the sweep engine's internal sharding.
+func splitRange(lo, hi, parts int) [][2]int {
+	n := hi - lo
+	if parts > n {
+		parts = n
+	}
+	out := make([][2]int, 0, parts)
+	cur := lo
+	for p := 0; p < parts; p++ {
+		size := n / parts
+		if p < n%parts {
+			size++
+		}
+		out = append(out, [2]int{cur, cur + size})
+		cur += size
+	}
+	return out
+}
+
+// Lease hands the named worker one pending shard as an encoded task
+// (wire.SweepShard or wire.CheckShard — dispatch on wire.PeekKind), or
+// ok=false when nothing is pending. Jobs are scanned in submission
+// order, shards in range order, so a single worker drains jobs in the
+// order a sequential engine would.
+func (c *Coordinator) Lease(worker string) (task []byte, ok bool, err error) {
+	now := c.cfg.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked(now)
+	for _, id := range c.order {
+		j := c.jobs[id]
+		if j.finished || !j.planned {
+			continue
+		}
+		for idx, sh := range j.shards {
+			if sh.st != shardPending || now.Before(sh.notBefore) {
+				continue
+			}
+			if err := c.wal.append(record{
+				Type: recLease, Job: j.id, Shard: idx, Worker: worker, At: now.UnixNano(),
+			}); err != nil {
+				return nil, false, err
+			}
+			sh.st = shardLeased
+			sh.worker = worker
+			sh.leaseExpiry = now.Add(c.cfg.LeaseTTL)
+			if j.firstLease.IsZero() {
+				j.firstLease = now
+			}
+			if m := c.cfg.Metrics; m != nil {
+				m.Leases.Inc(worker)
+			}
+			return c.encodeTask(j, idx, sh), true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// encodeTask renders one shard as its wire task message.
+func (c *Coordinator) encodeTask(j *job, idx int, sh *shardState) []byte {
+	s := j.spec
+	if s.Mode == ModeSweep {
+		return wire.AppendSweepShard(nil, wire.SweepShard{
+			Job: j.id, Shard: idx, App: s.App, Runtime: s.Runtime,
+			BaseSeed: s.BaseSeed, Lo: sh.lo, Hi: sh.hi, Workers: s.ShardWorkers,
+		})
+	}
+	return wire.AppendCheckShard(nil, wire.CheckShard{
+		Job: j.id, Shard: idx, App: s.App, Runtime: s.Runtime,
+		Seed: s.Seed, Off: j.plan.Off, CutLo: sh.lo, CutHi: sh.hi,
+		Exhaustive: s.Exhaustive, Grid: s.Grid, Workers: s.ShardWorkers,
+	})
+}
+
+// expireLocked revokes overdue leases. No WAL record: a revoked lease
+// and a crashed one recover identically (the shard is simply pending
+// again), and the stale worker's eventual Complete still lands if it
+// beats the re-lease — first result wins, and both results would be
+// byte-identical anyway.
+func (c *Coordinator) expireLocked(now time.Time) {
+	for _, id := range c.order {
+		j := c.jobs[id]
+		if j.finished {
+			continue
+		}
+		for _, sh := range j.shards {
+			if sh.st == shardLeased && now.After(sh.leaseExpiry) {
+				sh.st = shardPending
+				if m := c.cfg.Metrics; m != nil {
+					m.Expirations.Inc(sh.worker)
+				}
+			}
+		}
+	}
+}
+
+// Complete accepts a worker's encoded shard result (wire.SweepResult or
+// wire.CheckResult). Duplicate or stale completions are ignored: the
+// first logged result for a shard is the result. Completing the job's
+// last shard merges and finishes the job.
+func (c *Coordinator) Complete(worker string, payload []byte) error {
+	jobID, shard, err := resultIDs(payload)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[jobID]
+	if !ok {
+		return fmt.Errorf("fleet: completion for unknown job %d", jobID)
+	}
+	if j.finished || shard < 0 || shard >= len(j.shards) {
+		return nil
+	}
+	sh := j.shards[shard]
+	if sh.st == shardDone {
+		return nil
+	}
+	if err := c.wal.append(record{Type: recShardDone, Job: jobID, Shard: shard, Payload: payload}); err != nil {
+		return err
+	}
+	sh.st = shardDone
+	sh.payload = payload
+	j.remaining--
+	if m := c.cfg.Metrics; m != nil {
+		m.ShardsDone.Inc(worker)
+	}
+	if j.remaining == 0 {
+		return c.mergeLocked(j)
+	}
+	return nil
+}
+
+// resultIDs peeks a shard result's job and shard without a full decode.
+func resultIDs(payload []byte) (uint64, int, error) {
+	switch wire.PeekKind(payload) {
+	case wire.KindSweepResult:
+		r, err := wire.DecodeSweepResult(payload)
+		if err != nil {
+			return 0, 0, err
+		}
+		return r.Job, r.Shard, nil
+	case wire.KindCheckResult:
+		r, err := wire.DecodeCheckResult(payload)
+		if err != nil {
+			return 0, 0, err
+		}
+		return r.Job, r.Shard, nil
+	}
+	return 0, 0, fmt.Errorf("fleet: completion payload is %v, want a shard result", wire.PeekKind(payload))
+}
+
+// FailShard records one failed shard attempt. Under MaxAttempts the
+// shard returns to the queue after a doubling backoff; at MaxAttempts
+// the whole job fails (a shard that cannot run will not merge, and a
+// partial merge would silently change the result).
+func (c *Coordinator) FailShard(worker string, jobID uint64, shard int, msg string) error {
+	now := c.cfg.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[jobID]
+	if !ok {
+		return fmt.Errorf("fleet: failure for unknown job %d", jobID)
+	}
+	if j.finished || shard < 0 || shard >= len(j.shards) {
+		return nil
+	}
+	sh := j.shards[shard]
+	if sh.st == shardDone {
+		return nil
+	}
+	if err := c.wal.append(record{Type: recShardFail, Job: jobID, Shard: shard, Err: msg}); err != nil {
+		return err
+	}
+	sh.attempts++
+	if m := c.cfg.Metrics; m != nil {
+		m.Retries.Inc(worker)
+	}
+	if sh.attempts >= c.cfg.MaxAttempts {
+		return c.failJobLocked(j, fmt.Sprintf("shard %d failed %d times, last: %s", shard, sh.attempts, msg))
+	}
+	backoff := c.cfg.RetryBackoff << (sh.attempts - 1)
+	if limit := c.cfg.RetryBackoff << 3; backoff > limit {
+		backoff = limit
+	}
+	sh.st = shardPending
+	sh.notBefore = now.Add(backoff)
+	return nil
+}
+
+// failJobLocked logs and applies a terminal job failure.
+func (c *Coordinator) failJobLocked(j *job, msg string) error {
+	if err := c.wal.append(record{Type: recJobFail, Job: j.id, Err: msg}); err != nil {
+		return err
+	}
+	c.finish(j, Result{}, fmt.Errorf("fleet: job %d: %s", j.id, msg))
+	return nil
+}
+
+// mergeLocked folds the job's shard results, in shard order, into the
+// final Result, logs it, and finishes the job. The fold mirrors the
+// in-process engines exactly — this is where the byte-identity contract
+// is discharged.
+func (c *Coordinator) mergeLocked(j *job) error {
+	start := time.Now()
+	var res Result
+	switch j.spec.Mode {
+	case ModeSweep:
+		agg := stats.NewAggregator()
+		var errs []string
+		for _, sh := range j.shards {
+			sr, err := wire.DecodeSweepResult(sh.payload)
+			if err != nil {
+				return fmt.Errorf("fleet: merge job %d: %w", j.id, err)
+			}
+			agg.Merge(stats.ImportAggregator(sr.Agg))
+			errs = append(errs, sr.Errs...)
+		}
+		res = Result{Mode: ModeSweep, Summary: agg.Summary(), Errs: errs}
+	case ModeCheck:
+		rep := &check.Report{
+			App: j.plan.App, Runtime: j.plan.Runtime,
+			Seed: j.spec.Seed, Off: j.plan.Off,
+			GoldenOnTime: j.plan.GoldenOnTime, GoldenCorrect: j.plan.GoldenCorrect,
+			Candidates: j.plan.Candidates, Note: j.plan.Note,
+		}
+		for _, sh := range j.shards {
+			cr, err := wire.DecodeCheckResult(sh.payload)
+			if err != nil {
+				return fmt.Errorf("fleet: merge job %d: %w", j.id, err)
+			}
+			rep.Explored += cr.Explored
+			rep.Divergences = append(rep.Divergences, cr.Divergences...)
+		}
+		rep.Pruned = rep.Candidates - rep.Explored
+		if len(rep.Divergences) > 0 {
+			rep.Minimal = []time.Duration{rep.Divergences[0].At}
+		}
+		res = Result{Mode: ModeCheck, Report: rep}
+	}
+	if err := c.wal.append(record{Type: recJobDone, Job: j.id, Payload: encodeResultPayload(res), Errs: res.Errs}); err != nil {
+		return err
+	}
+	if m := c.cfg.Metrics; m != nil {
+		m.MergeTime.Observe(j.spec.Mode, time.Since(start).Seconds())
+	}
+	c.finish(j, res, nil)
+	return nil
+}
+
+// finish applies a terminal state and wakes waiters.
+func (c *Coordinator) finish(j *job, res Result, err error) {
+	if j.finished {
+		return
+	}
+	j.finished = true
+	j.result = res
+	j.err = err
+	j.remaining = 0
+	close(j.done)
+}
+
+// Wait blocks until the job finishes or ctx is done. While waiting it
+// ticks the lease-expiry clock, so a dead worker's shards return to the
+// queue even when no other worker is polling Lease.
+func (c *Coordinator) Wait(ctx context.Context, id uint64) (Result, error) {
+	c.mu.Lock()
+	j, ok := c.jobs[id]
+	c.mu.Unlock()
+	if !ok {
+		return Result{}, fmt.Errorf("fleet: wait on unknown job %d", id)
+	}
+	tick := c.cfg.LeaseTTL / 4
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-j.done:
+			c.mu.Lock()
+			res, err := j.result, j.err
+			c.mu.Unlock()
+			return res, err
+		case <-ctx.Done():
+			return Result{}, ctx.Err()
+		case <-t.C:
+			c.mu.Lock()
+			c.expireLocked(c.cfg.Now())
+			c.mu.Unlock()
+		}
+	}
+}
+
+// Progress reports how many of the job's shards have completed.
+func (c *Coordinator) Progress(id uint64) (done, total int, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, found := c.jobs[id]
+	if !found {
+		return 0, 0, false
+	}
+	return len(j.shards) - j.remaining, len(j.shards), true
+}
+
+// LeaseInfo reports when the job was submitted and when its first shard
+// lease was granted (zero until then). The gap is queue wait, not
+// execution — the delay an execution deadline should not charge.
+func (c *Coordinator) LeaseInfo(id uint64) (submitted, firstLease time.Time, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, found := c.jobs[id]
+	if !found {
+		return time.Time{}, time.Time{}, false
+	}
+	return j.submitted, j.firstLease, true
+}

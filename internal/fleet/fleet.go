@@ -1,0 +1,149 @@
+// Package fleet is the distributed sweep/check subsystem: a coordinator
+// that shards jobs across N workers — sweep jobs by contiguous seed
+// range, exhaustive check jobs by candidate cut range — and merges shard
+// results back into exactly the Summary or Report a single process would
+// have produced.
+//
+// Durability: every job state transition (submitted → planned → shard
+// leased → shard complete → merged / failed) is a record in a
+// crash-consistent write-ahead log (wal.go): appended, CRC-framed and
+// fsynced before the transition takes effect. A coordinator that dies
+// mid-job replays the WAL on restart: completed shards keep their
+// results, leased-but-unfinished shards revert to pending, and the job
+// resumes where it stopped. Replay is a pure fold over the records, so
+// replaying a prefix twice is idempotent.
+//
+// Determinism: the merged results are byte-identical to the in-process
+// engines (experiments.RunMany, check.Run) because both engines fold
+// order-dependent state only — a sweep shard ships its raw
+// stats.AggregatorState and shards merge in seed order; an exhaustive
+// check shard ships divergences under absolute candidate indices and
+// shards concatenate in cut order onto the plan's golden header.
+// Adaptive (bisection) checks stay a single shard: their pruning
+// decisions depend on outcomes across the whole candidate range.
+//
+// Transports: workers pull work — Lease/Complete/Fail — either
+// in-process (loopback workers, the testing and single-host mode) or
+// over TCP with the internal/wire framing (cmd/easeio-worker).
+package fleet
+
+import (
+	"fmt"
+	"time"
+
+	"easeio/internal/check"
+	"easeio/internal/experiments"
+	"easeio/internal/stats"
+	"easeio/internal/wire"
+)
+
+// BlueprintSource resolves app names to factories. service.Registry
+// satisfies it structurally; tests use small fixed maps.
+type BlueprintSource interface {
+	LookupFactory(name string) (experiments.AppFactory, bool)
+}
+
+// The two job modes.
+const (
+	ModeSweep = "sweep"
+	ModeCheck = "check"
+)
+
+// Spec describes one distributed job. The zero values of the unused
+// mode's fields are ignored.
+type Spec struct {
+	Mode    string // ModeSweep or ModeCheck
+	App     string
+	Runtime string // experiments.RuntimeKind name
+
+	// Sweep: the seeded-run count and base seed.
+	Runs     int
+	BaseSeed int64
+
+	// Check: the replayed seed and the exploration parameters.
+	Seed       int64
+	Off        time.Duration
+	Grid       int
+	Exhaustive bool
+
+	// Shards is the desired shard count (defaults to the coordinator's
+	// configured default; clamped to the available work).
+	Shards int
+
+	// ShardWorkers bounds each worker's inner parallelism per shard
+	// (0 = the worker's default).
+	ShardWorkers int
+}
+
+// validate rejects specs the planner cannot shard.
+func (s Spec) validate() error {
+	if s.App == "" {
+		return fmt.Errorf("fleet: spec has no app")
+	}
+	if _, err := experiments.ParseRuntimeKind(s.Runtime); err != nil {
+		return fmt.Errorf("fleet: %w", err)
+	}
+	switch s.Mode {
+	case ModeSweep:
+		if s.Runs <= 0 {
+			return fmt.Errorf("fleet: sweep spec needs Runs > 0")
+		}
+	case ModeCheck:
+		if s.Runs != 0 {
+			return fmt.Errorf("fleet: check spec must not set Runs")
+		}
+	default:
+		return fmt.Errorf("fleet: unknown mode %q", s.Mode)
+	}
+	if s.Shards < 0 || s.ShardWorkers < 0 {
+		return fmt.Errorf("fleet: negative shard parameters")
+	}
+	return nil
+}
+
+// Result is a merged job outcome.
+type Result struct {
+	Mode string
+
+	// Summary is the sweep outcome (Mode == ModeSweep), byte-identical
+	// to experiments.RunMany over the same spec.
+	Summary stats.Summary
+
+	// Report is the check outcome (Mode == ModeCheck), byte-identical to
+	// check.Run over the same spec.
+	Report *check.Report
+
+	// Errs carries per-run failures from sweep shards (the flattened
+	// form of the error experiments.RunMany would have joined).
+	Errs []string
+}
+
+// encodeResultPayload encodes the outcome as the WAL's job-done payload.
+func encodeResultPayload(r Result) []byte {
+	switch r.Mode {
+	case ModeSweep:
+		return wire.AppendSummary(nil, r.Summary)
+	case ModeCheck:
+		return wire.AppendReport(nil, *r.Report)
+	}
+	panic("fleet: encoding result of unknown mode " + r.Mode)
+}
+
+// decodeResultPayload is the inverse of encodeResultPayload.
+func decodeResultPayload(mode string, b []byte) (Result, error) {
+	switch mode {
+	case ModeSweep:
+		sum, err := wire.DecodeSummary(b)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Mode: mode, Summary: sum}, nil
+	case ModeCheck:
+		rep, err := wire.DecodeReport(b)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Mode: mode, Report: &rep}, nil
+	}
+	return Result{}, fmt.Errorf("fleet: result of unknown mode %q", mode)
+}

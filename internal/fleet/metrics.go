@@ -1,0 +1,62 @@
+// Fleet observability: per-worker lease/retry/completion counters and
+// the two latencies that dominate coordinator health — WAL fsync (every
+// state transition pays one) and shard merge (the serial tail of a job).
+
+package fleet
+
+import (
+	"io"
+
+	"easeio/internal/obs"
+)
+
+// Metrics is the coordinator's metric set. All fields are optional to
+// populate by hand, but NewMetrics wires the standard series; a nil
+// *Metrics disables collection entirely.
+type Metrics struct {
+	// Leases counts granted leases per worker.
+	Leases *obs.Counter
+	// Retries counts failed shard attempts per worker (the worker whose
+	// attempt failed, not the one that retries it).
+	Retries *obs.Counter
+	// Expirations counts leases revoked by TTL per holding worker.
+	Expirations *obs.Counter
+	// ShardsDone counts completed shards per worker.
+	ShardsDone *obs.Counter
+	// WALFsync observes each WAL append's fsync latency in seconds.
+	WALFsync *obs.Histogram
+	// MergeTime observes each job's shard-merge time in seconds, split
+	// by job mode.
+	MergeTime *obs.Histogram
+}
+
+// NewMetrics returns the standard fleet metric set.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		Leases: obs.NewCounter("easeio_fleet_leases_total",
+			"Shard leases granted, by worker.", "worker"),
+		Retries: obs.NewCounter("easeio_fleet_shard_retries_total",
+			"Failed shard attempts, by the worker that failed.", "worker"),
+		Expirations: obs.NewCounter("easeio_fleet_lease_expirations_total",
+			"Leases revoked by TTL expiry, by the worker that held them.", "worker"),
+		ShardsDone: obs.NewCounter("easeio_fleet_shards_done_total",
+			"Completed shards, by worker.", "worker"),
+		WALFsync: obs.NewHistogram("easeio_fleet_wal_fsync_seconds",
+			"WAL append fsync latency.", "", obs.LatencyBuckets),
+		MergeTime: obs.NewHistogram("easeio_fleet_shard_merge_seconds",
+			"Job shard-merge time, by job mode.", "mode", obs.LatencyBuckets),
+	}
+}
+
+// Expose renders every series in Prometheus text format.
+func (m *Metrics) Expose(w io.Writer) {
+	if m == nil {
+		return
+	}
+	m.Leases.Expose(w)
+	m.Retries.Expose(w)
+	m.Expirations.Expose(w)
+	m.ShardsDone.Expose(w)
+	m.WALFsync.Expose(w)
+	m.MergeTime.Expose(w)
+}

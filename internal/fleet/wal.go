@@ -1,0 +1,314 @@
+// The crash-consistent job store: an append-only log of job state
+// transitions, one CRC-framed record per transition, fsynced before the
+// in-memory transition it describes takes effect. A coordinator restart
+// replays the log from the start; the fold in coordinator.go is
+// idempotent, so replaying any prefix twice reaches the same state.
+//
+// Torn tails are expected — a crash mid-append leaves a frame with a
+// length but not all its bytes — and are truncated away on open, which
+// is exactly the write-ahead contract: a transition whose record did not
+// fully reach the disk never happened. A CRC mismatch on a *complete*
+// frame is different: that is corruption inside the retained log, and
+// open refuses it rather than silently dropping committed transitions.
+
+package fleet
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"easeio/internal/wire"
+)
+
+// recType discriminates WAL records. The numbering is part of the
+// on-disk format: append only.
+type recType byte
+
+const (
+	recInvalid   recType = 0
+	recSubmit    recType = 1 // a job was accepted
+	recPlan      recType = 2 // its shards were planned
+	recLease     recType = 3 // a shard was leased to a worker
+	recShardDone recType = 4 // a shard completed with a result payload
+	recShardFail recType = 5 // a shard attempt failed
+	recJobDone   recType = 6 // the job merged into a final result
+	recJobFail   recType = 7 // the job failed terminally
+)
+
+func (t recType) String() string {
+	switch t {
+	case recSubmit:
+		return "submit"
+	case recPlan:
+		return "plan"
+	case recLease:
+		return "lease"
+	case recShardDone:
+		return "shard-done"
+	case recShardFail:
+		return "shard-fail"
+	case recJobDone:
+		return "job-done"
+	case recJobFail:
+		return "job-fail"
+	}
+	return fmt.Sprintf("recType(%d)", byte(t))
+}
+
+// record is one WAL entry. Only the fields its type uses are set.
+type record struct {
+	Type recType
+	Job  uint64
+
+	Spec Spec // recSubmit
+
+	// recPlan: the shard ranges, plus the check plan header when the
+	// job is a check (sweep plans are fully determined by the spec, but
+	// a check plan carries the golden pass's outputs).
+	Shards  [][2]int
+	HasPlan bool
+	Plan    planHeader
+
+	Shard  int    // recLease, recShardDone, recShardFail
+	Worker string // recLease
+	At     int64  // recLease: coordinator clock, unix nanos
+
+	Payload []byte   // recShardDone (shard result), recJobDone (merged result)
+	Errs    []string // recJobDone: flattened per-run sweep errors
+	Err     string   // recShardFail, recJobFail
+}
+
+// planHeader is the golden-pass output a check job's recPlan persists,
+// so recovery rebuilds the report skeleton without re-running golden.
+// App and Runtime are the *report* names (the blueprint's App.Name and
+// the runtime label), which need not equal the spec's registry key.
+type planHeader struct {
+	App     string
+	Runtime string
+	// Off is the checker's filled off-time (the spec may leave it zero
+	// and take check's default; the report header shows the real value).
+	Off           time.Duration
+	GoldenOnTime  time.Duration
+	GoldenCorrect bool
+	Candidates    int
+	Note          string
+}
+
+// encode renders the record as a frame payload: the type byte followed
+// by the type's body, built from the wire vocabulary.
+func (r record) encode() []byte {
+	b := []byte{byte(r.Type)}
+	b = wire.AppendUvarint(b, r.Job)
+	switch r.Type {
+	case recSubmit:
+		s := r.Spec
+		b = wire.AppendString(b, s.Mode)
+		b = wire.AppendString(b, s.App)
+		b = wire.AppendString(b, s.Runtime)
+		b = wire.AppendVarint(b, int64(s.Runs))
+		b = wire.AppendVarint(b, s.BaseSeed)
+		b = wire.AppendVarint(b, s.Seed)
+		b = wire.AppendVarint(b, int64(s.Off))
+		b = wire.AppendVarint(b, int64(s.Grid))
+		b = wire.AppendBool(b, s.Exhaustive)
+		b = wire.AppendVarint(b, int64(s.Shards))
+		b = wire.AppendVarint(b, int64(s.ShardWorkers))
+	case recPlan:
+		b = wire.AppendBool(b, r.HasPlan)
+		if r.HasPlan {
+			b = wire.AppendString(b, r.Plan.App)
+			b = wire.AppendString(b, r.Plan.Runtime)
+			b = wire.AppendVarint(b, int64(r.Plan.Off))
+			b = wire.AppendVarint(b, int64(r.Plan.GoldenOnTime))
+			b = wire.AppendBool(b, r.Plan.GoldenCorrect)
+			b = wire.AppendVarint(b, int64(r.Plan.Candidates))
+			b = wire.AppendString(b, r.Plan.Note)
+		}
+		b = wire.AppendUvarint(b, uint64(len(r.Shards)))
+		for _, sh := range r.Shards {
+			b = wire.AppendVarint(b, int64(sh[0]))
+			b = wire.AppendVarint(b, int64(sh[1]))
+		}
+	case recLease:
+		b = wire.AppendUvarint(b, uint64(r.Shard))
+		b = wire.AppendString(b, r.Worker)
+		b = wire.AppendVarint(b, r.At)
+	case recShardDone:
+		b = wire.AppendUvarint(b, uint64(r.Shard))
+		b = wire.AppendBytes(b, r.Payload)
+	case recShardFail:
+		b = wire.AppendUvarint(b, uint64(r.Shard))
+		b = wire.AppendString(b, r.Err)
+	case recJobDone:
+		b = wire.AppendBytes(b, r.Payload)
+		b = wire.AppendUvarint(b, uint64(len(r.Errs)))
+		for _, e := range r.Errs {
+			b = wire.AppendString(b, e)
+		}
+	case recJobFail:
+		b = wire.AppendString(b, r.Err)
+	default:
+		panic("fleet: encoding WAL record of unknown type " + r.Type.String())
+	}
+	return b
+}
+
+// decodeRecord parses one frame payload.
+func decodeRecord(b []byte) (record, error) {
+	d := wire.NewDecoder(b)
+	r := record{Type: recType(d.Byte()), Job: d.Uvarint()}
+	switch r.Type {
+	case recSubmit:
+		r.Spec = Spec{
+			Mode:         d.String(),
+			App:          d.String(),
+			Runtime:      d.String(),
+			Runs:         int(d.Varint()),
+			BaseSeed:     d.Varint(),
+			Seed:         d.Varint(),
+			Off:          time.Duration(d.Varint()),
+			Grid:         int(d.Varint()),
+			Exhaustive:   d.Bool(),
+			Shards:       int(d.Varint()),
+			ShardWorkers: int(d.Varint()),
+		}
+	case recPlan:
+		r.HasPlan = d.Bool()
+		if r.HasPlan {
+			r.Plan = planHeader{
+				App:           d.String(),
+				Runtime:       d.String(),
+				Off:           time.Duration(d.Varint()),
+				GoldenOnTime:  time.Duration(d.Varint()),
+				GoldenCorrect: d.Bool(),
+				Candidates:    int(d.Varint()),
+				Note:          d.String(),
+			}
+		}
+		n := d.Uvarint()
+		if d.Err() == nil && n > uint64(d.Remaining()) {
+			d.Fail("fleet: plan record claims %d shards with %d bytes left", n, d.Remaining())
+		}
+		if d.Err() == nil && n > 0 {
+			r.Shards = make([][2]int, n)
+			for i := range r.Shards {
+				r.Shards[i] = [2]int{int(d.Varint()), int(d.Varint())}
+			}
+		}
+	case recLease:
+		r.Shard = int(d.Uvarint())
+		r.Worker = d.String()
+		r.At = d.Varint()
+	case recShardDone:
+		r.Shard = int(d.Uvarint())
+		r.Payload = d.Bytes()
+	case recShardFail:
+		r.Shard = int(d.Uvarint())
+		r.Err = d.String()
+	case recJobDone:
+		r.Payload = d.Bytes()
+		n := d.Uvarint()
+		if d.Err() == nil && n > uint64(d.Remaining()) {
+			d.Fail("fleet: job-done record claims %d errors with %d bytes left", n, d.Remaining())
+		}
+		if d.Err() == nil && n > 0 {
+			r.Errs = make([]string, n)
+			for i := range r.Errs {
+				r.Errs[i] = d.String()
+			}
+		}
+	case recJobFail:
+		r.Err = d.String()
+	default:
+		d.Fail("fleet: unknown WAL record type %d", byte(r.Type))
+	}
+	if err := d.Err(); err != nil {
+		return record{}, err
+	}
+	if n := d.Remaining(); n != 0 {
+		return record{}, fmt.Errorf("fleet: %s record has %d trailing bytes", r.Type, n)
+	}
+	return r, nil
+}
+
+// wal is the open log. Appends serialize under mu; every append is
+// fsynced before it returns, so a record the caller saw succeed survives
+// any later crash.
+type wal struct {
+	f   *os.File
+	obs func(fsync time.Duration) // nil ok; receives each fsync's latency
+}
+
+// openWAL opens (creating if absent) the log at path, replays its
+// records, and truncates a torn tail. The returned records are every
+// fully-committed transition in append order.
+func openWAL(path string, obs func(time.Duration)) (*wal, []record, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("fleet: open WAL: %w", err)
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("fleet: read WAL: %w", err)
+	}
+
+	var recs []record
+	rd := bytes.NewReader(data)
+	goodEnd := 0
+	for {
+		payload, err := wire.ReadFrame(rd)
+		if err == io.EOF {
+			break
+		}
+		if errors.Is(err, wire.ErrTornFrame) {
+			// The tail of an append the crash interrupted: the transition
+			// never committed. Drop it.
+			if err := f.Truncate(int64(goodEnd)); err != nil {
+				f.Close()
+				return nil, nil, fmt.Errorf("fleet: truncate torn WAL tail: %w", err)
+			}
+			break
+		}
+		if err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("fleet: WAL at byte %d: %w", goodEnd, err)
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("fleet: WAL record at byte %d: %w", goodEnd, err)
+		}
+		recs = append(recs, rec)
+		goodEnd = len(data) - rd.Len()
+	}
+	if _, err := f.Seek(int64(goodEnd), io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("fleet: seek WAL tail: %w", err)
+	}
+	return &wal{f: f, obs: obs}, recs, nil
+}
+
+// append frames, writes and fsyncs one record. The caller must hold the
+// coordinator lock (the WAL has no lock of its own: record order on disk
+// must match transition order in memory).
+func (w *wal) append(r record) error {
+	frame := wire.AppendFrame(nil, r.encode())
+	if _, err := w.f.Write(frame); err != nil {
+		return fmt.Errorf("fleet: append WAL %s record: %w", r.Type, err)
+	}
+	start := time.Now()
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("fleet: fsync WAL: %w", err)
+	}
+	if w.obs != nil {
+		w.obs(time.Since(start))
+	}
+	return nil
+}
+
+func (w *wal) close() error { return w.f.Close() }

@@ -114,3 +114,14 @@ func (l *Ledger) Export(r *stats.Run) {
 		r.Work[b] = l.committed[b]
 	}
 }
+
+// Parts returns the ledger's full state — committed buckets plus the
+// pending attempt pools — for serialization layers.
+func (l *Ledger) Parts() (committed [stats.NumBuckets]stats.Totals, pending [2]stats.Totals) {
+	return l.committed, l.pending
+}
+
+// MakeLedger reassembles a Ledger from its Parts.
+func MakeLedger(committed [stats.NumBuckets]stats.Totals, pending [2]stats.Totals) Ledger {
+	return Ledger{committed: committed, pending: pending}
+}

@@ -477,3 +477,90 @@ func (m *Memory) EqualRange(a Addr, want []uint16) bool {
 	}
 	return true
 }
+
+// NumBanks is the number of modeled memory banks, exported for
+// serialization layers that flatten per-bank state.
+const NumBanks = int(numBanks)
+
+// bankWords returns the fixed capacity of bank b in words.
+func bankWords(b Bank) int {
+	switch b {
+	case FRAM:
+		return FRAMWords
+	case SRAM:
+		return SRAMWords
+	case LEARAM:
+		return LEARAMWords
+	default:
+		panic(fmt.Sprintf("mem: no capacity for %v", b))
+	}
+}
+
+// SnapshotState is the exported, serializable view of a DeviceSnapshot:
+// one entry per bank (index = Bank value, NumBanks entries each) for the
+// used word prefix, the allocator watermark, the access counters and the
+// high-water mark. internal/wire flattens it to bytes; this package only
+// defines what the state is and validates it on import.
+type SnapshotState struct {
+	Used      [][]uint16
+	Alloc     []int
+	Counts    []Counters
+	HighWater []int
+}
+
+// Export returns the snapshot's components for serialization. The
+// returned slices alias the snapshot's storage — treat them as
+// read-only, and do not retain them past the snapshot's next reuse.
+func (s *DeviceSnapshot) Export() SnapshotState {
+	st := SnapshotState{
+		Used:      make([][]uint16, NumBanks),
+		Alloc:     make([]int, NumBanks),
+		Counts:    make([]Counters, NumBanks),
+		HighWater: make([]int, NumBanks),
+	}
+	for b := Bank(0); b < numBanks; b++ {
+		st.Used[b] = s.used[b]
+		st.Alloc[b] = s.alloc[b]
+		st.Counts[b] = s.counts[b]
+		st.HighWater[b] = s.highWater[b]
+	}
+	return st
+}
+
+// ImportSnapshot rebuilds a DeviceSnapshot from its exported view,
+// taking ownership of the Used slices. It rejects states whose shape
+// cannot have come from a real snapshot (wrong bank count, a prefix
+// longer than the bank, counters or watermarks out of range), so a
+// decoder can feed it untrusted bytes without tripping RestoreAll's
+// panics later.
+func ImportSnapshot(st SnapshotState) (*DeviceSnapshot, error) {
+	if len(st.Used) != NumBanks || len(st.Alloc) != NumBanks ||
+		len(st.Counts) != NumBanks || len(st.HighWater) != NumBanks {
+		return nil, fmt.Errorf("mem: snapshot state wants %d banks, got %d/%d/%d/%d",
+			NumBanks, len(st.Used), len(st.Alloc), len(st.Counts), len(st.HighWater))
+	}
+	s := &DeviceSnapshot{}
+	for b := Bank(0); b < numBanks; b++ {
+		cap := bankWords(b)
+		if len(st.Used[b]) > cap {
+			return nil, fmt.Errorf("mem: %s snapshot prefix %d words exceeds bank size %d",
+				b, len(st.Used[b]), cap)
+		}
+		if st.Alloc[b] < 0 || st.Alloc[b] > cap {
+			return nil, fmt.Errorf("mem: %s snapshot watermark %d out of range [0,%d]",
+				b, st.Alloc[b], cap)
+		}
+		if st.HighWater[b] < 0 || st.HighWater[b] > cap {
+			return nil, fmt.Errorf("mem: %s snapshot high-water %d out of range [0,%d]",
+				b, st.HighWater[b], cap)
+		}
+		if st.Counts[b].Reads < 0 || st.Counts[b].Writes < 0 {
+			return nil, fmt.Errorf("mem: %s snapshot counters negative: %+v", b, st.Counts[b])
+		}
+		s.used[b] = st.Used[b]
+		s.alloc[b] = st.Alloc[b]
+		s.counts[b] = st.Counts[b]
+		s.highWater[b] = st.HighWater[b]
+	}
+	return s, nil
+}

@@ -1,0 +1,104 @@
+// Labeled monotonic counters with the same cardinality discipline as
+// Histogram, plus the one-line counter/gauge render helpers every
+// exposition endpoint shares.
+
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Counter is a monotonic counter split by one optional label. Label
+// values arrive from job payloads and worker identities, so the series
+// map is capped exactly like Histogram's: past maxLabelValues distinct
+// values, increments fold into the "other" series and totals stay
+// exact even when per-value attribution saturates.
+type Counter struct {
+	name, help string
+	label      string // label name; "" renders a single unlabeled series
+
+	mu     sync.Mutex
+	series map[string]int64
+}
+
+// NewCounter returns a counter named name. label names the single
+// partition label ("" for none).
+func NewCounter(name, help, label string) *Counter {
+	return &Counter{name: name, help: help, label: label, series: make(map[string]int64)}
+}
+
+// Add increments the series for the given label value (ignored for
+// unlabeled counters) by delta. Negative deltas panic: counters are
+// monotonic by contract.
+func (c *Counter) Add(labelValue string, delta int64) {
+	if delta < 0 {
+		panic(fmt.Sprintf("obs: negative delta %d on counter %s", delta, c.name))
+	}
+	if c.label == "" {
+		labelValue = ""
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.series[labelValue]; !ok && len(c.series) >= maxLabelValues {
+		labelValue = overflowLabel
+	}
+	c.series[labelValue] += delta
+}
+
+// Inc is Add(labelValue, 1).
+func (c *Counter) Inc(labelValue string) { c.Add(labelValue, 1) }
+
+// Value returns the series count for the given label value (0 when the
+// series does not exist).
+func (c *Counter) Value(labelValue string) int64 {
+	if c.label == "" {
+		labelValue = ""
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.series[labelValue]
+}
+
+// Total returns the sum over every series.
+func (c *Counter) Total() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var t int64
+	for _, v := range c.series {
+		t += v
+	}
+	return t
+}
+
+// Expose renders the counter, series ordered by label value for a
+// deterministic exposition.
+func (c *Counter) Expose(w io.Writer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", c.name, c.help, c.name)
+	if c.label == "" {
+		fmt.Fprintf(w, "%s %d\n", c.name, c.series[""])
+		return
+	}
+	values := make([]string, 0, len(c.series))
+	for v := range c.series {
+		values = append(values, v)
+	}
+	sort.Strings(values)
+	for _, v := range values {
+		fmt.Fprintf(w, "%s{%s=%q} %d\n", c.name, c.label, v, c.series[v])
+	}
+}
+
+// WriteCounter renders one unlabeled counter line with its metadata.
+func WriteCounter(w io.Writer, name, help string, v int64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+}
+
+// WriteGauge renders one unlabeled gauge line with its metadata.
+func WriteGauge(w io.Writer, name, help string, v float64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+}

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestCounterExpose pins the labeled and unlabeled rendering shapes.
+func TestCounterExpose(t *testing.T) {
+	c := NewCounter("t_total", "help.", "worker")
+	c.Inc("w1")
+	c.Add("w0", 2)
+	var b bytes.Buffer
+	c.Expose(&b)
+	for _, want := range []string{
+		"# TYPE t_total counter",
+		`t_total{worker="w0"} 2`,
+		`t_total{worker="w1"} 1`,
+	} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("exposition missing %q in:\n%s", want, b.String())
+		}
+	}
+	// Label order must be sorted: w0 before w1.
+	if strings.Index(b.String(), `"w0"`) > strings.Index(b.String(), `"w1"`) {
+		t.Error("series not sorted by label value")
+	}
+
+	u := NewCounter("u_total", "help.", "")
+	u.Inc("ignored")
+	b.Reset()
+	u.Expose(&b)
+	if !strings.Contains(b.String(), "u_total 1\n") {
+		t.Errorf("unlabeled exposition wrong:\n%s", b.String())
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delta did not panic")
+		}
+	}()
+	c.Add("w0", -1)
+}
+
+// TestCounterCardinalityCap mirrors the histogram cap: floods of
+// distinct label values fold into "other" without losing counts.
+func TestCounterCardinalityCap(t *testing.T) {
+	c := NewCounter("t_total", "help.", "worker")
+	const flood = 3 * maxLabelValues
+	for i := 0; i < flood; i++ {
+		c.Inc(fmt.Sprintf("w-%03d", i))
+	}
+	if n := len(c.series); n > maxLabelValues+1 {
+		t.Fatalf("series map grew to %d entries, cap is %d plus %q", n, maxLabelValues, overflowLabel)
+	}
+	if got := c.Value(overflowLabel); got != flood-maxLabelValues {
+		t.Errorf("overflow series holds %d, want %d", got, flood-maxLabelValues)
+	}
+	if got := c.Total(); got != flood {
+		t.Errorf("total %d, want %d — the cap must not drop counts", got, flood)
+	}
+	c.Inc("w-000")
+	if got := c.Value("w-000"); got != 2 {
+		t.Errorf("pre-cap series count = %d, want 2", got)
+	}
+}

@@ -1,10 +1,14 @@
-// Labeled latency/throughput histograms in the Prometheus text
-// exposition format. The service moved past plain counters here: bucket
-// distributions answer the questions the paper's evaluation asks of the
-// simulator itself (where does the time go? how wide is the spread?) for
-// the service's own hot paths.
+// Package obs holds the shared observability primitives: labeled
+// histograms and cardinality-capped labeled counters in the Prometheus
+// text exposition format. The service grew these first; the fleet
+// coordinator exports per-worker series through the same types, so they
+// live below both.
+//
+// Bucket distributions answer the questions the paper's evaluation asks
+// of the simulator itself (where does the time go? how wide is the
+// spread?) for the serving and coordination hot paths.
 
-package service
+package obs
 
 import (
 	"fmt"
@@ -40,7 +44,7 @@ type histSeries struct {
 func NewHistogram(name, help, label string, buckets []float64) *Histogram {
 	for i := 1; i < len(buckets); i++ {
 		if buckets[i] <= buckets[i-1] {
-			panic(fmt.Sprintf("service: histogram %s buckets not ascending: %v", name, buckets))
+			panic(fmt.Sprintf("obs: histogram %s buckets not ascending: %v", name, buckets))
 		}
 	}
 	return &Histogram{
@@ -94,9 +98,10 @@ func leFormat(b float64) string {
 	return strconv.FormatFloat(b, 'g', -1, 64)
 }
 
-// writeTo renders the histogram. Series are ordered by label value so the
-// exposition is deterministic.
-func (h *Histogram) writeTo(w io.Writer) {
+// Expose renders the histogram. Series are ordered by label value so the
+// exposition is deterministic. (Not named WriteTo: vet reserves that name
+// for the io.WriterTo signature.)
+func (h *Histogram) Expose(w io.Writer) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", h.name, h.help, h.name)
@@ -128,10 +133,11 @@ func (h *Histogram) writeTo(w io.Writer) {
 	}
 }
 
-// The service's bucket layouts: latencies span 1 ms jobs to multi-minute
-// exhaustive checks; rates span single-digit to millions of events/s.
+// The shared bucket layouts: latencies span sub-millisecond WAL fsyncs
+// to multi-minute exhaustive checks; rates span single-digit to millions
+// of events/s. Callers must treat the slices as immutable.
 var (
-	latencyBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	LatencyBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
 		0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120}
-	rateBuckets = []float64{1, 10, 100, 1_000, 10_000, 100_000, 1_000_000}
+	RateBuckets = []float64{1, 10, 100, 1_000, 10_000, 100_000, 1_000_000}
 )

@@ -1,0 +1,78 @@
+// Histogram tests moved here with the type itself: bucket arithmetic,
+// exposition rendering, and the label-cardinality cap.
+
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestHistogramBuckets exercises the bucket arithmetic directly:
+// boundary placement (le is an upper inclusive bound), the +Inf
+// overflow, and the sum/count tallies.
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram("t_seconds", "help.", "mode", []float64{0.25, 1, 10})
+	// Exact binary fractions so the _sum rendering is stable.
+	for _, v := range []float64{0.125, 0.25, 0.5, 8, 100} {
+		h.Observe("sweep", v)
+	}
+	var b bytes.Buffer
+	h.Expose(&b)
+	text := b.String()
+	for _, want := range []string{
+		`t_seconds_bucket{mode="sweep",le="0.25"} 2`, // 0.125 and the inclusive boundary 0.25
+		`t_seconds_bucket{mode="sweep",le="1"} 3`,
+		`t_seconds_bucket{mode="sweep",le="10"} 4`,
+		`t_seconds_bucket{mode="sweep",le="+Inf"} 5`,
+		`t_seconds_sum{mode="sweep"} 108.875`,
+		`t_seconds_count{mode="sweep"} 5`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, text)
+		}
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("non-ascending buckets did not panic")
+		}
+	}()
+	NewHistogram("bad", "", "", []float64{1, 1})
+}
+
+// TestHistogramLabelCardinalityCap: label values come from request
+// payloads, so the series map must not grow without bound. Past the cap,
+// observations fold into the "other" series and totals stay exact.
+func TestHistogramLabelCardinalityCap(t *testing.T) {
+	h := NewHistogram("t_seconds", "help.", "app", []float64{1})
+	const flood = 4 * maxLabelValues
+	for i := 0; i < flood; i++ {
+		h.Observe(fmt.Sprintf("app-%03d", i), 0.5)
+	}
+	if n := len(h.series); n > maxLabelValues+1 {
+		t.Fatalf("series map grew to %d entries, cap is %d plus %q", n, maxLabelValues, overflowLabel)
+	}
+	other := h.series[overflowLabel]
+	if other == nil {
+		t.Fatalf("overflow series %q missing after %d distinct labels", overflowLabel, flood)
+	}
+	if want := uint64(flood - maxLabelValues); other.count != want {
+		t.Errorf("overflow series holds %d observations, want %d", other.count, want)
+	}
+	var total uint64
+	for _, s := range h.series {
+		total += s.count
+	}
+	if total != flood {
+		t.Errorf("total observations %d, want %d — the cap must not drop data", total, flood)
+	}
+
+	// A label value seen before the cap keeps its own series afterwards.
+	h.Observe("app-000", 0.5)
+	if got := h.series["app-000"].count; got != 2 {
+		t.Errorf("pre-cap series count = %d, want 2", got)
+	}
+}

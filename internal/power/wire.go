@@ -1,0 +1,81 @@
+// Exported, serializable views of supply states. SupplyState values are
+// deliberately opaque — each belongs to one concrete supply type — so
+// shipping a device checkpoint over the wire needs an explicit
+// conversion layer that names the type and flattens its fields. The
+// binary layout itself lives in internal/wire; this file only decides
+// what the state *is*.
+
+package power
+
+import (
+	"fmt"
+	"time"
+
+	"easeio/internal/units"
+)
+
+// Wire kind names for the concrete supply states. They are part of the
+// wire format: renaming one breaks decoding of previously encoded
+// checkpoints.
+const (
+	WireContinuous = "continuous"
+	WireSchedule   = "schedule"
+	WireTimer      = "timer"
+	WireHarvested  = "harvested"
+)
+
+// WireState is the serializable form of a SupplyState. Kind selects the
+// concrete supply type; only that type's fields are meaningful, the rest
+// stay zero.
+type WireState struct {
+	Kind string
+	// Schedule: how many configured failures have fired.
+	Fired int
+	// Timer: the next firing point and the random stream position.
+	NextAt time.Duration
+	Seed   int64
+	Draws  uint64
+	// Harvested: stored energy, per-run channel gain, and the dead flag.
+	Stored units.Energy
+	Gain   float64
+	Dead   bool
+}
+
+// ExportState flattens a SupplyState into its wire form. It reports
+// false for a state produced by a supply type this package does not
+// know how to serialize.
+func ExportState(s SupplyState) (WireState, bool) {
+	switch st := s.(type) {
+	case continuousState:
+		return WireState{Kind: WireContinuous}, true
+	case *scheduleState:
+		return WireState{Kind: WireSchedule, Fired: st.next}, true
+	case *timerState:
+		return WireState{Kind: WireTimer, NextAt: st.next, Seed: st.seed, Draws: st.draws}, true
+	case *harvestedState:
+		return WireState{Kind: WireHarvested, Stored: st.stored, Gain: st.gain, Dead: st.dead}, true
+	default:
+		return WireState{}, false
+	}
+}
+
+// ImportState rebuilds the opaque SupplyState a WireState describes. The
+// result is only meaningful when handed to RestoreState on a supply of
+// the matching concrete type, exactly like a locally produced state.
+func ImportState(w WireState) (SupplyState, error) {
+	switch w.Kind {
+	case WireContinuous:
+		return continuousState{}, nil
+	case WireSchedule:
+		if w.Fired < 0 {
+			return nil, fmt.Errorf("power: negative schedule progress %d", w.Fired)
+		}
+		return &scheduleState{next: w.Fired}, nil
+	case WireTimer:
+		return &timerState{next: w.NextAt, seed: w.Seed, draws: w.Draws}, nil
+	case WireHarvested:
+		return &harvestedState{stored: w.Stored, gain: w.Gain, dead: w.Dead}, nil
+	default:
+		return nil, fmt.Errorf("power: unknown supply state kind %q", w.Kind)
+	}
+}

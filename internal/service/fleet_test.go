@@ -1,0 +1,156 @@
+// Fleet-mode service tests: a manager delegating to a coordinator must
+// produce byte-identical results to the in-process path, surface the
+// lease wait, and charge the execution timeout only from the first
+// shard lease.
+
+package service
+
+import (
+	"context"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"easeio/internal/check"
+	"easeio/internal/experiments"
+	"easeio/internal/fleet"
+)
+
+// newFleetStack builds a registry-backed coordinator plus a fleet-mode
+// manager. Workers start separately so tests can control when leases
+// become possible.
+func newFleetStack(t *testing.T) (*Manager, *Registry, *fleet.Coordinator) {
+	t.Helper()
+	reg := NewRegistry()
+	if err := RegisterPaperBenches(reg); err != nil {
+		t.Fatal(err)
+	}
+	coord, err := fleet.New(fleet.CoordinatorConfig{
+		WALPath: filepath.Join(t.TempDir(), "service.wal"),
+		Source:  reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := NewMetrics()
+	mgr := NewManager(reg, metrics, 8, 2, WithFleet(coord))
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := mgr.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		coord.Close()
+	})
+	return mgr, reg, coord
+}
+
+// startWorkers runs n loopback workers against the coordinator.
+func startWorkers(t *testing.T, coord *fleet.Coordinator, reg *Registry, n int) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		name := "svc-w" + string(rune('0'+i))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := fleet.RunLoopback(ctx, coord, name, reg, time.Millisecond); err != nil {
+				t.Errorf("worker %s: %v", name, err)
+			}
+		}()
+	}
+	t.Cleanup(func() { cancel(); wg.Wait() })
+}
+
+func awaitJob(t *testing.T, j *Job) {
+	t.Helper()
+	select {
+	case <-j.Done():
+	case <-time.After(time.Minute):
+		t.Fatalf("job %d did not finish: %+v", j.ID, j.Status())
+	}
+}
+
+// TestFleetManagerByteIdentity pins the delegation contract end to end:
+// a fleet-mode manager's sweep summary and check report equal the
+// in-process engines', and the lease wait is surfaced in Status.
+func TestFleetManagerByteIdentity(t *testing.T) {
+	mgr, reg, coord := newFleetStack(t)
+	startWorkers(t, coord, reg, 2)
+
+	j, err := mgr.Submit(JobSpec{App: "dma", Runtime: "EaseIO", Runs: 12, BaseSeed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	awaitJob(t, j)
+	if st := j.State(); st != Succeeded {
+		t.Fatalf("sweep job state %v: %+v", st, j.Status())
+	}
+	bp, _ := reg.Lookup("dma")
+	want, werr := experiments.RunMany(
+		experiments.Config{Runs: 12, BaseSeed: 4}, bp.Factory, experiments.EaseIO)
+	if werr != nil {
+		t.Fatal(werr)
+	}
+	status := j.Status()
+	if status.Summary == nil || !reflect.DeepEqual(*status.Summary, want) {
+		t.Errorf("fleet-mode summary differs from RunMany:\n%+v\nvs\n%+v", status.Summary, want)
+	}
+	if status.LeaseWaitMs == nil {
+		t.Error("fleet-mode status has no lease_wait_ms")
+	}
+
+	cj, err := mgr.Submit(JobSpec{App: "branch", Runtime: "Alpaca", Mode: "check", CheckExhaustive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	awaitJob(t, cj)
+	if st := cj.State(); st != Succeeded {
+		t.Fatalf("check job state %v: %+v", st, cj.Status())
+	}
+	cbp, _ := reg.Lookup("branch")
+	wantRep, werr := check.Run(context.Background(), cbp.Factory, experiments.Alpaca,
+		check.Config{Exhaustive: true})
+	if werr != nil {
+		t.Fatal(werr)
+	}
+	if got := cj.Status().Check; got == nil || got.Render() != wantRep.Render() {
+		t.Errorf("fleet-mode check report differs:\n--- fleet ---\n%s--- direct ---\n%s",
+			got.Render(), wantRep.Render())
+	}
+}
+
+// TestFleetTimeoutArmsAtFirstLease pins the timeout fix: with no workers
+// available, a fleet job's timeout must not expire — the deadline is
+// armed at the first shard lease, so unleased time is queue wait, not
+// execution.
+func TestFleetTimeoutArmsAtFirstLease(t *testing.T) {
+	mgr, reg, coord := newFleetStack(t)
+
+	// A timeout shorter than the worker-less wait below: the old
+	// submission-anchored deadline would cancel this job before any
+	// worker exists; the lease-anchored one must not.
+	j, err := mgr.Submit(JobSpec{App: "temp", Runtime: "InK", Runs: 6, TimeoutMs: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(800 * time.Millisecond)
+	if st := j.State(); st != Running {
+		t.Fatalf("unleased fleet job reached %v; the timeout charged queue wait", st)
+	}
+	if j.Status().LeaseWaitMs != nil {
+		t.Error("lease_wait_ms set before any lease")
+	}
+	startWorkers(t, coord, reg, 2)
+	awaitJob(t, j)
+	if st := j.State(); st != Succeeded {
+		t.Fatalf("job state %v after workers arrived: %+v", st, j.Status())
+	}
+	status := j.Status()
+	if status.LeaseWaitMs == nil || *status.LeaseWaitMs < 700 {
+		t.Errorf("lease_wait_ms = %v, want >= 700ms of recorded queue wait", status.LeaseWaitMs)
+	}
+}

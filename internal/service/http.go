@@ -21,6 +21,8 @@ import (
 	"net/http/pprof"
 	"strconv"
 	"time"
+
+	"easeio/internal/fleet"
 )
 
 // Server binds the manager, registry and metrics to an http.Handler.
@@ -28,6 +30,7 @@ type Server struct {
 	mgr     *Manager
 	reg     *Registry
 	metrics *Metrics
+	fleetM  *fleet.Metrics
 	log     *slog.Logger
 	pprof   bool
 }
@@ -43,6 +46,13 @@ func WithAccessLog(l *slog.Logger) ServerOption {
 			s.log = l
 		}
 	}
+}
+
+// WithFleetMetrics appends the fleet coordinator's metric series
+// (per-worker leases, retries, WAL fsync latency, merge time) to the
+// /metrics exposition of a server whose manager runs in fleet mode.
+func WithFleetMetrics(fm *fleet.Metrics) ServerOption {
+	return func(s *Server) { s.fleetM = fm }
 }
 
 // WithPprof mounts the Go runtime profiling handlers under
@@ -153,6 +163,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.metrics.WriteTo(w, s.mgr.QueueDepth(), s.mgr.RunningJobs())
+	s.fleetM.Expose(w) // nil-safe no-op without a fleet
 }
 
 func (s *Server) handleBlueprints(w http.ResponseWriter, _ *http.Request) {

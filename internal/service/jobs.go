@@ -11,12 +11,14 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"easeio/internal/check"
 	"easeio/internal/experiments"
+	"easeio/internal/fleet"
 	"easeio/internal/stats"
 )
 
@@ -108,6 +110,11 @@ type Job struct {
 	done  atomic.Int64 // finished seeds or explored points, from the progress hook
 	total atomic.Int64 // sweep total, or the checker's planned point count so far
 
+	// timeout is the execution deadline for fleet-delegated jobs, armed
+	// at the first shard lease instead of at submission (see runFleetJob;
+	// in-process jobs keep the submission-anchored context deadline).
+	timeout time.Duration
+
 	mu        sync.Mutex
 	summary   stats.Summary
 	report    *check.Report
@@ -115,6 +122,11 @@ type Job struct {
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
+	// leased/leaseWait record a fleet-delegated job's first shard lease:
+	// the submission→lease gap is queue wait, surfaced in Status and the
+	// lease-wait histogram, and explicitly not charged by timeout.
+	leased    bool
+	leaseWait time.Duration
 
 	finishedCh chan struct{}
 }
@@ -173,6 +185,10 @@ type Status struct {
 	// milliseconds (RanFor is present once the job finished).
 	QueuedForMs int64 `json:"queued_for_ms"`
 	RanForMs    int64 `json:"ran_for_ms,omitempty"`
+	// LeaseWaitMs is, for fleet-delegated jobs, the time between fleet
+	// submission and the first shard lease (present once leased). The
+	// execution timeout starts after this wait, not before.
+	LeaseWaitMs *int64 `json:"lease_wait_ms,omitempty"`
 }
 
 // Status snapshots the job for the HTTP surface.
@@ -198,6 +214,10 @@ func (j *Job) Status() Status {
 	if !j.finished.IsZero() && !j.started.IsZero() {
 		out.RanForMs = j.finished.Sub(j.started).Milliseconds()
 	}
+	if j.leased {
+		ms := j.leaseWait.Milliseconds()
+		out.LeaseWaitMs = &ms
+	}
 	if j.Spec.Mode != "check" && (st == Succeeded || (st == Failed || st == Cancelled) && j.summary.Runs > 0) {
 		s := j.summary
 		out.Summary = &s
@@ -211,6 +231,9 @@ type Manager struct {
 	reg     *Registry
 	metrics *Metrics
 	log     *slog.Logger
+	// fleet, when non-nil, delegates job execution to a distributed
+	// coordinator instead of the in-process engines (see runFleetJob).
+	fleet *fleet.Coordinator
 
 	queue chan *Job
 	quit  chan struct{}
@@ -237,6 +260,18 @@ func WithManagerLogger(l *slog.Logger) ManagerOption {
 			m.log = l
 		}
 	}
+}
+
+// WithFleet delegates job execution to the given coordinator: each
+// accepted job becomes a fleet job, sharded across whatever workers
+// serve that coordinator, and the merged result is byte-identical to
+// the in-process engines. With a fleet, a job's TimeoutMs bounds
+// execution from the first shard lease instead of from submission —
+// fleet queue wait (workers busy with earlier jobs) is visible in
+// Status.LeaseWaitMs and the lease-wait histogram, not charged against
+// the job's own budget.
+func WithFleet(c *fleet.Coordinator) ManagerOption {
+	return func(m *Manager) { m.fleet = c }
 }
 
 // discardLogger drops every record; the structured-logging default for
@@ -315,7 +350,13 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())
-	if spec.TimeoutMs > 0 {
+	var fleetTimeout time.Duration
+	switch {
+	case spec.TimeoutMs > 0 && m.fleet != nil:
+		// Fleet mode arms the deadline at the first shard lease (see
+		// runFleetJob), so fleet queue wait is not charged.
+		fleetTimeout = time.Duration(spec.TimeoutMs) * time.Millisecond
+	case spec.TimeoutMs > 0:
 		ctx, cancel = context.WithTimeout(context.Background(), time.Duration(spec.TimeoutMs)*time.Millisecond)
 	}
 	j := &Job{
@@ -324,6 +365,7 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 		kind:       kind,
 		ctx:        ctx,
 		cancel:     cancel,
+		timeout:    fleetTimeout,
 		submitted:  time.Now(),
 		finishedCh: make(chan struct{}),
 	}
@@ -484,6 +526,11 @@ func (m *Manager) runJob(j *Job) {
 		}
 	}()
 
+	if m.fleet != nil {
+		m.runFleetJob(j)
+		return
+	}
+
 	if j.Spec.Mode == "check" {
 		m.runCheckJob(j)
 		return
@@ -547,6 +594,129 @@ func (m *Manager) observeFinished(j *Job, jl *slog.Logger) {
 		return
 	}
 	jl.Info("job finished", attrs...)
+}
+
+// runFleetJob delegates one job to the fleet coordinator and waits for
+// the merged result — byte-identical to what the in-process path would
+// have produced, so delegation changes scheduling, never results. While
+// waiting, a watcher mirrors shard progress into the job (Progress
+// counts shards, not seeds, in fleet mode) and arms the execution
+// deadline when the first shard lease is granted.
+func (m *Manager) runFleetJob(j *Job) {
+	mode := modeName(j.Spec.Mode)
+	fspec := fleet.Spec{
+		Mode: fleet.ModeSweep, App: j.Spec.App, Runtime: j.Spec.Runtime,
+		Runs: j.Spec.Runs, BaseSeed: j.Spec.BaseSeed, ShardWorkers: j.Spec.Workers,
+	}
+	if mode == "check" {
+		fspec.Mode = fleet.ModeCheck
+		fspec.Runs = 0
+		fspec.BaseSeed = 0
+		fspec.Seed = j.Spec.BaseSeed
+		fspec.Grid = j.Spec.CheckGrid
+		fspec.Exhaustive = j.Spec.CheckExhaustive
+	}
+	fid, err := m.fleet.Submit(fspec)
+	if err != nil {
+		m.metrics.JobsFailed.Add(1)
+		j.finalize(Failed, stats.Summary{}, err.Error())
+		return
+	}
+
+	watchDone := make(chan struct{})
+	watchExited := make(chan struct{})
+	go func() {
+		defer close(watchExited)
+		m.watchFleetJob(j, fid, mode, watchDone)
+	}()
+	res, err := m.fleet.Wait(j.ctx, fid)
+	close(watchDone)
+	// Join the watcher before finalizing: its exit path takes a last
+	// progress/lease snapshot, which must land before Done() readers see
+	// the terminal status.
+	<-watchExited
+
+	switch {
+	case j.ctx.Err() != nil:
+		// The fleet has no per-job cancel: the coordinator finishes the
+		// job for whoever else may wait on it; this job just stops
+		// waiting.
+		m.metrics.JobsCancelled.Add(1)
+		j.finalize(Cancelled, stats.Summary{}, j.ctx.Err().Error())
+	case err != nil:
+		m.metrics.JobsFailed.Add(1)
+		j.finalize(Failed, stats.Summary{}, err.Error())
+	case res.Mode == fleet.ModeCheck:
+		m.metrics.CheckPoints.Add(int64(res.Report.Explored))
+		m.metrics.CheckDivergences.Add(int64(len(res.Report.Divergences)))
+		j.mu.Lock()
+		j.report = res.Report
+		j.mu.Unlock()
+		m.metrics.JobsCompleted.Add(1)
+		j.finalize(Succeeded, stats.Summary{}, "")
+	default:
+		m.metrics.NoteSummary(res.Summary)
+		m.metrics.RunsCompleted.Add(int64(res.Summary.Runs))
+		if len(res.Errs) > 0 {
+			// Mirror the in-process contract: per-run failures fail the
+			// job but keep the partial summary.
+			m.metrics.JobsFailed.Add(1)
+			j.finalize(Failed, res.Summary, strings.Join(res.Errs, "; "))
+			return
+		}
+		m.metrics.JobsCompleted.Add(1)
+		j.finalize(Succeeded, res.Summary, "")
+	}
+}
+
+// watchFleetJob mirrors a fleet job's shard progress into the service
+// job and, once the first shard lease lands, records the lease wait and
+// arms the execution deadline (j.timeout counts from here — the fix for
+// charging fleet queue wait against the job's own budget).
+func (m *Manager) watchFleetJob(j *Job, fid uint64, mode string, done <-chan struct{}) {
+	t := time.NewTicker(5 * time.Millisecond)
+	defer t.Stop()
+	var deadline *time.Timer
+	defer func() {
+		if deadline != nil {
+			deadline.Stop()
+		}
+	}()
+	leased := false
+	observe := func() {
+		if sdone, stotal, ok := m.fleet.Progress(fid); ok {
+			j.done.Store(int64(sdone))
+			j.total.Store(int64(stotal))
+		}
+		if leased {
+			return
+		}
+		sub, first, ok := m.fleet.LeaseInfo(fid)
+		if !ok || first.IsZero() {
+			return
+		}
+		leased = true
+		wait := first.Sub(sub)
+		m.metrics.LeaseWait.Observe(mode, wait.Seconds())
+		j.mu.Lock()
+		j.leased = true
+		j.leaseWait = wait
+		j.mu.Unlock()
+		if j.timeout > 0 {
+			deadline = time.AfterFunc(j.timeout, j.cancel)
+		}
+	}
+	for {
+		select {
+		case <-done:
+			// A job can finish between ticks; take a final snapshot so
+			// the progress counters and lease wait are never dropped.
+			observe()
+			return
+		case <-t.C:
+			observe()
+		}
+	}
 }
 
 // runCheckJob executes one failure-point check. A report with divergences

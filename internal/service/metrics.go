@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"easeio/internal/obs"
 	"easeio/internal/stats"
 )
 
@@ -35,10 +36,14 @@ type Metrics struct {
 
 	// The distribution surface: per-job latency and throughput
 	// histograms, labeled by job mode where both modes flow in.
-	JobDuration *Histogram
-	QueueWait   *Histogram
-	SweepRate   *Histogram
-	CheckRate   *Histogram
+	JobDuration *obs.Histogram
+	QueueWait   *obs.Histogram
+	SweepRate   *obs.Histogram
+	CheckRate   *obs.Histogram
+	// LeaseWait tracks, for fleet-delegated jobs, the time between
+	// submission and the first shard lease — the queueing delay the
+	// execution timeout must not charge against the job (see jobs.go).
+	LeaseWait *obs.Histogram
 
 	mu       sync.Mutex
 	appT     time.Duration
@@ -56,14 +61,16 @@ type Metrics struct {
 func NewMetrics() *Metrics {
 	return &Metrics{
 		start: time.Now(),
-		JobDuration: NewHistogram("easeio_job_duration_seconds",
-			"Wall-clock execution time of finished jobs.", "mode", latencyBuckets),
-		QueueWait: NewHistogram("easeio_job_queue_wait_seconds",
-			"Time jobs spent waiting in the bounded queue before a worker picked them up.", "mode", latencyBuckets),
-		SweepRate: NewHistogram("easeio_job_runs_per_second",
-			"Per-job sweep throughput (finished seeded runs over execution time).", "mode", rateBuckets),
-		CheckRate: NewHistogram("easeio_job_check_points_per_second",
-			"Per-job check throughput (explored failure points over execution time).", "mode", rateBuckets),
+		JobDuration: obs.NewHistogram("easeio_job_duration_seconds",
+			"Wall-clock execution time of finished jobs.", "mode", obs.LatencyBuckets),
+		QueueWait: obs.NewHistogram("easeio_job_queue_wait_seconds",
+			"Time jobs spent waiting in the bounded queue before a worker picked them up.", "mode", obs.LatencyBuckets),
+		SweepRate: obs.NewHistogram("easeio_job_runs_per_second",
+			"Per-job sweep throughput (finished seeded runs over execution time).", "mode", obs.RateBuckets),
+		CheckRate: obs.NewHistogram("easeio_job_check_points_per_second",
+			"Per-job check throughput (explored failure points over execution time).", "mode", obs.RateBuckets),
+		LeaseWait: obs.NewHistogram("easeio_job_lease_wait_seconds",
+			"Time fleet-delegated jobs waited between submission and their first shard lease.", "mode", obs.LatencyBuckets),
 	}
 }
 
@@ -122,10 +129,11 @@ func (m *Metrics) WriteTo(w io.Writer, queueDepth, running int) {
 	gauge("easeio_queue_depth", "Jobs waiting in the bounded queue.", float64(queueDepth))
 	gauge("easeio_running_jobs", "Jobs currently executing.", float64(running))
 
-	m.JobDuration.writeTo(w)
-	m.QueueWait.writeTo(w)
-	m.SweepRate.writeTo(w)
-	m.CheckRate.writeTo(w)
+	m.JobDuration.Expose(w)
+	m.QueueWait.Expose(w)
+	m.SweepRate.Expose(w)
+	m.CheckRate.Expose(w)
+	m.LeaseWait.Expose(w)
 
 	uptime := time.Since(m.start).Seconds()
 	gauge("easeio_uptime_seconds", "Seconds since the service started.", uptime)

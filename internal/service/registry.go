@@ -121,6 +121,17 @@ func (r *Registry) Lookup(name string) (*Blueprint, bool) {
 	return b, ok
 }
 
+// LookupFactory returns the named blueprint's factory. It is the
+// fleet.BlueprintSource adapter: a registry-backed coordinator or worker
+// resolves job app names through the same table the job manager uses.
+func (r *Registry) LookupFactory(name string) (experiments.AppFactory, bool) {
+	b, ok := r.Lookup(name)
+	if !ok {
+		return nil, false
+	}
+	return b.Factory, true
+}
+
 // Names returns the registered blueprint names, sorted.
 func (r *Registry) Names() []string {
 	r.mu.RLock()

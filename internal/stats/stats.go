@@ -348,6 +348,89 @@ func (a *Aggregator) Summary() Summary {
 	return s
 }
 
+// AggregatorState is the exported, serializable fold state of an
+// Aggregator. A sharded sweep running across processes ships each
+// shard's state and merges them in shard order — folding states
+// reproduces folding the runs, so the final Summary is byte-identical
+// to a single-process sweep over the same seeds.
+type AggregatorState struct {
+	App     string
+	Runtime string
+	Runs    int
+
+	Work             [NumBuckets]Totals
+	Energy           units.Energy
+	OnTime, WallTime time.Duration
+
+	PowerFailures int
+	IOExecs       int
+	IORepeats     int
+	IOSkips       int
+	DMAExecs      int
+	DMARepeats    int
+	DMASkips      int
+
+	Correct   int
+	Incorrect int
+	Stuck     int
+
+	// Totals holds each folded run's committed total time, in Add order
+	// (the percentile inputs).
+	Totals []time.Duration
+}
+
+// Export returns the aggregator's fold state. The Totals slice aliases
+// the aggregator's storage — treat it as read-only while the aggregator
+// keeps folding.
+func (a *Aggregator) Export() AggregatorState {
+	return AggregatorState{
+		App:           a.app,
+		Runtime:       a.runtime,
+		Runs:          a.n,
+		Work:          a.work,
+		Energy:        a.energy,
+		OnTime:        a.onTime,
+		WallTime:      a.wallTime,
+		PowerFailures: a.powerFailures,
+		IOExecs:       a.ioExecs,
+		IORepeats:     a.ioRepeats,
+		IOSkips:       a.ioSkips,
+		DMAExecs:      a.dmaExecs,
+		DMARepeats:    a.dmaRepeats,
+		DMASkips:      a.dmaSkips,
+		Correct:       a.correct,
+		Incorrect:     a.incorrect,
+		Stuck:         a.stuck,
+		Totals:        a.totals,
+	}
+}
+
+// ImportAggregator rebuilds an Aggregator from an exported state, taking
+// ownership of the Totals slice. Merging imported aggregators in shard
+// order is exactly merging the original shard aggregators.
+func ImportAggregator(st AggregatorState) *Aggregator {
+	return &Aggregator{
+		app:           st.App,
+		runtime:       st.Runtime,
+		n:             st.Runs,
+		work:          st.Work,
+		energy:        st.Energy,
+		onTime:        st.OnTime,
+		wallTime:      st.WallTime,
+		powerFailures: st.PowerFailures,
+		ioExecs:       st.IOExecs,
+		ioRepeats:     st.IORepeats,
+		ioSkips:       st.IOSkips,
+		dmaExecs:      st.DMAExecs,
+		dmaRepeats:    st.DMARepeats,
+		dmaSkips:      st.DMASkips,
+		correct:       st.Correct,
+		incorrect:     st.Incorrect,
+		stuck:         st.Stuck,
+		totals:        st.Totals,
+	}
+}
+
 // Aggregate folds a set of runs into a Summary. All runs must share the
 // same app and runtime; it panics otherwise, since mixing configurations
 // is a harness bug.

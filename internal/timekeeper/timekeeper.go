@@ -47,6 +47,17 @@ func (c *Clock) Restore(s State) {
 	c.wall, c.uptime, c.onTime, c.boots = s.wall, s.uptime, s.onTime, s.boots
 }
 
+// Parts returns the state's components for serialization layers.
+func (s State) Parts() (wall, uptime, onTime time.Duration, boots int) {
+	return s.wall, s.uptime, s.onTime, s.boots
+}
+
+// MakeState reassembles a State from its components — the decoding
+// counterpart of Parts.
+func MakeState(wall, uptime, onTime time.Duration, boots int) State {
+	return State{wall: wall, uptime: uptime, onTime: onTime, boots: boots}
+}
+
 // Run advances the clock by d of powered-on execution.
 func (c *Clock) Run(d time.Duration) {
 	if d < 0 {

@@ -1,0 +1,242 @@
+package wire
+
+import (
+	"sort"
+	"time"
+
+	"easeio/internal/kernel"
+	"easeio/internal/mem"
+	"easeio/internal/power"
+	"easeio/internal/stats"
+	"easeio/internal/units"
+)
+
+// AppendCheckpointState encodes a flattened checkpoint as a
+// KindCheckpoint message appended to dst.
+func AppendCheckpointState(dst []byte, st kernel.CheckpointState) []byte {
+	dst = appendHeader(dst, KindCheckpoint)
+
+	// Memory snapshot: per-bank used prefix, allocator watermark,
+	// access counters, high-water mark. Parallel slices share one
+	// length prefix.
+	dst = appendUvarint(dst, uint64(len(st.Mem.Used)))
+	for i := range st.Mem.Used {
+		dst = appendWords(dst, st.Mem.Used[i])
+		dst = appendVarint(dst, int64(st.Mem.Alloc[i]))
+		dst = appendVarint(dst, st.Mem.Counts[i].Reads)
+		dst = appendVarint(dst, st.Mem.Counts[i].Writes)
+		dst = appendVarint(dst, int64(st.Mem.HighWater[i]))
+	}
+
+	// Clock.
+	dst = appendVarint(dst, int64(st.Wall))
+	dst = appendVarint(dst, int64(st.Uptime))
+	dst = appendVarint(dst, int64(st.OnTime))
+	dst = appendVarint(dst, int64(st.Boots))
+
+	// Ledger.
+	for _, t := range st.Committed {
+		dst = appendTotals(dst, t)
+	}
+	for _, t := range st.Pending {
+		dst = appendTotals(dst, t)
+	}
+
+	// Run record and randomness position.
+	dst = appendRun(dst, st.Run)
+	dst = appendVarint(dst, st.RandSeed)
+	dst = appendUvarint(dst, st.RandDraws)
+
+	// Supply state.
+	dst = appendBool(dst, st.HasSupply)
+	if st.HasSupply {
+		dst = appendString(dst, st.SupplyName)
+		dst = appendSupply(dst, st.Supply)
+	}
+	return dst
+}
+
+// DecodeCheckpointState decodes a KindCheckpoint message. The result's
+// slices are fresh copies — nothing aliases b.
+func DecodeCheckpointState(b []byte) (kernel.CheckpointState, error) {
+	d := &dec{b: b}
+	d.header(KindCheckpoint)
+
+	var st kernel.CheckpointState
+	// Each bank contributes at least 5 bytes (empty words + 4 ints).
+	banks := d.count(5)
+	if d.err == nil {
+		st.Mem = mem.SnapshotState{
+			Used:      make([][]uint16, banks),
+			Alloc:     make([]int, banks),
+			Counts:    make([]mem.Counters, banks),
+			HighWater: make([]int, banks),
+		}
+		for i := 0; i < banks && d.err == nil; i++ {
+			st.Mem.Used[i] = d.words()
+			st.Mem.Alloc[i] = int(d.varint())
+			st.Mem.Counts[i].Reads = d.varint()
+			st.Mem.Counts[i].Writes = d.varint()
+			st.Mem.HighWater[i] = int(d.varint())
+		}
+	}
+
+	st.Wall = time.Duration(d.varint())
+	st.Uptime = time.Duration(d.varint())
+	st.OnTime = time.Duration(d.varint())
+	st.Boots = int(d.varint())
+
+	for i := range st.Committed {
+		st.Committed[i] = d.totals()
+	}
+	for i := range st.Pending {
+		st.Pending[i] = d.totals()
+	}
+
+	st.Run = d.run()
+	st.RandSeed = d.varint()
+	st.RandDraws = d.uvarint()
+
+	st.HasSupply = d.bool()
+	if st.HasSupply {
+		st.SupplyName = d.string()
+		st.Supply = d.supply()
+	}
+	if d.err != nil {
+		return kernel.CheckpointState{}, d.err
+	}
+	if n := d.remaining(); n != 0 {
+		return kernel.CheckpointState{}, d.trailing(n)
+	}
+	return st, nil
+}
+
+// EncodeCheckpoint flattens and encodes a live checkpoint. It fails only
+// when the checkpoint holds a supply state the power package cannot
+// serialize.
+func EncodeCheckpoint(dst []byte, cp *kernel.Checkpoint) ([]byte, error) {
+	st, err := cp.ExportState()
+	if err != nil {
+		return nil, err
+	}
+	return AppendCheckpointState(dst, st), nil
+}
+
+// DecodeCheckpoint decodes and validates a checkpoint message into a
+// restorable kernel.Checkpoint.
+func DecodeCheckpoint(b []byte) (*kernel.Checkpoint, error) {
+	st, err := DecodeCheckpointState(b)
+	if err != nil {
+		return nil, err
+	}
+	return kernel.ImportCheckpoint(st)
+}
+
+// Shared sub-encodings.
+
+func appendTotals(b []byte, t stats.Totals) []byte {
+	b = appendVarint(b, int64(t.T))
+	return appendVarint(b, int64(t.E))
+}
+
+func (d *dec) totals() stats.Totals {
+	return stats.Totals{T: time.Duration(d.varint()), E: units.Energy(d.varint())}
+}
+
+func (d *dec) trailing(n int) error {
+	d.fail("%d trailing bytes after message", n)
+	return d.err
+}
+
+// appendRun encodes a run record. PerSite is a map: its entries are
+// written in sorted key order so the encoding is deterministic.
+func appendRun(b []byte, r *stats.Run) []byte {
+	b = appendString(b, r.App)
+	b = appendString(b, r.Runtime)
+	b = appendVarint(b, r.Seed)
+	for _, t := range r.Work {
+		b = appendTotals(b, t)
+	}
+	b = appendVarint(b, int64(r.PowerFailures))
+	b = appendVarint(b, int64(r.TaskAttempts))
+	b = appendVarint(b, int64(r.TaskCommits))
+	b = appendVarint(b, int64(r.IOExecs))
+	b = appendVarint(b, int64(r.IORepeats))
+	b = appendVarint(b, int64(r.IOSkips))
+	b = appendVarint(b, int64(r.DMAExecs))
+	b = appendVarint(b, int64(r.DMARepeats))
+	b = appendVarint(b, int64(r.DMASkips))
+	keys := make([]string, 0, len(r.PerSite))
+	for k := range r.PerSite {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	b = appendUvarint(b, uint64(len(keys)))
+	for _, k := range keys {
+		b = appendString(b, k)
+		b = appendVarint(b, int64(r.PerSite[k]))
+	}
+	b = appendVarint(b, int64(r.WallTime))
+	b = appendVarint(b, int64(r.OnTime))
+	b = appendBool(b, r.Correct)
+	return appendBool(b, r.Stuck)
+}
+
+func (d *dec) run() *stats.Run {
+	r := &stats.Run{}
+	r.App = d.string()
+	r.Runtime = d.string()
+	r.Seed = d.varint()
+	for i := range r.Work {
+		r.Work[i] = d.totals()
+	}
+	r.PowerFailures = int(d.varint())
+	r.TaskAttempts = int(d.varint())
+	r.TaskCommits = int(d.varint())
+	r.IOExecs = int(d.varint())
+	r.IORepeats = int(d.varint())
+	r.IOSkips = int(d.varint())
+	r.DMAExecs = int(d.varint())
+	r.DMARepeats = int(d.varint())
+	r.DMASkips = int(d.varint())
+	// Each PerSite entry is at least 2 bytes (empty key + count).
+	if n := d.count(2); d.err == nil && n > 0 {
+		r.PerSite = make(map[string]int, n)
+		for i := 0; i < n && d.err == nil; i++ {
+			k := d.string()
+			r.PerSite[k] = int(d.varint())
+		}
+	}
+	r.WallTime = time.Duration(d.varint())
+	r.OnTime = time.Duration(d.varint())
+	r.Correct = d.bool()
+	r.Stuck = d.bool()
+	if d.err != nil {
+		return nil
+	}
+	return r
+}
+
+func appendSupply(b []byte, w power.WireState) []byte {
+	b = appendString(b, w.Kind)
+	b = appendVarint(b, int64(w.Fired))
+	b = appendVarint(b, int64(w.NextAt))
+	b = appendVarint(b, w.Seed)
+	b = appendUvarint(b, w.Draws)
+	b = appendVarint(b, int64(w.Stored))
+	b = appendFloat64(b, w.Gain)
+	return appendBool(b, w.Dead)
+}
+
+func (d *dec) supply() power.WireState {
+	return power.WireState{
+		Kind:   d.string(),
+		Fired:  int(d.varint()),
+		NextAt: time.Duration(d.varint()),
+		Seed:   d.varint(),
+		Draws:  d.uvarint(),
+		Stored: units.Energy(d.varint()),
+		Gain:   d.float64(),
+		Dead:   d.bool(),
+	}
+}

@@ -1,0 +1,127 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"easeio/internal/check"
+	"easeio/internal/experiments"
+	"easeio/internal/kernel"
+	"easeio/internal/stats"
+)
+
+// FuzzCheckpointRoundTrip drives the checkpoint decoder with arbitrary
+// bytes. The decoder must never panic; whenever it accepts an input, the
+// canonical re-encoding must be a fixed point (encode∘decode∘encode =
+// encode) and the kernel-level import must fail cleanly or succeed —
+// never crash on decoder-approved state.
+func FuzzCheckpointRoundTrip(f *testing.F) {
+	// Seed corpus: real encoded checkpoints (mid-run and end-of-run,
+	// two runtimes for hook-free state variety), plus degenerate inputs.
+	for _, kind := range []experiments.RuntimeKind{experiments.EaseIO, experiments.Alpaca} {
+		for _, cp := range captureCheckpoints(f, kind, 4) {
+			b, err := EncodeCheckpoint(nil, cp)
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(b)
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte{magic0, magic1, Version, byte(KindCheckpoint)})
+	f.Add([]byte("EW garbage that is not a checkpoint at all"))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		st, err := DecodeCheckpointState(b)
+		if err != nil {
+			return
+		}
+		b2 := AppendCheckpointState(nil, st)
+		st2, err := DecodeCheckpointState(b2)
+		if err != nil {
+			t.Fatalf("re-decode of canonical encoding failed: %v", err)
+		}
+		if b3 := AppendCheckpointState(nil, st2); !bytes.Equal(b2, b3) {
+			t.Fatalf("canonical encoding is not a fixed point (%d vs %d bytes)", len(b2), len(b3))
+		}
+		// Import validates semantic invariants (bank layout, ranges); it
+		// may reject, but it must not panic, and what it accepts must
+		// re-export.
+		cp, err := kernel.ImportCheckpoint(st)
+		if err != nil {
+			return
+		}
+		if _, err := cp.ExportState(); err != nil {
+			t.Fatalf("imported checkpoint failed to re-export: %v", err)
+		}
+	})
+}
+
+// FuzzDecodeShard drives every control-plane decoder (shards, results,
+// summaries, reports) with the same arbitrary input: none may panic, and
+// any accepted input's re-encoding must be a decode fixed point.
+func FuzzDecodeShard(f *testing.F) {
+	f.Add(AppendSweepShard(nil, SweepShard{Job: 1, Shard: 0, App: "weather",
+		Runtime: "ease-io", BaseSeed: 7, Lo: 0, Hi: 100, Workers: 2}))
+	f.Add(AppendCheckShard(nil, CheckShard{Job: 2, Shard: 1, App: "dma",
+		Runtime: "alpaca", Seed: 3, Off: 3 * time.Millisecond, CutLo: 4,
+		CutHi: 32, Exhaustive: true, Grid: 33, Workers: 1}))
+	agg := stats.AggregatorState{App: "fir", Runtime: "ink", Runs: 2,
+		Totals: []time.Duration{time.Millisecond, 2 * time.Millisecond}}
+	f.Add(AppendSweepResult(nil, SweepResult{Job: 1, Shard: 0, Agg: agg, Errs: []string{"x"}}))
+	f.Add(AppendCheckResult(nil, CheckResult{Job: 2, Shard: 1, Explored: 5,
+		Divergences: []check.Divergence{{At: time.Millisecond, Index: 1, Kind: "memory", Detail: "w"}}}))
+	f.Add(AppendSummary(nil, stats.Summary{App: "temp", Runtime: "just-do", Runs: 10}))
+	f.Add(AppendReport(nil, check.Report{App: "branch", Runtime: "ease-io",
+		Minimal: []time.Duration{time.Millisecond}}))
+	f.Add([]byte{})
+	f.Add([]byte{magic0, magic1, Version, byte(KindSweepShard), 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		if s, err := DecodeSweepShard(b); err == nil {
+			if b2 := AppendSweepShard(nil, s); func() bool {
+				s2, err := DecodeSweepShard(b2)
+				return err != nil || s2 != s
+			}() {
+				t.Fatal("sweep shard re-encoding is not a fixed point")
+			}
+		}
+		if s, err := DecodeCheckShard(b); err == nil {
+			if s2, err := DecodeCheckShard(AppendCheckShard(nil, s)); err != nil || s2 != s {
+				t.Fatal("check shard re-encoding is not a fixed point")
+			}
+		}
+		if r, err := DecodeSweepResult(b); err == nil {
+			b2 := AppendSweepResult(nil, r)
+			if b3, err := reencodeSweepResult(b2); err != nil || !bytes.Equal(b2, b3) {
+				t.Fatalf("sweep result re-encoding is not a fixed point: %v", err)
+			}
+		}
+		if r, err := DecodeCheckResult(b); err == nil {
+			b2 := AppendCheckResult(nil, r)
+			if r2, err := DecodeCheckResult(b2); err != nil || !bytes.Equal(b2, AppendCheckResult(nil, r2)) {
+				t.Fatalf("check result re-encoding is not a fixed point: %v", err)
+			}
+		}
+		if s, err := DecodeSummary(b); err == nil {
+			if s2, err := DecodeSummary(AppendSummary(nil, s)); err != nil || s2 != s {
+				t.Fatal("summary re-encoding is not a fixed point")
+			}
+		}
+		if r, err := DecodeReport(b); err == nil {
+			b2 := AppendReport(nil, r)
+			if r2, err := DecodeReport(b2); err != nil || !bytes.Equal(b2, AppendReport(nil, r2)) {
+				t.Fatalf("report re-encoding is not a fixed point: %v", err)
+			}
+		}
+	})
+}
+
+func reencodeSweepResult(b []byte) ([]byte, error) {
+	r, err := DecodeSweepResult(b)
+	if err != nil {
+		return nil, err
+	}
+	return AppendSweepResult(nil, r), nil
+}

@@ -1,0 +1,423 @@
+package wire
+
+import (
+	"time"
+
+	"easeio/internal/check"
+	"easeio/internal/stats"
+	"easeio/internal/units"
+)
+
+// SweepShard describes one worker's slice of a sweep job: run seeds
+// BaseSeed+Lo … BaseSeed+Hi-1 of App under Runtime. Shards partition
+// [0, Runs) contiguously; merging shard aggregator states in Shard
+// order reproduces the sequential fold byte for byte.
+type SweepShard struct {
+	Job     uint64
+	Shard   int
+	App     string
+	Runtime string // experiments.RuntimeKind name, parsed by the worker
+
+	BaseSeed int64
+	Lo, Hi   int // seed-index range [Lo, Hi)
+	Workers  int // the worker's inner parallelism (0 = its default)
+}
+
+// CheckShard describes one worker's slice of a checker job: explore
+// candidate failure points CutLo … CutHi-1 against the coordinator's
+// golden plan. Only exhaustive checks shard (the adaptive bisection
+// prunes against global state, so adaptive jobs are one shard covering
+// the full range).
+type CheckShard struct {
+	Job     uint64
+	Shard   int
+	App     string
+	Runtime string
+
+	Seed       int64
+	Off        time.Duration
+	FromBoot   bool
+	CutLo      int
+	CutHi      int // candidate range [CutLo, CutHi); 0,0 = full range
+	Exhaustive bool
+	Grid       int
+	Workers    int
+}
+
+// SweepResult is a worker's completed sweep shard: the aggregator fold
+// state over exactly the shard's seed range, plus any per-run errors.
+type SweepResult struct {
+	Job   uint64
+	Shard int
+	Agg   stats.AggregatorState
+	Errs  []string
+}
+
+// CheckResult is a worker's completed check shard.
+type CheckResult struct {
+	Job         uint64
+	Shard       int
+	Explored    int
+	Pruned      int
+	Divergences []check.Divergence
+}
+
+// AppendSweepShard encodes s as a KindSweepShard message appended to dst.
+func AppendSweepShard(dst []byte, s SweepShard) []byte {
+	dst = appendHeader(dst, KindSweepShard)
+	dst = appendUvarint(dst, s.Job)
+	dst = appendVarint(dst, int64(s.Shard))
+	dst = appendString(dst, s.App)
+	dst = appendString(dst, s.Runtime)
+	dst = appendVarint(dst, s.BaseSeed)
+	dst = appendVarint(dst, int64(s.Lo))
+	dst = appendVarint(dst, int64(s.Hi))
+	return appendVarint(dst, int64(s.Workers))
+}
+
+// DecodeSweepShard decodes a KindSweepShard message.
+func DecodeSweepShard(b []byte) (SweepShard, error) {
+	d := &dec{b: b}
+	d.header(KindSweepShard)
+	s := SweepShard{
+		Job:      d.uvarint(),
+		Shard:    int(d.varint()),
+		App:      d.string(),
+		Runtime:  d.string(),
+		BaseSeed: d.varint(),
+		Lo:       int(d.varint()),
+		Hi:       int(d.varint()),
+		Workers:  int(d.varint()),
+	}
+	if d.err != nil {
+		return SweepShard{}, d.err
+	}
+	if n := d.remaining(); n != 0 {
+		return SweepShard{}, d.trailing(n)
+	}
+	return s, nil
+}
+
+// AppendCheckShard encodes s as a KindCheckShard message appended to dst.
+func AppendCheckShard(dst []byte, s CheckShard) []byte {
+	dst = appendHeader(dst, KindCheckShard)
+	dst = appendUvarint(dst, s.Job)
+	dst = appendVarint(dst, int64(s.Shard))
+	dst = appendString(dst, s.App)
+	dst = appendString(dst, s.Runtime)
+	dst = appendVarint(dst, s.Seed)
+	dst = appendVarint(dst, int64(s.Off))
+	dst = appendBool(dst, s.FromBoot)
+	dst = appendVarint(dst, int64(s.CutLo))
+	dst = appendVarint(dst, int64(s.CutHi))
+	dst = appendBool(dst, s.Exhaustive)
+	dst = appendVarint(dst, int64(s.Grid))
+	return appendVarint(dst, int64(s.Workers))
+}
+
+// DecodeCheckShard decodes a KindCheckShard message.
+func DecodeCheckShard(b []byte) (CheckShard, error) {
+	d := &dec{b: b}
+	d.header(KindCheckShard)
+	s := CheckShard{
+		Job:        d.uvarint(),
+		Shard:      int(d.varint()),
+		App:        d.string(),
+		Runtime:    d.string(),
+		Seed:       d.varint(),
+		Off:        time.Duration(d.varint()),
+		FromBoot:   d.bool(),
+		CutLo:      int(d.varint()),
+		CutHi:      int(d.varint()),
+		Exhaustive: d.bool(),
+		Grid:       int(d.varint()),
+		Workers:    int(d.varint()),
+	}
+	if d.err != nil {
+		return CheckShard{}, d.err
+	}
+	if n := d.remaining(); n != 0 {
+		return CheckShard{}, d.trailing(n)
+	}
+	return s, nil
+}
+
+// AppendSweepResult encodes r as a KindSweepResult message appended to
+// dst.
+func AppendSweepResult(dst []byte, r SweepResult) []byte {
+	dst = appendHeader(dst, KindSweepResult)
+	dst = appendUvarint(dst, r.Job)
+	dst = appendVarint(dst, int64(r.Shard))
+	dst = appendAggregatorState(dst, r.Agg)
+	dst = appendUvarint(dst, uint64(len(r.Errs)))
+	for _, e := range r.Errs {
+		dst = appendString(dst, e)
+	}
+	return dst
+}
+
+// DecodeSweepResult decodes a KindSweepResult message.
+func DecodeSweepResult(b []byte) (SweepResult, error) {
+	d := &dec{b: b}
+	d.header(KindSweepResult)
+	r := SweepResult{
+		Job:   d.uvarint(),
+		Shard: int(d.varint()),
+		Agg:   d.aggregatorState(),
+	}
+	if n := d.count(1); d.err == nil && n > 0 {
+		r.Errs = make([]string, n)
+		for i := 0; i < n && d.err == nil; i++ {
+			r.Errs[i] = d.string()
+		}
+	}
+	if d.err != nil {
+		return SweepResult{}, d.err
+	}
+	if n := d.remaining(); n != 0 {
+		return SweepResult{}, d.trailing(n)
+	}
+	return r, nil
+}
+
+// AppendCheckResult encodes r as a KindCheckResult message appended to
+// dst.
+func AppendCheckResult(dst []byte, r CheckResult) []byte {
+	dst = appendHeader(dst, KindCheckResult)
+	dst = appendUvarint(dst, r.Job)
+	dst = appendVarint(dst, int64(r.Shard))
+	dst = appendVarint(dst, int64(r.Explored))
+	dst = appendVarint(dst, int64(r.Pruned))
+	dst = appendUvarint(dst, uint64(len(r.Divergences)))
+	for _, dv := range r.Divergences {
+		dst = appendVarint(dst, int64(dv.At))
+		dst = appendVarint(dst, int64(dv.Index))
+		dst = appendString(dst, dv.Kind)
+		dst = appendString(dst, dv.Detail)
+	}
+	return dst
+}
+
+// DecodeCheckResult decodes a KindCheckResult message.
+func DecodeCheckResult(b []byte) (CheckResult, error) {
+	d := &dec{b: b}
+	d.header(KindCheckResult)
+	r := CheckResult{
+		Job:      d.uvarint(),
+		Shard:    int(d.varint()),
+		Explored: int(d.varint()),
+		Pruned:   int(d.varint()),
+	}
+	// Each divergence is at least 4 bytes (two varints + two empty
+	// strings).
+	if n := d.count(4); d.err == nil && n > 0 {
+		r.Divergences = make([]check.Divergence, n)
+		for i := 0; i < n && d.err == nil; i++ {
+			r.Divergences[i] = check.Divergence{
+				At:     time.Duration(d.varint()),
+				Index:  int(d.varint()),
+				Kind:   d.string(),
+				Detail: d.string(),
+			}
+		}
+	}
+	if d.err != nil {
+		return CheckResult{}, d.err
+	}
+	if n := d.remaining(); n != 0 {
+		return CheckResult{}, d.trailing(n)
+	}
+	return r, nil
+}
+
+// Aggregator fold state (the sweep merge unit).
+
+func appendAggregatorState(b []byte, a stats.AggregatorState) []byte {
+	b = appendString(b, a.App)
+	b = appendString(b, a.Runtime)
+	b = appendVarint(b, int64(a.Runs))
+	for _, t := range a.Work {
+		b = appendTotals(b, t)
+	}
+	b = appendVarint(b, int64(a.Energy))
+	b = appendVarint(b, int64(a.OnTime))
+	b = appendVarint(b, int64(a.WallTime))
+	b = appendVarint(b, int64(a.PowerFailures))
+	b = appendVarint(b, int64(a.IOExecs))
+	b = appendVarint(b, int64(a.IORepeats))
+	b = appendVarint(b, int64(a.IOSkips))
+	b = appendVarint(b, int64(a.DMAExecs))
+	b = appendVarint(b, int64(a.DMARepeats))
+	b = appendVarint(b, int64(a.DMASkips))
+	b = appendVarint(b, int64(a.Correct))
+	b = appendVarint(b, int64(a.Incorrect))
+	b = appendVarint(b, int64(a.Stuck))
+	b = appendUvarint(b, uint64(len(a.Totals)))
+	for _, t := range a.Totals {
+		b = appendVarint(b, int64(t))
+	}
+	return b
+}
+
+func (d *dec) aggregatorState() stats.AggregatorState {
+	var a stats.AggregatorState
+	a.App = d.string()
+	a.Runtime = d.string()
+	a.Runs = int(d.varint())
+	for i := range a.Work {
+		a.Work[i] = d.totals()
+	}
+	a.Energy = units.Energy(d.varint())
+	a.OnTime = time.Duration(d.varint())
+	a.WallTime = time.Duration(d.varint())
+	a.PowerFailures = int(d.varint())
+	a.IOExecs = int(d.varint())
+	a.IORepeats = int(d.varint())
+	a.IOSkips = int(d.varint())
+	a.DMAExecs = int(d.varint())
+	a.DMARepeats = int(d.varint())
+	a.DMASkips = int(d.varint())
+	a.Correct = int(d.varint())
+	a.Incorrect = int(d.varint())
+	a.Stuck = int(d.varint())
+	if n := d.count(1); d.err == nil && n > 0 {
+		a.Totals = make([]time.Duration, n)
+		for i := 0; i < n && d.err == nil; i++ {
+			a.Totals[i] = time.Duration(d.varint())
+		}
+	}
+	return a
+}
+
+// Merged job outcomes (the WAL's job-done payloads).
+
+// AppendSummary encodes a merged sweep summary as a KindSummary message
+// appended to dst.
+func AppendSummary(dst []byte, s stats.Summary) []byte {
+	dst = appendHeader(dst, KindSummary)
+	dst = appendString(dst, s.App)
+	dst = appendString(dst, s.Runtime)
+	dst = appendVarint(dst, int64(s.Runs))
+	for _, t := range s.Work {
+		dst = appendTotals(dst, t)
+	}
+	dst = appendVarint(dst, int64(s.PowerFailures))
+	dst = appendVarint(dst, int64(s.IOExecs))
+	dst = appendVarint(dst, int64(s.IORepeats))
+	dst = appendVarint(dst, int64(s.IOSkips))
+	dst = appendVarint(dst, int64(s.DMAExecs))
+	dst = appendVarint(dst, int64(s.DMARepeats))
+	dst = appendVarint(dst, int64(s.DMASkips))
+	dst = appendVarint(dst, int64(s.MeanEnergy))
+	dst = appendVarint(dst, int64(s.MeanOnTime))
+	dst = appendVarint(dst, int64(s.MeanWallTime))
+	dst = appendVarint(dst, int64(s.P50TotalTime))
+	dst = appendVarint(dst, int64(s.P95TotalTime))
+	dst = appendVarint(dst, int64(s.CorrectRuns))
+	dst = appendVarint(dst, int64(s.IncorrectRuns))
+	return appendVarint(dst, int64(s.StuckRuns))
+}
+
+// DecodeSummary decodes a KindSummary message.
+func DecodeSummary(b []byte) (stats.Summary, error) {
+	d := &dec{b: b}
+	d.header(KindSummary)
+	var s stats.Summary
+	s.App = d.string()
+	s.Runtime = d.string()
+	s.Runs = int(d.varint())
+	for i := range s.Work {
+		s.Work[i] = d.totals()
+	}
+	s.PowerFailures = int(d.varint())
+	s.IOExecs = int(d.varint())
+	s.IORepeats = int(d.varint())
+	s.IOSkips = int(d.varint())
+	s.DMAExecs = int(d.varint())
+	s.DMARepeats = int(d.varint())
+	s.DMASkips = int(d.varint())
+	s.MeanEnergy = units.Energy(d.varint())
+	s.MeanOnTime = time.Duration(d.varint())
+	s.MeanWallTime = time.Duration(d.varint())
+	s.P50TotalTime = time.Duration(d.varint())
+	s.P95TotalTime = time.Duration(d.varint())
+	s.CorrectRuns = int(d.varint())
+	s.IncorrectRuns = int(d.varint())
+	s.StuckRuns = int(d.varint())
+	if d.err != nil {
+		return stats.Summary{}, d.err
+	}
+	if n := d.remaining(); n != 0 {
+		return stats.Summary{}, d.trailing(n)
+	}
+	return s, nil
+}
+
+// AppendReport encodes a merged check report as a KindReport message
+// appended to dst.
+func AppendReport(dst []byte, r check.Report) []byte {
+	dst = appendHeader(dst, KindReport)
+	dst = appendString(dst, r.App)
+	dst = appendString(dst, r.Runtime)
+	dst = appendVarint(dst, r.Seed)
+	dst = appendVarint(dst, int64(r.Off))
+	dst = appendVarint(dst, int64(r.GoldenOnTime))
+	dst = appendBool(dst, r.GoldenCorrect)
+	dst = appendVarint(dst, int64(r.Candidates))
+	dst = appendVarint(dst, int64(r.Explored))
+	dst = appendVarint(dst, int64(r.Pruned))
+	dst = appendString(dst, r.Note)
+	dst = appendUvarint(dst, uint64(len(r.Divergences)))
+	for _, dv := range r.Divergences {
+		dst = appendVarint(dst, int64(dv.At))
+		dst = appendVarint(dst, int64(dv.Index))
+		dst = appendString(dst, dv.Kind)
+		dst = appendString(dst, dv.Detail)
+	}
+	dst = appendUvarint(dst, uint64(len(r.Minimal)))
+	for _, m := range r.Minimal {
+		dst = appendVarint(dst, int64(m))
+	}
+	return dst
+}
+
+// DecodeReport decodes a KindReport message.
+func DecodeReport(b []byte) (check.Report, error) {
+	d := &dec{b: b}
+	d.header(KindReport)
+	var r check.Report
+	r.App = d.string()
+	r.Runtime = d.string()
+	r.Seed = d.varint()
+	r.Off = time.Duration(d.varint())
+	r.GoldenOnTime = time.Duration(d.varint())
+	r.GoldenCorrect = d.bool()
+	r.Candidates = int(d.varint())
+	r.Explored = int(d.varint())
+	r.Pruned = int(d.varint())
+	r.Note = d.string()
+	if n := d.count(4); d.err == nil && n > 0 {
+		r.Divergences = make([]check.Divergence, n)
+		for i := 0; i < n && d.err == nil; i++ {
+			r.Divergences[i] = check.Divergence{
+				At:     time.Duration(d.varint()),
+				Index:  int(d.varint()),
+				Kind:   d.string(),
+				Detail: d.string(),
+			}
+		}
+	}
+	if n := d.count(1); d.err == nil && n > 0 {
+		r.Minimal = make([]time.Duration, n)
+		for i := 0; i < n && d.err == nil; i++ {
+			r.Minimal[i] = time.Duration(d.varint())
+		}
+	}
+	if d.err != nil {
+		return check.Report{}, d.err
+	}
+	if n := d.remaining(); n != 0 {
+		return check.Report{}, d.trailing(n)
+	}
+	return r, nil
+}
