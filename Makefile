@@ -23,7 +23,7 @@ FUZZTIME ?= 30s
 # is compiled and exercised without paying for stable numbers.
 BENCHTIME ?= 10x
 
-.PHONY: build test race vet fmt fmt-check bench bench-all fuzz fuzz-smoke serve-smoke fleet-smoke check ci
+.PHONY: build test race vet fmt fmt-check bench bench-all fuzz fuzz-smoke nested-smoke serve-smoke fleet-smoke check ci
 
 build:
 	$(GO) build ./...
@@ -60,6 +60,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzClassify$$' -fuzztime $(FUZZTIME) ./internal/dma
 	$(GO) test -run '^$$' -fuzz '^FuzzLint$$' -fuzztime $(FUZZTIME) ./internal/frontend
 	$(GO) test -run '^$$' -fuzz '^FuzzSchedule$$' -fuzztime $(FUZZTIME) ./internal/power
+	$(GO) test -run '^$$' -fuzz '^FuzzNestedScheduleEnumeration$$' -fuzztime $(FUZZTIME) ./internal/check
 	$(GO) test -run '^$$' -fuzz '^FuzzCheckpointRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/wire
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeShard$$' -fuzztime $(FUZZTIME) ./internal/wire
 
@@ -68,8 +69,17 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzClassify$$' -fuzztime 3s ./internal/dma
 	$(GO) test -run '^$$' -fuzz '^FuzzLint$$' -fuzztime 3s ./internal/frontend
 	$(GO) test -run '^$$' -fuzz '^FuzzSchedule$$' -fuzztime 3s ./internal/power
+	$(GO) test -run '^$$' -fuzz '^FuzzNestedScheduleEnumeration$$' -fuzztime 3s ./internal/check
 	$(GO) test -run '^$$' -fuzz '^FuzzCheckpointRoundTrip$$' -fuzztime 3s ./internal/wire
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeShard$$' -fuzztime 3s ./internal/wire
+
+# k=2 nested-failure smoke: fig6 must stay divergence-free under
+# failure-during-recovery schedules for the runtimes the paper claims
+# are crash-consistent (the Alpaca/InK baselines are expected to fail
+# at depth 2 — CI captures their full report as an artifact instead).
+nested-smoke:
+	$(GO) run ./cmd/easeio-check -k 2 -exhaustive -runtime EaseIO
+	$(GO) run ./cmd/easeio-check -k 2 -exhaustive -runtime JustDo
 
 serve-smoke:
 	$(GO) run ./cmd/easeio-served -smoke
@@ -78,7 +88,7 @@ fleet-smoke:
 	$(GO) run ./cmd/easeio-worker -smoke
 	$(GO) run ./cmd/easeio-served -smoke -fleet -wal $$(mktemp -u /tmp/easeio-fleet-smoke.XXXXXX.wal)
 
-check: build fmt-check vet test race fuzz-smoke serve-smoke fleet-smoke
+check: build fmt-check vet test race fuzz-smoke nested-smoke serve-smoke fleet-smoke
 
 ci:
 	$(MAKE) check

@@ -6,12 +6,17 @@
 //
 // Usage:
 //
-//	easeio-check [-app NAME|all] [-runtime NAME|all] [-exhaustive] [-grid N]
-//	             [-seed S] [-off D] [-workers N] [-fromboot] [-broken]
+//	easeio-check [-app NAME|all] [-runtime NAME|all] [-k N] [-exhaustive]
+//	             [-grid N] [-seed S] [-off D] [-workers N] [-fromboot] [-broken]
 //
 // Replays restore golden-prefix checkpoints and simulate only the
 // post-failure suffix by default; -fromboot re-simulates every replay
 // from boot instead. Both modes render byte-identical reports.
+//
+// -k explores failure-during-recovery schedules: every schedule injects
+// up to k failures, each landing on a charge-slice boundary of the
+// previous failure's recovery trajectory (see the checkpoint tree in
+// internal/check). The default k=1 is the single-failure checker.
 //
 // -app accepts the registered blueprint names (easeio-served's registry)
 // plus "fig6", the paper's Figure 6 WAR-via-DMA scenario. -broken checks
@@ -42,6 +47,7 @@ func main() {
 	var (
 		app        = flag.String("app", "fig6", "blueprint to check (a registered name, \"fig6\", or \"all\")")
 		runtimeF   = flag.String("runtime", "EaseIO", "runtime to check (Alpaca, InK, EaseIO, JustDo, or \"all\")")
+		failures   = flag.Int("k", 1, fmt.Sprintf("failures per schedule: k > 1 explores failure-during-recovery (max %d)", check.MaxFailures))
 		exhaustive = flag.Bool("exhaustive", false, "replay every candidate failure point (sound mode)")
 		grid       = flag.Int("grid", 128, "coarse grid size of the adaptive exploration")
 		seed       = flag.Int64("seed", 0, "seed for the golden run and every replay")
@@ -52,8 +58,12 @@ func main() {
 	)
 	flag.Parse()
 
+	if err := check.ValidateFailures(*failures); err != nil {
+		usageError(err)
+	}
 	cfg := check.Config{
 		Seed:       *seed,
+		Failures:   *failures,
 		Off:        *off,
 		Grid:       *grid,
 		Exhaustive: *exhaustive,

@@ -31,11 +31,35 @@ import (
 	"easeio/internal/stats"
 )
 
+// MaxFailures caps the nested-failure exploration depth. Each level
+// multiplies the schedule space by the suffix cut count; beyond a few
+// levels even the collapsed tree stops being tractable, and no
+// correctness argument in the paper needs more than
+// failure-during-recovery-during-recovery. Surfaces that accept a depth
+// (the -k flag, the service's "failures" field) validate against this
+// cap with ValidateFailures.
+const MaxFailures = 4
+
+// ValidateFailures reports whether k is a usable exploration depth:
+// at least one failure per schedule, at most MaxFailures.
+func ValidateFailures(k int) error {
+	if k < 1 || k > MaxFailures {
+		return fmt.Errorf("check: failure depth %d out of range [1, %d]", k, MaxFailures)
+	}
+	return nil
+}
+
 // Config parameterizes one checker run.
 type Config struct {
 	// Seed drives the golden run and every replay (peripheral processes
 	// are pure functions of wall-clock time and this seed).
 	Seed int64
+	// Failures is the nested-failure exploration depth k: every explored
+	// schedule injects up to this many failures, each landing on a
+	// charge-slice boundary of the previous failure's recovery
+	// trajectory. 0 defaults to 1 — the single-failure checker. Depths
+	// above MaxFailures are rejected.
+	Failures int
 	// Off is the recharge duration of the injected failure (defaults to
 	// power.Schedule's 1 ms).
 	Off time.Duration
@@ -79,6 +103,9 @@ type Config struct {
 }
 
 func (c Config) fill() Config {
+	if c.Failures <= 0 {
+		c.Failures = 1
+	}
 	if c.Off <= 0 {
 		c.Off = time.Millisecond
 	}
@@ -105,6 +132,15 @@ type golden struct {
 	// sensed marks variables excluded from the word-for-word comparison
 	// (see task.NVVar.TimeSensitive).
 	sensed []bool
+	// hasFresh gates the freshness oracle: the staleness record folds
+	// into outcome hashes only for apps declaring freshness bounds, so
+	// untagged apps keep hashes — and adaptive reports — byte-identical
+	// to the pre-oracle checker.
+	hasFresh bool
+	// stale is the golden run's staleness-violation count. An app may be
+	// inherently stale even under continuous power; replays are charged
+	// only for violations beyond it.
+	stale int
 }
 
 // cutRecorder collects every charge-slice boundary of the golden pass.
@@ -151,10 +187,12 @@ func goldenPass(newApp experiments.AppFactory, kind experiments.RuntimeKind, cfg
 	}
 
 	g := &golden{
-		onTime:  grun.OnTime,
-		correct: grun.Correct,
-		vars:    make([][]uint16, len(bench.App.Vars)),
-		sensed:  make([]bool, len(bench.App.Vars)),
+		onTime:   grun.OnTime,
+		correct:  grun.Correct,
+		vars:     make([][]uint16, len(bench.App.Vars)),
+		sensed:   make([]bool, len(bench.App.Vars)),
+		hasFresh: bench.App.DeclaresFreshness(),
+		stale:    len(grun.Stale),
 	}
 	dev, rt := sess.Device(), sess.Runtime()
 	for i, v := range bench.App.Vars {
@@ -176,10 +214,11 @@ const noCandidatesNote = "no candidate failure points: the golden run never cros
 // check job and reassemble the merged report without exploring anything
 // itself.
 type Plan struct {
-	App     string
-	Runtime string
-	Seed    int64
-	Off     time.Duration
+	App      string
+	Runtime  string
+	Seed     int64
+	Off      time.Duration
+	Failures int
 
 	GoldenOnTime  time.Duration
 	GoldenCorrect bool
@@ -198,6 +237,9 @@ type Plan struct {
 // same configuration reproduces exactly the candidates this plan counts.
 func Golden(newApp experiments.AppFactory, kind experiments.RuntimeKind, cfg Config) (*Plan, error) {
 	cfg = cfg.fill()
+	if err := ValidateFailures(cfg.Failures); err != nil {
+		return nil, err
+	}
 	pl, err := goldenPass(newApp, kind, cfg)
 	if err != nil {
 		return nil, err
@@ -207,6 +249,7 @@ func Golden(newApp experiments.AppFactory, kind experiments.RuntimeKind, cfg Con
 		Runtime:       pl.label,
 		Seed:          cfg.Seed,
 		Off:           cfg.Off,
+		Failures:      cfg.Failures,
 		GoldenOnTime:  pl.g.onTime,
 		GoldenCorrect: pl.g.correct,
 		Candidates:    len(pl.cuts),
@@ -225,6 +268,7 @@ func (p *Plan) Report() *Report {
 		Runtime:       p.Runtime,
 		Seed:          p.Seed,
 		Off:           p.Off,
+		Failures:      p.Failures,
 		GoldenOnTime:  p.GoldenOnTime,
 		GoldenCorrect: p.GoldenCorrect,
 		Candidates:    p.Candidates,
@@ -234,11 +278,16 @@ func (p *Plan) Report() *Report {
 
 // Run model-checks one app×runtime blueprint: it enumerates the candidate
 // failure points with a golden pass, explores them with single-failure
-// replays, and reports every divergence found. Cancelling ctx stops the
-// exploration at the next point boundary and returns the partial report
-// alongside ctx's error.
+// replays (and, when Config.Failures > 1, grows a checkpoint tree of
+// failure-during-recovery schedules below every passing point), and
+// reports every divergence found. Cancelling ctx stops the exploration at
+// the next point boundary and returns the partial report alongside ctx's
+// error.
 func Run(ctx context.Context, newApp experiments.AppFactory, kind experiments.RuntimeKind, cfg Config) (*Report, error) {
 	cfg = cfg.fill()
+	if err := ValidateFailures(cfg.Failures); err != nil {
+		return nil, err
+	}
 	pl, err := goldenPass(newApp, kind, cfg)
 	if err != nil {
 		return nil, err
@@ -250,6 +299,7 @@ func Run(ctx context.Context, newApp experiments.AppFactory, kind experiments.Ru
 		Runtime:       pl.label,
 		Seed:          cfg.Seed,
 		Off:           cfg.Off,
+		Failures:      cfg.Failures,
 		GoldenOnTime:  g.onTime,
 		GoldenCorrect: g.correct,
 		Candidates:    len(pl.cuts),
@@ -311,12 +361,40 @@ func Run(ctx context.Context, newApp experiments.AppFactory, kind experiments.Ru
 	// Pruned counts only within the explored range, so shard reports
 	// don't book out-of-range candidates as pruned.
 	rep.Pruned = (hi - lo) - rep.Explored
-	if len(rep.Divergences) > 0 {
-		// Minimal failing schedule: a single failure at the earliest
-		// diverging point (divergences arrive in candidate order).
-		rep.Minimal = []time.Duration{rep.Divergences[0].At}
+	if cfg.Failures > 1 && err == nil {
+		nres, nerr := e.exploreNested(ctx, results)
+		rep.Depths = nres.depths
+		rep.Divergences = append(rep.Divergences, nres.divs...)
+		err = nerr
 	}
+	rep.Minimal = MinimalSchedule(rep.Divergences)
 	return rep, err
+}
+
+// MinimalSchedule picks the minimal failing schedule: fewest failures
+// first, then earliest. Divergences arrive depth by depth and in
+// candidate order within a depth, so the first divergence with the
+// shortest schedule is the minimal one. The fleet merge uses it to
+// reassemble exactly the Minimal field check.Run computes in process.
+func MinimalSchedule(divs []Divergence) []time.Duration {
+	best := -1
+	bestLen := 0
+	for i, d := range divs {
+		l := len(d.Schedule)
+		if l == 0 {
+			l = 1 // single-failure divergences carry the schedule in At
+		}
+		if best < 0 || l < bestLen {
+			best, bestLen = i, l
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	if d := divs[best]; len(d.Schedule) > 0 {
+		return append([]time.Duration(nil), d.Schedule...)
+	}
+	return []time.Duration{divs[best].At}
 }
 
 // outcome is one replay's classified result.
@@ -338,6 +416,12 @@ type replayer struct {
 	sch    *power.Schedule
 	golden *golden
 	seed   int64
+
+	// want is the number of failures the current schedule injects — the
+	// ledger oracle's expected PowerFailures count.
+	want int
+	// sched is the scratch schedule buffer reused across evals.
+	sched []time.Duration
 
 	// from-boot mode
 	sess *kernel.Session
@@ -371,10 +455,18 @@ func newReplayer(newApp experiments.AppFactory, newRT func() kernel.Hooks, g *go
 	return r, nil
 }
 
-// eval replays the run from boot with a single failure at cut and
+// setSchedule loads the failure schedule (strictly ascending cut
+// on-times) into the supply, reusing the FailAt backing array across
+// evals.
+func (r *replayer) setSchedule(schedule []time.Duration) {
+	r.sch.FailAt = append(r.sch.FailAt[:0], schedule...)
+	r.want = len(schedule)
+}
+
+// eval replays the run from boot with the given failure schedule and
 // classifies the result against golden.
-func (r *replayer) eval(cut time.Duration) outcome {
-	r.sch.FailAt = []time.Duration{cut}
+func (r *replayer) eval(schedule []time.Duration) outcome {
+	r.setSchedule(schedule)
 	run, err := r.sess.Run(r.seed)
 	if err != nil {
 		return r.classify(nil, nil, nil, err)
@@ -382,10 +474,15 @@ func (r *replayer) eval(cut time.Duration) outcome {
 	return r.classify(r.sess.Device(), r.sess.Runtime(), run, nil)
 }
 
-// evalFrom restores the golden-prefix checkpoint taken at cut, applies
-// the injected failure, and simulates only the suffix.
-func (r *replayer) evalFrom(cp *checkpoint, cut time.Duration) outcome {
-	r.sch.FailAt = []time.Duration{cut}
+// evalFrom restores the checkpoint taken at the schedule's last cut —
+// a golden-prefix checkpoint for single failures, a recovery-trajectory
+// checkpoint deeper in the tree — applies the final injected failure,
+// and simulates only the suffix. Restore re-establishes the schedule's
+// fired-failure cursor for checkpoints recorded under a schedule supply
+// (Reset's zero is correct for golden-prefix checkpoints, whose
+// continuous-supply state does not restore into a Schedule).
+func (r *replayer) evalFrom(cp *checkpoint, schedule []time.Duration) outcome {
+	r.setSchedule(schedule)
 	r.sch.Reset(0)
 	r.dev.Restore(cp.dev)
 	r.rt.(kernel.Snapshotter).RestoreState(r.dev, cp.rt)
@@ -393,6 +490,83 @@ func (r *replayer) evalFrom(cp *checkpoint, cut time.Duration) outcome {
 		return r.classify(nil, nil, nil, err)
 	}
 	return r.classify(r.dev, r.rt, r.dev.Run, nil)
+}
+
+// traceFrom replays a passing schedule's suffix like evalFrom, but with
+// a cut recorder attached: it returns the charge-slice boundaries of the
+// recovery trajectory after the schedule's last failure — the candidate
+// points for the next failure level. cp must be the checkpoint at the
+// schedule's last cut.
+func (r *replayer) traceFrom(cp *checkpoint, schedule []time.Duration) ([]time.Duration, error) {
+	rec := &cutRecorder{}
+	r.setSchedule(schedule)
+	r.sch.Reset(0)
+	r.dev.Restore(cp.dev)
+	r.rt.(kernel.Snapshotter).RestoreState(r.dev, cp.rt)
+	r.dev.Cuts = rec
+	err := kernel.ResumeWithFailure(r.dev, r.rt, r.bench.App)
+	r.dev.Cuts = nil
+	if err != nil {
+		return nil, fmt.Errorf("check: suffix trace of schedule %v: %w", schedule, err)
+	}
+	return rec.cuts, nil
+}
+
+// traceBoot is traceFrom's from-boot twin: it replays the whole run with
+// the schedule's failures injected and returns the boundaries strictly
+// after the last failure (the resumed trajectory's cuts — the earlier
+// ones belong to already-explored levels).
+func (r *replayer) traceBoot(schedule []time.Duration) ([]time.Duration, error) {
+	rec := &cutRecorder{}
+	r.setSchedule(schedule)
+	r.sess.Cuts = rec
+	_, err := r.sess.Run(r.seed)
+	r.sess.Cuts = nil
+	if err != nil {
+		return nil, fmt.Errorf("check: suffix trace of schedule %v: %w", schedule, err)
+	}
+	last := schedule[len(schedule)-1]
+	cuts := rec.cuts
+	i := 0
+	for i < len(cuts) && cuts[i] <= last {
+		i++
+	}
+	return cuts[i:], nil
+}
+
+// recordSuffix re-runs a passing schedule's recovery trajectory from its
+// root checkpoint with a snapshotting sink, capturing one checkpoint per
+// requested suffix-cut index — the nested twin of recorder.record, which
+// does the same along the golden run. cuts is the trajectory's candidate
+// list (from traceFrom) and idxs selects ascending entries of it.
+func (r *replayer) recordSuffix(root *checkpoint, schedule []time.Duration, cuts []time.Duration, idxs []int) (map[int]*checkpoint, error) {
+	sink := &snapSink{
+		targets: make([]time.Duration, len(idxs)),
+		idxs:    idxs,
+		dev:     r.dev,
+		rt:      r.rt.(kernel.Snapshotter),
+		cps:     make(map[int]*checkpoint, len(idxs)),
+	}
+	sink.rtInto, _ = r.rt.(kernel.SnapshotterInto)
+	for i, idx := range idxs {
+		sink.targets[i] = cuts[idx]
+	}
+
+	r.setSchedule(schedule)
+	r.sch.Reset(0)
+	r.dev.Restore(root.dev)
+	r.rt.(kernel.Snapshotter).RestoreState(r.dev, root.rt)
+	r.dev.Cuts = sink
+	err := kernel.ResumeWithFailure(r.dev, r.rt, r.bench.App)
+	r.dev.Cuts = nil
+	if err != nil {
+		return nil, fmt.Errorf("check: suffix recording pass of schedule %v: %w", schedule, err)
+	}
+	if sink.next != len(sink.targets) {
+		return nil, fmt.Errorf("check: suffix recording pass hit %d of %d cut points — recovery trajectory not reproducible",
+			sink.next, len(sink.targets))
+	}
+	return sink.cps, nil
 }
 
 // classify compares one replay's final state against golden. The outcome
@@ -420,6 +594,25 @@ func (r *replayer) classify(dev *kernel.Device, rt kernel.Hooks, run *stats.Run,
 		put(0)
 	}
 	put(uint16(run.PowerFailures))
+	if r.golden.hasFresh {
+		// The staleness record is observable state for freshness apps:
+		// fold every violation (and the sample ages behind future ones)
+		// so hash-equal outcomes really are freshness-equivalent.
+		putDur := func(d time.Duration) {
+			for s := 0; s < 64; s += 16 {
+				put(uint16(d >> s))
+			}
+		}
+		put(uint16(len(run.Stale)))
+		for _, ev := range run.Stale {
+			for i := 0; i < len(ev.Site); i++ {
+				h = (h ^ uint64(ev.Site[i])) * fnvPrime
+			}
+			putDur(ev.Age)
+			putDur(ev.Bound)
+			putDur(ev.At)
+		}
+	}
 
 	var div *Divergence
 	for i, v := range r.bench.App.Vars {
@@ -440,9 +633,14 @@ func (r *replayer) classify(dev *kernel.Device, rt kernel.Hooks, run *stats.Run,
 	case div != nil:
 	case r.golden.correct && !run.Correct:
 		div = &Divergence{Kind: "output", Detail: "CheckOutput failed (golden run is correct)"}
-	case run.PowerFailures != 1:
+	case r.golden.hasFresh && len(run.Stale) > r.golden.stale:
+		ev := run.Stale[r.golden.stale] // the first violation beyond golden's
+		div = &Divergence{Kind: "timely", Detail: fmt.Sprintf(
+			"Timely(Δt): %s consumed %v after its last sample (bound %v) at t=%v",
+			ev.Site, ev.Age, ev.Bound, ev.At)}
+	case run.PowerFailures != r.want:
 		div = &Divergence{Kind: "ledger", Detail: fmt.Sprintf(
-			"%d power failures booked, schedule injected 1", run.PowerFailures)}
+			"%d power failures booked, schedule injected %d", run.PowerFailures, r.want)}
 	case sumWork(run) != run.OnTime:
 		div = &Divergence{Kind: "ledger", Detail: fmt.Sprintf(
 			"committed work %v does not account for on-time %v", sumWork(run), run.OnTime)}

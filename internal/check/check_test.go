@@ -47,17 +47,41 @@ func TestCutRecorderEnumeratesBoundaries(t *testing.T) {
 // TestSeedPoints pins the initial grid: exhaustive and small sets take
 // every index; larger sets take Grid evenly spaced indices including both
 // ends, without duplicates.
+// TestValidateFailures pins the -k bounds surface shared by the CLI, the
+// service and the fleet: only depths 1..MaxFailures are schedulable.
+func TestValidateFailures(t *testing.T) {
+	cases := []struct {
+		k       int
+		wantErr string
+	}{
+		{k: 1},
+		{k: 2},
+		{k: MaxFailures},
+		{k: 0, wantErr: "check: failure depth 0 out of range [1, 4]"},
+		{k: -1, wantErr: "check: failure depth -1 out of range [1, 4]"},
+		{k: MaxFailures + 1, wantErr: "check: failure depth 5 out of range [1, 4]"},
+	}
+	for _, c := range cases {
+		err := ValidateFailures(c.k)
+		switch {
+		case c.wantErr == "" && err != nil:
+			t.Errorf("k=%d rejected: %v", c.k, err)
+		case c.wantErr != "" && err == nil:
+			t.Errorf("k=%d accepted", c.k)
+		case c.wantErr != "" && err.Error() != c.wantErr:
+			t.Errorf("k=%d: error = %q, want %q", c.k, err, c.wantErr)
+		}
+	}
+}
+
 func TestSeedPoints(t *testing.T) {
-	e := &explorer{cfg: Config{Exhaustive: true, Grid: 4}, lo: 0, hi: 10}
-	if got := e.seedPoints(); len(got) != 10 || got[0] != 0 || got[9] != 9 {
+	if got := seedPoints(Config{Exhaustive: true, Grid: 4}, 0, 10); len(got) != 10 || got[0] != 0 || got[9] != 9 {
 		t.Errorf("exhaustive seedPoints over [0,10) = %v", got)
 	}
-	e = &explorer{cfg: Config{Grid: 4}, lo: 0, hi: 3}
-	if got := e.seedPoints(); len(got) != 3 {
+	if got := seedPoints(Config{Grid: 4}, 0, 3); len(got) != 3 {
 		t.Errorf("n<=Grid seedPoints over [0,3) = %v, want all indices", got)
 	}
-	e.hi = 100
-	got := e.seedPoints()
+	got := seedPoints(Config{Grid: 4}, 0, 100)
 	if len(got) != 4 || got[0] != 0 || got[len(got)-1] != 99 {
 		t.Errorf("seedPoints over [0,100) = %v, want 4 points spanning [0,99]", got)
 	}
@@ -68,19 +92,16 @@ func TestSeedPoints(t *testing.T) {
 	}
 
 	// A shard range: exhaustive indices stay absolute and in range.
-	e = &explorer{cfg: Config{Exhaustive: true, Grid: 4}, lo: 5, hi: 8}
-	if got := e.seedPoints(); len(got) != 3 || got[0] != 5 || got[2] != 7 {
+	if got := seedPoints(Config{Exhaustive: true, Grid: 4}, 5, 8); len(got) != 3 || got[0] != 5 || got[2] != 7 {
 		t.Errorf("exhaustive seedPoints over [5,8) = %v", got)
 	}
 	// Grid over a shard range spans exactly [lo, hi-1].
-	e = &explorer{cfg: Config{Grid: 4}, lo: 10, hi: 110}
-	got = e.seedPoints()
+	got = seedPoints(Config{Grid: 4}, 10, 110)
 	if len(got) != 4 || got[0] != 10 || got[len(got)-1] != 109 {
 		t.Errorf("grid seedPoints over [10,110) = %v, want 4 points spanning [10,109]", got)
 	}
 	// An empty range seeds nothing.
-	e = &explorer{cfg: Config{Exhaustive: true, Grid: 4}, lo: 4, hi: 4}
-	if got := e.seedPoints(); len(got) != 0 {
+	if got := seedPoints(Config{Exhaustive: true, Grid: 4}, 4, 4); len(got) != 0 {
 		t.Errorf("seedPoints over empty range = %v", got)
 	}
 }

@@ -145,12 +145,12 @@ func equivCheckCells() []struct {
 			factory experiments.AppFactory
 			kind    experiments.RuntimeKind
 		}{"temp_" + k.String(), tempFactory, k})
+		cells = append(cells, struct {
+			name    string
+			factory experiments.AppFactory
+			kind    experiments.RuntimeKind
+		}{"dma_" + k.String(), dmaFactory, k})
 	}
-	cells = append(cells, struct {
-		name    string
-		factory experiments.AppFactory
-		kind    experiments.RuntimeKind
-	}{"dma_EaseIO", dmaFactory, experiments.EaseIO})
 	return cells
 }
 
@@ -177,6 +177,41 @@ func TestEquivCheckReports(t *testing.T) {
 			}
 			if got := rep.Render(); got != string(want) {
 				t.Errorf("check report diverged from recorded representation:\n got:\n%s\nwant:\n%s",
+					got, want)
+			}
+		})
+	}
+}
+
+// TestEquivCheckReportsAdaptive pins the grid + outcome-hash bisection
+// path — the part of the checker most sensitive to exploration-order
+// changes — with the same byte-identical rendered-report contract as
+// the exhaustive matrix. Recorded against the single-failure checker
+// before the k-failure generalization; a k=1 run must reproduce these
+// bytes forever.
+func TestEquivCheckReportsAdaptive(t *testing.T) {
+	cfg := Config{Workers: 2}
+	for _, cell := range equivCheckCells() {
+		cell := cell
+		t.Run(cell.name, func(t *testing.T) {
+			if testing.Short() && !*updateEquiv && cell.name != "fig6_Alpaca" {
+				t.Skip("full matrix runs without -short")
+			}
+			rep, err := Run(context.Background(), cell.factory, cell.kind, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", "equiv", "check_adaptive_"+cell.name+".txt")
+			if *updateEquiv {
+				writeEquivFixture(t, path, []byte(rep.Render()))
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing fixture (run with -update-equiv): %v", err)
+			}
+			if got := rep.Render(); got != string(want) {
+				t.Errorf("adaptive check report diverged from recorded representation:\n got:\n%s\nwant:\n%s",
 					got, want)
 			}
 		})

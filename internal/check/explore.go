@@ -9,6 +9,12 @@
 // outcomes behave identically. That assumption is what buys the speedup —
 // Exhaustive is the sound setting, and the small scenario apps use it.
 //
+// The same loop explores every level of the nested-failure checkpoint
+// tree (see nested.go): a subtree's candidate list is the recovery
+// trajectory's cut points, its schedules share the subtree's failure
+// prefix, and its recording passes resume from the subtree's root
+// checkpoint instead of re-running the golden pass.
+//
 // Each round's point set is a pure function of the previously evaluated
 // outcomes, and every replay is independent and deterministic, so the
 // explored set — and therefore the Report — does not depend on Workers.
@@ -25,6 +31,12 @@ import (
 	"easeio/internal/kernel"
 )
 
+// recordFn captures one checkpoint per requested candidate index of a
+// cut list — recorder.record along the golden run at level 1,
+// replayer.recordSuffix along a recovery trajectory deeper in the tree.
+// nil in from-boot mode.
+type recordFn func(cuts []time.Duration, idxs []int) (map[int]*checkpoint, error)
+
 type explorer struct {
 	cfg      Config
 	newApp   experiments.AppFactory
@@ -35,31 +47,42 @@ type explorer struct {
 	fromBoot bool
 	rec      *recorder // nil in from-boot mode
 
-	reps []*replayer  // worker pool, grown lazily by round demand
-	done atomic.Int64 // evaluated points, feeds Config.Progress
+	reps    []*replayer  // worker pool, grown lazily by round demand
+	tracer  *replayer    // nested mode: suffix tracing + recording passes
+	done    atomic.Int64 // evaluated points, feeds Config.Progress
+	planned atomic.Int64 // points scheduled so far, feeds Config.Progress
 }
 
-// explore evaluates candidate cut points until the bisection converges,
-// returning one outcome slot per candidate (unevaluated slots are pruned
-// intervals). On cancellation it returns what was evaluated so far plus
-// ctx's error.
-//
-// In checkpointed mode each round is recorded first: a golden pass with
-// a snapshotting sink captures one checkpoint per pending point (in
-// batches of checkpointBatch to bound memory), and the workers restore
-// and resume instead of re-running from boot. The replayer pool is sized
-// lazily by actual round demand — a round with fewer points than
-// Workers never pays for app builds it cannot use.
+// explore evaluates the level-1 candidate cut points until the bisection
+// converges, returning one outcome slot per candidate (unevaluated slots
+// are pruned intervals). On cancellation it returns what was evaluated so
+// far plus ctx's error.
 func (e *explorer) explore(ctx context.Context) ([]outcome, error) {
-	out := make([]outcome, len(e.cuts))
-	rec := e.rec
+	var record recordFn
+	var recycle func(map[int]*checkpoint)
+	if e.rec != nil {
+		record, recycle = e.rec.record, e.rec.recycle
+	}
+	return e.exploreRange(ctx, e.cuts, e.lo, e.hi, nil, record, recycle)
+}
 
-	pending := e.seedPoints()
-	planned := 0
+// exploreRange runs the adaptive loop over one cut list: the level-1
+// candidates or one subtree's recovery-trajectory cuts. Every evaluated
+// schedule is prefix + cuts[i]. In checkpointed mode each round is
+// recorded first: a recording pass captures one checkpoint per pending
+// point (in batches of checkpointBatch to bound memory), and the workers
+// restore and resume instead of re-running from boot. The replayer pool
+// is sized lazily by actual round demand — a round with fewer points
+// than Workers never pays for app builds it cannot use.
+func (e *explorer) exploreRange(ctx context.Context, cuts []time.Duration, lo, hi int,
+	prefix []time.Duration, record recordFn, recycle func(map[int]*checkpoint)) ([]outcome, error) {
+	out := make([]outcome, len(cuts))
+
+	pending := seedPoints(e.cfg, lo, hi)
 	for len(pending) > 0 {
-		planned += len(pending)
+		e.planned.Add(int64(len(pending)))
 		batch := len(pending)
-		if rec != nil && batch > checkpointBatch {
+		if record != nil && batch > checkpointBatch {
 			batch = checkpointBatch
 		}
 		for start := 0; start < len(pending); start += batch {
@@ -69,25 +92,25 @@ func (e *explorer) explore(ctx context.Context) ([]outcome, error) {
 			}
 			idxs := pending[start:end]
 			var cps map[int]*checkpoint
-			if rec != nil {
+			if record != nil {
 				if err := ctx.Err(); err != nil {
 					return out, err
 				}
 				var err error
-				if cps, err = rec.record(e.cuts, idxs); err != nil {
+				if cps, err = record(cuts, idxs); err != nil {
 					return out, err
 				}
 			}
 			if err := e.grow(len(idxs)); err != nil {
 				return out, err
 			}
-			if err := e.evalRound(ctx, out, idxs, cps, planned); err != nil {
+			if err := e.evalRound(ctx, out, cuts, idxs, cps, prefix); err != nil {
 				return out, err
 			}
-			if rec != nil {
+			if recycle != nil {
 				// evalRound is a barrier: every replay of this batch has
 				// finished, so its checkpoints can back the next batch.
-				rec.recycle(cps)
+				recycle(cps)
 			}
 		}
 		pending = nextRound(out)
@@ -116,22 +139,22 @@ func (e *explorer) grow(demand int) error {
 // else Grid evenly spaced indices including both ends. Later bisection
 // rounds stay in range by construction: midpoints of in-range intervals
 // are in range.
-func (e *explorer) seedPoints() []int {
-	n := e.hi - e.lo
+func seedPoints(cfg Config, lo, hi int) []int {
+	n := hi - lo
 	if n <= 0 {
 		return nil
 	}
-	if e.cfg.Exhaustive || n <= e.cfg.Grid {
+	if cfg.Exhaustive || n <= cfg.Grid {
 		idxs := make([]int, n)
 		for i := range idxs {
-			idxs[i] = e.lo + i
+			idxs[i] = lo + i
 		}
 		return idxs
 	}
-	idxs := make([]int, 0, e.cfg.Grid)
+	idxs := make([]int, 0, cfg.Grid)
 	last := -1
-	for g := 0; g < e.cfg.Grid; g++ {
-		i := e.lo + g*(n-1)/(e.cfg.Grid-1)
+	for g := 0; g < cfg.Grid; g++ {
+		i := lo + g*(n-1)/(cfg.Grid-1)
 		if i != last {
 			idxs = append(idxs, i)
 			last = i
@@ -161,13 +184,15 @@ func nextRound(out []outcome) []int {
 // evalRound evaluates the given candidate indices on the worker pool.
 // Results land in out by index, so completion order is irrelevant. cps
 // is nil in from-boot mode; in checkpointed mode it holds one checkpoint
-// per index.
-func (e *explorer) evalRound(ctx context.Context, out []outcome, idxs []int, cps map[int]*checkpoint, planned int) error {
+// per index. prefix is the failure schedule shared by every point of the
+// round (nil at level 1).
+func (e *explorer) evalRound(ctx context.Context, out []outcome, cuts []time.Duration, idxs []int, cps map[int]*checkpoint, prefix []time.Duration) error {
 	evalOne := func(r *replayer, i int) outcome {
+		r.sched = append(append(r.sched[:0], prefix...), cuts[i])
 		if cps != nil {
-			return r.evalFrom(cps[i], e.cuts[i])
+			return r.evalFrom(cps[i], r.sched)
 		}
-		return r.eval(e.cuts[i])
+		return r.eval(r.sched)
 	}
 	reps := e.reps
 	if len(reps) > len(idxs) {
@@ -179,7 +204,7 @@ func (e *explorer) evalRound(ctx context.Context, out []outcome, idxs []int, cps
 				return err
 			}
 			out[i] = evalOne(reps[0], i)
-			e.progress(planned)
+			e.progress()
 		}
 		return nil
 	}
@@ -194,7 +219,7 @@ func (e *explorer) evalRound(ctx context.Context, out []outcome, idxs []int, cps
 					continue // drain without evaluating
 				}
 				out[i] = evalOne(r, i)
-				e.progress(planned)
+				e.progress()
 			}
 		}(r)
 	}
@@ -206,9 +231,9 @@ func (e *explorer) evalRound(ctx context.Context, out []outcome, idxs []int, cps
 	return ctx.Err()
 }
 
-func (e *explorer) progress(planned int) {
+func (e *explorer) progress() {
 	done := e.done.Add(1)
 	if e.cfg.Progress != nil {
-		e.cfg.Progress(int(done), planned)
+		e.cfg.Progress(int(done), int(e.planned.Load()))
 	}
 }

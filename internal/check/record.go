@@ -44,14 +44,13 @@ type snapSink struct {
 	dev     *kernel.Device
 	rt      kernel.Snapshotter
 	rtInto  kernel.SnapshotterInto // non-nil when rt supports state reuse
-	rec     *recorder
 	cps     map[int]*checkpoint
 }
 
 // NoteCut implements kernel.CutSink.
 func (s *snapSink) NoteCut(onTime time.Duration) {
 	if s.next < len(s.targets) && onTime == s.targets[s.next] {
-		cp := s.rec.get()
+		cp := ckptGet()
 		cp.dev = s.dev.SnapshotInto(cp.dev)
 		if s.rtInto != nil {
 			cp.rt = s.rtInto.SnapshotStateInto(cp.rt)
@@ -89,20 +88,23 @@ func newRecorder(bench *apps.Bench, rt kernel.Hooks, dev *kernel.Device, seed in
 	return &recorder{bench: bench, rt: rt, dev: dev, seed: seed}
 }
 
-// get pops a recycled checkpoint, or allocates a fresh one.
-func (r *recorder) get() *checkpoint {
+// ckptGet pops a recycled checkpoint, or allocates a fresh one.
+func ckptGet() *checkpoint {
 	return ckptPool.Get().(*checkpoint)
 }
 
-// recycle returns a batch's checkpoints to the pool once their replays
-// are done. The checkpoints must no longer be referenced. cp.rt is kept:
-// SnapshotterInto runtimes overwrite its storage in place on the next
-// recording pass instead of reallocating.
-func (r *recorder) recycle(cps map[int]*checkpoint) {
+// ckptRecycle returns a batch's checkpoints to the pool once their
+// replays are done. The checkpoints must no longer be referenced. cp.rt
+// is kept: SnapshotterInto runtimes overwrite its storage in place on
+// the next recording pass instead of reallocating.
+func ckptRecycle(cps map[int]*checkpoint) {
 	for _, cp := range cps {
 		ckptPool.Put(cp)
 	}
 }
+
+// recycle is ckptRecycle under the recorder's historical name.
+func (r *recorder) recycle(cps map[int]*checkpoint) { ckptRecycle(cps) }
 
 // record re-runs the golden pass and returns one checkpoint per
 // requested candidate index (idxs ascending, indexing cuts).
@@ -112,7 +114,6 @@ func (r *recorder) record(cuts []time.Duration, idxs []int) (map[int]*checkpoint
 		idxs:    idxs,
 		dev:     r.dev,
 		rt:      r.rt.(kernel.Snapshotter),
-		rec:     r,
 		cps:     make(map[int]*checkpoint, len(idxs)),
 	}
 	sink.rtInto, _ = r.rt.(kernel.SnapshotterInto)

@@ -13,19 +13,45 @@ import (
 	"easeio/internal/experiments"
 )
 
-// Divergence is one failure point whose replay did not match the golden
-// run.
+// Divergence is one failure schedule whose replay did not match the
+// golden run.
 type Divergence struct {
-	// At is the injected failure's on-time; Index is its position in the
-	// candidate enumeration.
+	// At is the final injected failure's on-time; Index is its position
+	// in its level's candidate enumeration (the golden cut list at level
+	// 1, the expanded subtree's trajectory cut list below it).
 	At    time.Duration
 	Index int
 	// Kind classifies the oracle that fired: "memory" (a non-volatile
 	// word differs from golden), "output" (CheckOutput failed), "ledger"
-	// (work accounting broke) or "error" (the replay did not terminate).
+	// (work accounting broke), "timely" (an input consumed past its
+	// staleness bound, for apps declaring freshness bounds) or "error"
+	// (the replay did not terminate).
 	Kind string
 	// Detail pins the first offending word, verdict or invariant.
 	Detail string
+	// Schedule is the full failure schedule (ascending cut on-times)
+	// when it injects more than one failure — a failure-during-recovery
+	// divergence. nil for single-failure divergences, where At is the
+	// whole schedule.
+	Schedule []time.Duration `json:",omitempty"`
+}
+
+// DepthStats books one nested exploration level (depth ≥ 2).
+type DepthStats struct {
+	// Depth is the number of failures per schedule at this level.
+	Depth int
+	// Expanded counts the subtree roots explored at this depth;
+	// Collapsed counts the evaluated passing nodes represented by a
+	// hash-identical expanded sibling (their subtrees were not
+	// re-explored).
+	Expanded  int
+	Collapsed int
+	// Candidates is the union of the expanded subtrees' trajectory cut
+	// points; Explored of them were replayed, the rest pruned by the
+	// per-subtree bisection.
+	Candidates int
+	Explored   int
+	Pruned     int
 }
 
 // Report is the deterministic result of one checker run: same blueprint,
@@ -35,6 +61,9 @@ type Report struct {
 	Runtime string
 	Seed    int64
 	Off     time.Duration
+	// Failures is the explored schedule depth k (1 = the single-failure
+	// checker).
+	Failures int
 
 	// GoldenOnTime and GoldenCorrect describe the continuous-power
 	// reference run.
@@ -52,11 +81,16 @@ type Report struct {
 	// the golden run produced no candidate failure points at all.
 	Note string
 
-	// Divergences lists every explored failure point that broke an
-	// oracle, in candidate order.
+	// Depths books the nested exploration levels (empty for k=1
+	// reports).
+	Depths []DepthStats `json:",omitempty"`
+
+	// Divergences lists every explored failure schedule that broke an
+	// oracle: level 1 in candidate order, then each deeper level in
+	// (subtree, candidate) order.
 	Divergences []Divergence
-	// Minimal is the minimal failing schedule: a single failure at the
-	// earliest diverging point (nil when every explored point passed).
+	// Minimal is the minimal failing schedule — fewest failures, then
+	// earliest (nil when every explored schedule passed).
 	Minimal []time.Duration
 }
 
@@ -73,6 +107,12 @@ func (r *Report) Render() string {
 	fmt.Fprintf(&b, "check %s under %s (seed %d, off %v)\n", r.App, r.Runtime, r.Seed, r.Off)
 	fmt.Fprintf(&b, "  golden: on-time %v, correct=%v\n", r.GoldenOnTime, r.GoldenCorrect)
 	fmt.Fprintf(&b, "  candidates %d, explored %d, pruned %d\n", r.Candidates, r.Explored, r.Pruned)
+	// The per-depth lines render only for nested runs, so k=1 reports
+	// stay byte-identical to the single-failure checker's output.
+	for _, ds := range r.Depths {
+		fmt.Fprintf(&b, "  depth %d: expanded %d subtree(s) (%d collapsed), candidates %d, explored %d, pruned %d\n",
+			ds.Depth, ds.Expanded, ds.Collapsed, ds.Candidates, ds.Explored, ds.Pruned)
+	}
 	if r.Note != "" {
 		fmt.Fprintf(&b, "  note: %s\n", r.Note)
 	}
@@ -88,7 +128,11 @@ func (r *Report) Render() string {
 			rows = append(rows, []string{"…", "", fmt.Sprintf("(%d more)", len(r.Divergences)-i), ""})
 			break
 		}
-		rows = append(rows, []string{fmt.Sprintf("%v", d.At), fmt.Sprintf("%d", d.Index), d.Kind, d.Detail})
+		at := fmt.Sprintf("%v", d.At)
+		if len(d.Schedule) > 1 {
+			at = fmt.Sprintf("%v", d.Schedule)
+		}
+		rows = append(rows, []string{at, fmt.Sprintf("%d", d.Index), d.Kind, d.Detail})
 	}
 	b.WriteString(indent(experiments.Table([]string{"fail at", "index", "kind", "detail"}, rows), "  "))
 	return b.String()

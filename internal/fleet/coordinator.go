@@ -312,6 +312,7 @@ func (c *Coordinator) planLocked(j *job) error {
 		}
 		plan, err := check.Golden(factory, j.kind, check.Config{
 			Seed: j.spec.Seed, Off: j.spec.Off, Grid: j.spec.Grid,
+			Failures: j.spec.Failures,
 		})
 		if err != nil {
 			return fmt.Errorf("fleet: plan check job %d: %w", j.id, err)
@@ -325,10 +326,11 @@ func (c *Coordinator) planLocked(j *job) error {
 		switch {
 		case plan.Candidates == 0:
 			ranges = nil
-		case !j.spec.Exhaustive:
+		case !j.spec.Exhaustive || j.spec.Failures > 1:
 			// The adaptive bisection prunes against outcomes across the
-			// whole candidate range: one shard, or the merge would not be
-			// byte-identical to the in-process checker.
+			// whole candidate range, and the nested checkpoint tree grows
+			// from those outcomes: one shard either way, or the merge
+			// would not be byte-identical to the in-process checker.
 			ranges = [][2]int{{0, plan.Candidates}}
 		default:
 			ranges = splitRange(0, plan.Candidates, parts)
@@ -425,6 +427,7 @@ func (c *Coordinator) encodeTask(j *job, idx int, sh *shardState) []byte {
 		Job: j.id, Shard: idx, App: s.App, Runtime: s.Runtime,
 		Seed: s.Seed, Off: j.plan.Off, CutLo: sh.lo, CutHi: sh.hi,
 		Exhaustive: s.Exhaustive, Grid: s.Grid, Workers: s.ShardWorkers,
+		Failures: s.Failures,
 	})
 }
 
@@ -574,9 +577,13 @@ func (c *Coordinator) mergeLocked(j *job) error {
 		}
 		res = Result{Mode: ModeSweep, Summary: agg.Summary(), Errs: errs}
 	case ModeCheck:
+		failures := j.spec.Failures
+		if failures <= 0 {
+			failures = 1
+		}
 		rep := &check.Report{
 			App: j.plan.App, Runtime: j.plan.Runtime,
-			Seed: j.spec.Seed, Off: j.plan.Off,
+			Seed: j.spec.Seed, Off: j.plan.Off, Failures: failures,
 			GoldenOnTime: j.plan.GoldenOnTime, GoldenCorrect: j.plan.GoldenCorrect,
 			Candidates: j.plan.Candidates, Note: j.plan.Note,
 		}
@@ -586,12 +593,11 @@ func (c *Coordinator) mergeLocked(j *job) error {
 				return fmt.Errorf("fleet: merge job %d: %w", j.id, err)
 			}
 			rep.Explored += cr.Explored
+			rep.Depths = append(rep.Depths, cr.Depths...)
 			rep.Divergences = append(rep.Divergences, cr.Divergences...)
 		}
 		rep.Pruned = rep.Candidates - rep.Explored
-		if len(rep.Divergences) > 0 {
-			rep.Minimal = []time.Duration{rep.Divergences[0].At}
-		}
+		rep.Minimal = check.MinimalSchedule(rep.Divergences)
 		res = Result{Mode: ModeCheck, Report: rep}
 	}
 	if err := c.wal.append(record{Type: recJobDone, Job: j.id, Payload: encodeResultPayload(res), Errs: res.Errs}); err != nil {

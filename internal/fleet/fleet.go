@@ -60,11 +60,15 @@ type Spec struct {
 	Runs     int
 	BaseSeed int64
 
-	// Check: the replayed seed and the exploration parameters.
+	// Check: the replayed seed and the exploration parameters. Failures
+	// is the nested-failure depth k (0 defaults to 1); like adaptive
+	// checks, k > 1 jobs stay a single shard — the checkpoint tree grows
+	// from outcomes across the whole candidate range.
 	Seed       int64
 	Off        time.Duration
 	Grid       int
 	Exhaustive bool
+	Failures   int
 
 	// Shards is the desired shard count (defaults to the coordinator's
 	// configured default; clamped to the available work).
@@ -91,6 +95,11 @@ func (s Spec) validate() error {
 	case ModeCheck:
 		if s.Runs != 0 {
 			return fmt.Errorf("fleet: check spec must not set Runs")
+		}
+		if s.Failures != 0 {
+			if err := check.ValidateFailures(s.Failures); err != nil {
+				return fmt.Errorf("fleet: %w", err)
+			}
 		}
 	default:
 		return fmt.Errorf("fleet: unknown mode %q", s.Mode)

@@ -188,6 +188,99 @@ func TestFleetCheckByteIdentity(t *testing.T) {
 	}
 }
 
+// TestFleetNestedCheckByteIdentity pins the k > 1 contract: a nested
+// check job plans as a single shard (the checkpoint tree grows from
+// outcomes across the whole candidate range) and the merged report —
+// depth stats, multi-failure schedules, minimal schedule — renders
+// byte-identically to check.Run. Alpaca diverges under nested failures
+// on fig6; EaseIO must stay clean.
+func TestFleetNestedCheckByteIdentity(t *testing.T) {
+	c := newTestCoordinator(t, nil)
+	startLoopback(t, c, 2)
+
+	for _, tc := range []struct {
+		kind       experiments.RuntimeKind
+		wantDiverg bool
+	}{
+		{experiments.Alpaca, true},
+		{experiments.EaseIO, false},
+	} {
+		spec := Spec{
+			Mode: ModeCheck, App: "fig6", Runtime: tc.kind.String(),
+			Exhaustive: true, Failures: 2, Shards: 4, ShardWorkers: 2,
+		}
+		id, err := c.Submit(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.kind, err)
+		}
+		res := waitResult(t, c, id)
+
+		want, werr := check.Run(context.Background(), check.Fig6Bench, tc.kind,
+			check.Config{Exhaustive: true, Failures: 2, Workers: 2})
+		if werr != nil {
+			t.Fatalf("%s reference: %v", tc.kind, werr)
+		}
+		if res.Report.Render() != want.Render() {
+			t.Errorf("%s: fleet k=2 report differs from check.Run:\n--- fleet ---\n%s--- direct ---\n%s",
+				tc.kind, res.Report.Render(), want.Render())
+		}
+		if got := len(res.Report.Divergences) > 0; got != tc.wantDiverg {
+			t.Errorf("%s: divergences = %d, want some: %v",
+				tc.kind, len(res.Report.Divergences), tc.wantDiverg)
+		}
+		// Alpaca already fails under a single failure, so the minimal
+		// schedule must stay the one-failure one even with depth-2
+		// divergences in the report.
+		if tc.wantDiverg && len(res.Report.Minimal) != 1 {
+			t.Errorf("%s: minimal schedule %v, want 1 failure", tc.kind, res.Report.Minimal)
+		}
+	}
+}
+
+// TestSpecValidation pins the planner's negative surface, including the
+// nested-failure depth bounds shared with the CLI and the service.
+func TestSpecValidation(t *testing.T) {
+	c := newTestCoordinator(t, nil)
+	cases := []struct {
+		name    string
+		spec    Spec
+		wantErr string
+	}{
+		{
+			name:    "no app",
+			spec:    Spec{Mode: ModeSweep, Runtime: "EaseIO", Runs: 1},
+			wantErr: "fleet: spec has no app",
+		},
+		{
+			name:    "unknown mode",
+			spec:    Spec{Mode: "audit", App: "fig6", Runtime: "EaseIO"},
+			wantErr: `fleet: unknown mode "audit"`,
+		},
+		{
+			name:    "check with runs",
+			spec:    Spec{Mode: ModeCheck, App: "fig6", Runtime: "EaseIO", Runs: 3},
+			wantErr: "fleet: check spec must not set Runs",
+		},
+		{
+			name:    "failure depth too deep",
+			spec:    Spec{Mode: ModeCheck, App: "fig6", Runtime: "EaseIO", Failures: 5},
+			wantErr: "fleet: check: failure depth 5 out of range [1, 4]",
+		},
+		{
+			name:    "negative failure depth",
+			spec:    Spec{Mode: ModeCheck, App: "fig6", Runtime: "EaseIO", Failures: -2},
+			wantErr: "fleet: check: failure depth -2 out of range [1, 4]",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := c.Submit(tc.spec); err == nil || err.Error() != tc.wantErr {
+				t.Errorf("Submit error = %v, want %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
 // TestFleetTCPByteIdentity runs the same contract over the real
 // transport: a TCP worker fleet against a listening coordinator.
 func TestFleetTCPByteIdentity(t *testing.T) {

@@ -115,6 +115,7 @@ func (r record) encode() []byte {
 		b = wire.AppendVarint(b, int64(s.Off))
 		b = wire.AppendVarint(b, int64(s.Grid))
 		b = wire.AppendBool(b, s.Exhaustive)
+		b = wire.AppendVarint(b, int64(s.Failures))
 		b = wire.AppendVarint(b, int64(s.Shards))
 		b = wire.AppendVarint(b, int64(s.ShardWorkers))
 	case recPlan:
@@ -173,6 +174,7 @@ func decodeRecord(b []byte) (record, error) {
 			Off:          time.Duration(d.Varint()),
 			Grid:         int(d.Varint()),
 			Exhaustive:   d.Bool(),
+			Failures:     int(d.Varint()),
 			Shards:       int(d.Varint()),
 			ShardWorkers: int(d.Varint()),
 		}

@@ -57,7 +57,7 @@ func ExecuteShard(ctx context.Context, src BlueprintSource, task []byte) ([]byte
 			return nil, err
 		}
 		rep, err := check.Run(ctx, factory, rt, check.Config{
-			Seed: s.Seed, Off: s.Off, FromBoot: s.FromBoot,
+			Seed: s.Seed, Off: s.Off, Failures: s.Failures, FromBoot: s.FromBoot,
 			CutLo: s.CutLo, CutHi: s.CutHi,
 			Exhaustive: s.Exhaustive, Grid: s.Grid, Workers: s.Workers,
 		})
@@ -66,7 +66,8 @@ func ExecuteShard(ctx context.Context, src BlueprintSource, task []byte) ([]byte
 		}
 		return wire.AppendCheckResult(nil, wire.CheckResult{
 			Job: s.Job, Shard: s.Shard,
-			Explored: rep.Explored, Pruned: rep.Pruned, Divergences: rep.Divergences,
+			Explored: rep.Explored, Pruned: rep.Pruned,
+			Depths: rep.Depths, Divergences: rep.Divergences,
 		}), nil
 	default:
 		return nil, fmt.Errorf("fleet: task is %v, want a shard", wire.PeekKind(task))

@@ -34,6 +34,13 @@ type Ctx struct {
 	// wastedDepth > 0 routes charges straight to the Wasted bucket (used
 	// while re-executing already-completed I/O).
 	wastedDepth int
+
+	// fresh collects the freshness-bounded I/O sites the current task
+	// attempt consumed (executed or skipped — a skip still hands the task
+	// the privatized value). The engine checks their sample ages when the
+	// task commits and clears the list; aborted attempts clear it on the
+	// next BeginTask.
+	fresh []*task.IOSite
 }
 
 // PushWasted enters wasted-charging mode (see Ledger.ChargeWasted).
@@ -149,10 +156,29 @@ func (c *Ctx) StoreAt(v *task.NVVar, i int, val uint16) { c.RT.Store(c, v, i, va
 // --- task.Exec: I/O ---
 
 // CallIO implements task.Exec.
-func (c *Ctx) CallIO(s *task.IOSite) uint16 { return c.RT.CallIO(c, s, 0) }
+func (c *Ctx) CallIO(s *task.IOSite) uint16 {
+	c.noteFresh(s)
+	return c.RT.CallIO(c, s, 0)
+}
 
 // CallIOAt implements task.Exec.
-func (c *Ctx) CallIOAt(s *task.IOSite, idx int) uint16 { return c.RT.CallIO(c, s, idx) }
+func (c *Ctx) CallIOAt(s *task.IOSite, idx int) uint16 {
+	c.noteFresh(s)
+	return c.RT.CallIO(c, s, idx)
+}
+
+// noteFresh books a freshness-bounded site as consumed by the current
+// task attempt (see Ctx.fresh). Consecutive duplicates — loop sites —
+// collapse to one entry so a commit charges each site once.
+func (c *Ctx) noteFresh(s *task.IOSite) {
+	if s.Freshness <= 0 {
+		return
+	}
+	if n := len(c.fresh); n > 0 && c.fresh[n-1] == s {
+		return
+	}
+	c.fresh = append(c.fresh, s)
+}
 
 // IOBlock implements task.Exec.
 func (c *Ctx) IOBlock(b *task.IOBlock, body func()) { c.RT.IOBlock(c, b, body) }

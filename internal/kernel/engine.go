@@ -120,6 +120,7 @@ func bootAndRun(ctx *Ctx) (failed bool, err error) {
 		}
 	}()
 	ctx.wastedDepth = 0
+	ctx.fresh = ctx.fresh[:0]
 	ctx.Dev.Clock.Boot()
 	if ctx.Dev.TraceOn() {
 		ctx.Dev.Trace(EvBoot, "#%d", ctx.Dev.Clock.Boots())
@@ -133,6 +134,7 @@ func bootAndRun(ctx *Ctx) (failed bool, err error) {
 		}
 		ctx.Dev.Run.TaskAttempts++
 		ctx.transitioned = false
+		ctx.fresh = ctx.fresh[:0]
 		if ctx.Dev.TraceOn() {
 			ctx.Dev.Trace(EvTaskBegin, "%s (attempt %d)", t.Name, ctx.Dev.Run.TaskAttempts)
 		}
@@ -143,6 +145,22 @@ func bootAndRun(ctx *Ctx) (failed bool, err error) {
 			return false, fmt.Errorf("kernel: task %q returned without Next/Done", t.Name)
 		}
 		attempt = nil
+		// The freshness oracle's measurement point: a committing task has
+		// irrevocably consumed its inputs, so each freshness-bounded site it
+		// called is charged the wall-clock age of its last physical sample —
+		// off-time counts, which is exactly what distinguishes a consistent
+		// but stale value from a timely one.
+		if len(ctx.fresh) > 0 {
+			now := ctx.Dev.Clock.Now()
+			for _, s := range ctx.fresh {
+				if at := ctx.Dev.Run.SampleAt(s.ID); at >= 0 {
+					if age := now - at; age > s.Freshness {
+						ctx.Dev.Run.NoteStale(s.Name, age, s.Freshness, now)
+					}
+				}
+			}
+			ctx.fresh = ctx.fresh[:0]
+		}
 		ctx.Dev.Run.TaskCommits++
 		if ctx.Dev.TraceOn() {
 			ctx.Dev.Trace(EvTaskCommit, "%s", t.Name)

@@ -291,6 +291,12 @@ func (b *Base) ExecIO(c *kernel.Ctx, s *task.IOSite, idx int) uint16 {
 	}
 	v := s.Exec(c, idx)
 	b.slots[slot].completed = true
+	// A physical execution refreshes the site's sample clock; skipped
+	// re-executions (which never reach ExecIO) keep the old timestamp —
+	// exactly the staleness the freshness oracle measures.
+	if s.Freshness > 0 {
+		c.Dev.Run.NoteSample(s.ID, c.Now())
+	}
 	return v
 }
 

@@ -90,6 +90,11 @@ type JobSpec struct {
 	// CheckExhaustive replays every candidate failure point.
 	CheckGrid       int  `json:"check_grid,omitempty"`
 	CheckExhaustive bool `json:"check_exhaustive,omitempty"`
+	// Failures is the check-mode nested-failure depth k: schedules
+	// inject up to this many failures, each landing on the previous
+	// failure's recovery trajectory. 0 defaults to 1 (the single-failure
+	// checker); at most check.MaxFailures. Sweep jobs reject it.
+	Failures int `json:"failures,omitempty"`
 }
 
 // Job is one accepted sweep. All fields are safe to read concurrently
@@ -337,10 +342,18 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 		if spec.Runs <= 0 {
 			return nil, fmt.Errorf("service: sweep job needs a positive run count (got %d)", spec.Runs)
 		}
+		if spec.Failures != 0 {
+			return nil, fmt.Errorf("service: sweep job does not take a failure depth (got %d)", spec.Failures)
+		}
 	case "check":
 		// The golden run determines the point count; Runs is meaningless.
 		if spec.Runs != 0 {
 			return nil, fmt.Errorf("service: check job does not take a run count (got %d)", spec.Runs)
+		}
+		if spec.Failures != 0 {
+			if err := check.ValidateFailures(spec.Failures); err != nil {
+				return nil, fmt.Errorf("service: %w", err)
+			}
 		}
 	default:
 		return nil, fmt.Errorf("service: unknown mode %q (want \"sweep\" or \"check\")", spec.Mode)
@@ -615,6 +628,7 @@ func (m *Manager) runFleetJob(j *Job) {
 		fspec.Seed = j.Spec.BaseSeed
 		fspec.Grid = j.Spec.CheckGrid
 		fspec.Exhaustive = j.Spec.CheckExhaustive
+		fspec.Failures = j.Spec.Failures
 	}
 	fid, err := m.fleet.Submit(fspec)
 	if err != nil {
@@ -649,6 +663,7 @@ func (m *Manager) runFleetJob(j *Job) {
 	case res.Mode == fleet.ModeCheck:
 		m.metrics.CheckPoints.Add(int64(res.Report.Explored))
 		m.metrics.CheckDivergences.Add(int64(len(res.Report.Divergences)))
+		m.metrics.NoteCheckReport(res.Report)
 		j.mu.Lock()
 		j.report = res.Report
 		j.mu.Unlock()
@@ -726,6 +741,7 @@ func (m *Manager) watchFleetJob(j *Job, fid uint64, mode string, done <-chan str
 func (m *Manager) runCheckJob(j *Job) {
 	cfg := check.Config{
 		Seed:       j.Spec.BaseSeed,
+		Failures:   j.Spec.Failures,
 		Grid:       j.Spec.CheckGrid,
 		Exhaustive: j.Spec.CheckExhaustive,
 		Workers:    j.Spec.Workers,
@@ -738,6 +754,7 @@ func (m *Manager) runCheckJob(j *Job) {
 	rep, err := check.Run(j.ctx, j.bp.Factory, j.kind, cfg)
 	if rep != nil {
 		m.metrics.CheckDivergences.Add(int64(len(rep.Divergences)))
+		m.metrics.NoteCheckReport(rep)
 		j.mu.Lock()
 		j.report = rep
 		j.mu.Unlock()

@@ -8,10 +8,13 @@ package service
 import (
 	"fmt"
 	"io"
+	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"easeio/internal/check"
 	"easeio/internal/obs"
 	"easeio/internal/stats"
 )
@@ -33,6 +36,15 @@ type Metrics struct {
 	// CheckDivergences counts the subset that diverged from golden.
 	CheckPoints      atomic.Int64
 	CheckDivergences atomic.Int64
+
+	// The depth-labeled split of the two counters above: schedules
+	// replayed and divergences found per failure depth (depth 1 is the
+	// single-failure checker; deeper levels are the k > 1 checkpoint
+	// tree). Exposed as easeio_check_depth_points_total{depth="N"} /
+	// easeio_check_depth_divergences_total{depth="N"}.
+	depthMu   sync.Mutex
+	depthPts  map[int]int64
+	depthDivs map[int]int64
 
 	// The distribution surface: per-job latency and throughput
 	// histograms, labeled by job mode where both modes flow in.
@@ -74,6 +86,34 @@ func NewMetrics() *Metrics {
 	}
 }
 
+// NoteCheckReport folds a completed check report into the depth-labeled
+// exploration counters. Level-1 points come from the report's top-level
+// Explored; deeper levels from the checkpoint tree's per-depth stats. A
+// divergence's depth is the length of its failure schedule (single-
+// failure divergences carry their schedule implicitly in At).
+func (m *Metrics) NoteCheckReport(rep *check.Report) {
+	if rep == nil {
+		return
+	}
+	m.depthMu.Lock()
+	defer m.depthMu.Unlock()
+	if m.depthPts == nil {
+		m.depthPts = make(map[int]int64)
+		m.depthDivs = make(map[int]int64)
+	}
+	m.depthPts[1] += int64(rep.Explored)
+	for _, ds := range rep.Depths {
+		m.depthPts[ds.Depth] += int64(ds.Explored)
+	}
+	for _, dv := range rep.Divergences {
+		depth := len(dv.Schedule)
+		if depth == 0 {
+			depth = 1
+		}
+		m.depthDivs[depth]++
+	}
+}
+
 // NoteSummary folds one job's (possibly partial) sweep summary into the
 // cumulative work-split gauges. Summary work fields are per-run means, so
 // each is weighted back by the summary's run count.
@@ -105,6 +145,33 @@ func (m *Metrics) WastedRatio() float64 {
 	return float64(m.wastedT) / float64(m.appT)
 }
 
+// writeDepthCounters renders the depth-labeled check counters. Families
+// with no samples are omitted entirely (the service may never run a
+// check job); label values are emitted in ascending depth order so the
+// exposition is deterministic.
+func (m *Metrics) writeDepthCounters(w io.Writer) {
+	m.depthMu.Lock()
+	defer m.depthMu.Unlock()
+	family := func(name, help string, byDepth map[int]int64) {
+		if len(byDepth) == 0 {
+			return
+		}
+		depths := make([]int, 0, len(byDepth))
+		for d := range byDepth {
+			depths = append(depths, d)
+		}
+		sort.Ints(depths)
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for _, d := range depths {
+			fmt.Fprintf(w, "%s{depth=%q} %d\n", name, strconv.Itoa(d), byDepth[d])
+		}
+	}
+	family("easeio_check_depth_points_total",
+		"Failure schedules replayed per failure depth (1 = single failure, >1 = nested).", m.depthPts)
+	family("easeio_check_depth_divergences_total",
+		"Divergent schedules per failure depth.", m.depthDivs)
+}
+
 // WriteTo renders the metrics in the Prometheus text exposition format.
 // queueDepth and running are point-in-time gauges owned by the manager,
 // passed in so Metrics stays a pure accumulator.
@@ -125,6 +192,7 @@ func (m *Metrics) WriteTo(w io.Writer, queueDepth, running int) {
 	counter("easeio_runs_completed_total", "Seeded simulation runs finished across all jobs.", m.RunsCompleted.Load())
 	counter("easeio_check_points_total", "Failure points explored by check-mode jobs.", m.CheckPoints.Load())
 	counter("easeio_check_divergences_total", "Explored failure points that diverged from the golden run.", m.CheckDivergences.Load())
+	m.writeDepthCounters(w)
 
 	gauge("easeio_queue_depth", "Jobs waiting in the bounded queue.", float64(queueDepth))
 	gauge("easeio_running_jobs", "Jobs currently executing.", float64(running))

@@ -156,6 +156,7 @@ func RegisterPaperBenches(r *Registry) error {
 	}{
 		{"dma", func() (*apps.Bench, error) { return apps.NewDMAApp(apps.DefaultDMAConfig()) }},
 		{"temp", func() (*apps.Bench, error) { return apps.NewTempApp(apps.DefaultTempConfig()) }},
+		{"sensor", func() (*apps.Bench, error) { return apps.NewSensorApp(apps.DefaultSensorConfig()) }},
 		{"lea", func() (*apps.Bench, error) { return apps.NewLEAApp(apps.DefaultLEAConfig()) }},
 		{"fir", func() (*apps.Bench, error) { return apps.NewFIRApp(apps.DefaultFIRConfig()) }},
 		{"fir-op", func() (*apps.Bench, error) {

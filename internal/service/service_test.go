@@ -406,7 +406,7 @@ func TestSubmitValidation(t *testing.T) {
 		{
 			name:    "unknown blueprint",
 			spec:    JobSpec{App: "nosuch", Runtime: "EaseIO", Runs: 4},
-			wantErr: `service: unknown blueprint "nosuch" (registered: [branch dma fir fir-op lea temp weather weather-db])`,
+			wantErr: `service: unknown blueprint "nosuch" (registered: [branch dma fir fir-op lea sensor temp weather weather-db])`,
 		},
 		{
 			name:    "bad runtime",
@@ -442,6 +442,21 @@ func TestSubmitValidation(t *testing.T) {
 			name:    "check job with runs",
 			spec:    JobSpec{App: "dma", Runtime: "EaseIO", Runs: 4, Mode: "check"},
 			wantErr: "service: check job does not take a run count (got 4)",
+		},
+		{
+			name:    "sweep job with failure depth",
+			spec:    JobSpec{App: "dma", Runtime: "EaseIO", Runs: 4, Failures: 2},
+			wantErr: "service: sweep job does not take a failure depth (got 2)",
+		},
+		{
+			name:    "check job failure depth too deep",
+			spec:    JobSpec{App: "dma", Runtime: "EaseIO", Mode: "check", Failures: 5},
+			wantErr: "service: check: failure depth 5 out of range [1, 4]",
+		},
+		{
+			name:    "check job negative failure depth",
+			spec:    JobSpec{App: "dma", Runtime: "EaseIO", Mode: "check", Failures: -1},
+			wantErr: "service: check: failure depth -1 out of range [1, 4]",
 		},
 	}
 	for _, c := range cases {

@@ -94,6 +94,18 @@ type Run struct {
 	// PerSite maps I/O site names to execution counts.
 	PerSite map[string]int
 
+	// Samples records, per freshness-bounded I/O site ID, the wall-clock
+	// time the site's value was last physically sampled (NoSample before
+	// the first execution). The slice is grown lazily, so apps without
+	// freshness bounds never allocate it. Re-execution skips keep the old
+	// sample time — that is exactly the staleness the freshness oracle
+	// measures.
+	Samples []time.Duration
+	// Stale lists every freshness-bound violation in commit order: a
+	// task commit consumed a sampled input older than its declared
+	// staleness bound.
+	Stale []StaleEvent
+
 	// WallTime is total simulated wall-clock time (on + off); OnTime is
 	// the powered-on portion (the "execution time" in Figures 7 and 10).
 	WallTime time.Duration
@@ -106,18 +118,62 @@ type Run struct {
 	Stuck   bool
 }
 
-// Clone returns an independent deep copy of the run (PerSite is the only
-// reference field). Device checkpoints hold clones so that restoring the
-// same checkpoint twice never aliases counters between replays.
+// NoSample marks a freshness-bounded site that has not executed yet in
+// Run.Samples.
+const NoSample = time.Duration(-1)
+
+// StaleEvent is one freshness-bound violation: a task commit consumed an
+// input sampled longer ago than the site's declared bound allows. Off
+// durations count against the bound — that is the point: memory can be
+// perfectly consistent while the data it holds has gone stale across a
+// recharge.
+type StaleEvent struct {
+	// Site is the I/O site's name.
+	Site string
+	// Age is the input's age at consumption (commit time − sample time);
+	// Bound is the site's declared staleness bound.
+	Age   time.Duration
+	Bound time.Duration
+	// At is the consuming commit's wall-clock time.
+	At time.Duration
+}
+
+// SampleAt returns the site's last sample time, or NoSample.
+func (r *Run) SampleAt(siteID int) time.Duration {
+	if siteID >= len(r.Samples) {
+		return NoSample
+	}
+	return r.Samples[siteID]
+}
+
+// NoteSample records the site's physical execution at wall-clock time t.
+func (r *Run) NoteSample(siteID int, t time.Duration) {
+	for len(r.Samples) <= siteID {
+		r.Samples = append(r.Samples, NoSample)
+	}
+	r.Samples[siteID] = t
+}
+
+// NoteStale appends one freshness-bound violation.
+func (r *Run) NoteStale(site string, age, bound, at time.Duration) {
+	r.Stale = append(r.Stale, StaleEvent{Site: site, Age: age, Bound: bound, At: at})
+}
+
+// Clone returns an independent deep copy of the run (PerSite, Samples
+// and Stale are the reference fields). Device checkpoints hold clones so
+// that restoring the same checkpoint twice never aliases counters
+// between replays.
 func (r *Run) Clone() *Run { return r.CloneInto(nil) }
 
-// CloneInto deep-copies r into dst, reusing dst's PerSite map when
-// possible; a nil dst allocates. It returns the copy.
+// CloneInto deep-copies r into dst, reusing dst's PerSite map and slice
+// storage when possible; a nil dst allocates. It returns the copy.
 func (r *Run) CloneInto(dst *Run) *Run {
 	if dst == nil {
 		dst = &Run{}
 	}
 	per := dst.PerSite
+	samples := dst.Samples
+	stale := dst.Stale
 	*dst = *r
 	dst.PerSite = nil
 	if r.PerSite != nil {
@@ -130,6 +186,16 @@ func (r *Run) CloneInto(dst *Run) *Run {
 			per[k] = v
 		}
 		dst.PerSite = per
+	}
+	// Mirror the PerSite rule for the slices: nil stays nil, so a cloned
+	// record's shape matches a freshly allocated one regardless of what
+	// the reused storage held before.
+	dst.Samples, dst.Stale = nil, nil
+	if r.Samples != nil {
+		dst.Samples = append(samples[:0], r.Samples...)
+	}
+	if r.Stale != nil {
+		dst.Stale = append(stale[:0], r.Stale...)
 	}
 	return dst
 }

@@ -92,6 +92,15 @@ func (s *IOSite) Loop(n int) *IOSite {
 	return s
 }
 
+// Fresh declares the site's staleness bound (see IOSite.Freshness): a
+// task that commits while holding the site's value more than bound after
+// its last physical sample violates the application's freshness
+// specification. Validate rejects bounds on sites that return no value.
+func (s *IOSite) Fresh(bound time.Duration) *IOSite {
+	s.Freshness = bound
+	return s
+}
+
 // After declares data dependencies: this site must re-execute whenever any
 // of the listed sites re-executes.
 func (s *IOSite) After(deps ...*IOSite) *IOSite {
@@ -153,8 +162,25 @@ func (a *App) Validate() error {
 		if s.Exec == nil {
 			return fmt.Errorf("task: I/O site %q has no exec function", s.Name)
 		}
+		if s.Freshness < 0 {
+			return fmt.Errorf("task: I/O site %q has a negative freshness bound %v", s.Name, s.Freshness)
+		}
+		if s.Freshness > 0 && !s.Returns {
+			return fmt.Errorf("task: I/O site %q declares a freshness bound but returns no value", s.Name)
+		}
 	}
 	return nil
+}
+
+// DeclaresFreshness reports whether any I/O site carries a staleness
+// bound — the gate for the checker's freshness oracle.
+func (a *App) DeclaresFreshness() bool {
+	for _, s := range a.Sites {
+		if s.Freshness > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // TaskMeta is the per-task metadata the compiler front-end computes from an

@@ -208,6 +208,15 @@ type IOSite struct {
 	// invoked in a loop (1 for straight-line code). EaseIO allocates one
 	// lock flag and one private value slot per instance.
 	Instances int
+	// Freshness, when positive, bounds how stale the site's value may be
+	// when a task consuming it commits: if more than Freshness of
+	// wall-clock time (on-time plus off-time) has passed since the value
+	// was last physically sampled, the consuming commit is a staleness
+	// violation. It is a *specification* the checker's freshness oracle
+	// enforces, orthogonal to Window: Window tells the runtime when to
+	// re-execute, Freshness tells the checker what the application can
+	// tolerate. Only meaningful on value-returning sites.
+	Freshness time.Duration
 	// Exec performs the actual peripheral operation. It runs with the
 	// task's execution context and the dynamic loop instance index (0 for
 	// straight-line sites), returning the operation's value (0 for void

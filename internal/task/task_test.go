@@ -126,6 +126,59 @@ func TestValidateErrors(t *testing.T) {
 	}
 }
 
+// TestValidateFreshnessErrors pins the freshness-bound misuse surface: a
+// bound is a specification on a consumed value, so it must be positive
+// and the site must return one.
+func TestValidateFreshnessErrors(t *testing.T) {
+	exec := func(Exec, int) uint16 { return 0 }
+	cases := []struct {
+		name    string
+		build   func(*App)
+		wantErr string
+	}{
+		{
+			name: "negative bound",
+			build: func(a *App) {
+				a.IO("sense", Always, true, exec).Fresh(-time.Millisecond)
+			},
+			wantErr: `task: I/O site "sense" has a negative freshness bound -1ms`,
+		},
+		{
+			name: "bound on a site that returns nothing",
+			build: func(a *App) {
+				a.IO("fire", Always, false, exec).Fresh(time.Millisecond)
+			},
+			wantErr: `task: I/O site "fire" declares a freshness bound but returns no value`,
+		},
+		{
+			name: "valid bound",
+			build: func(a *App) {
+				a.IO("sense", Always, true, exec).Fresh(time.Millisecond)
+			},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			a := NewApp("fresh")
+			c.build(a)
+			a.AddTask("t", func(e Exec) { e.Done() })
+			err := a.Validate()
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("valid app rejected: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatal("misuse accepted")
+			}
+			if err.Error() != c.wantErr {
+				t.Errorf("error = %q,\nwant    %q", err.Error(), c.wantErr)
+			}
+		})
+	}
+}
+
 func TestLocHelpers(t *testing.T) {
 	v := &NVVar{Name: "v", Words: 4}
 	l := VarLoc(v, 2)

@@ -178,6 +178,19 @@ func appendRun(b []byte, r *stats.Run) []byte {
 	}
 	b = appendVarint(b, int64(r.WallTime))
 	b = appendVarint(b, int64(r.OnTime))
+	// Freshness record: per-site sample clocks (NoSample encodes like any
+	// other duration) and the staleness violations.
+	b = appendUvarint(b, uint64(len(r.Samples)))
+	for _, at := range r.Samples {
+		b = appendVarint(b, int64(at))
+	}
+	b = appendUvarint(b, uint64(len(r.Stale)))
+	for _, ev := range r.Stale {
+		b = appendString(b, ev.Site)
+		b = appendVarint(b, int64(ev.Age))
+		b = appendVarint(b, int64(ev.Bound))
+		b = appendVarint(b, int64(ev.At))
+	}
 	b = appendBool(b, r.Correct)
 	return appendBool(b, r.Stuck)
 }
@@ -209,6 +222,25 @@ func (d *dec) run() *stats.Run {
 	}
 	r.WallTime = time.Duration(d.varint())
 	r.OnTime = time.Duration(d.varint())
+	// Each sample clock is at least 1 byte.
+	if n := d.count(1); d.err == nil && n > 0 {
+		r.Samples = make([]time.Duration, n)
+		for i := 0; i < n && d.err == nil; i++ {
+			r.Samples[i] = time.Duration(d.varint())
+		}
+	}
+	// Each stale event is at least 4 bytes (empty site + 3 durations).
+	if n := d.count(4); d.err == nil && n > 0 {
+		r.Stale = make([]stats.StaleEvent, n)
+		for i := 0; i < n && d.err == nil; i++ {
+			r.Stale[i] = stats.StaleEvent{
+				Site:  d.string(),
+				Age:   time.Duration(d.varint()),
+				Bound: time.Duration(d.varint()),
+				At:    time.Duration(d.varint()),
+			}
+		}
+	}
 	r.Correct = d.bool()
 	r.Stuck = d.bool()
 	if d.err != nil {

@@ -42,6 +42,10 @@ type CheckShard struct {
 	Exhaustive bool
 	Grid       int
 	Workers    int
+	// Failures is the nested-failure depth k (0 defaults to 1). Like
+	// adaptive checks, k > 1 jobs stay a single shard: the checkpoint
+	// tree grows from outcomes across the whole candidate range.
+	Failures int
 }
 
 // SweepResult is a worker's completed sweep shard: the aggregator fold
@@ -53,12 +57,15 @@ type SweepResult struct {
 	Errs  []string
 }
 
-// CheckResult is a worker's completed check shard.
+// CheckResult is a worker's completed check shard. Depths carries the
+// per-depth exploration stats of a nested (k > 1) check; it is empty
+// for single-failure shards.
 type CheckResult struct {
 	Job         uint64
 	Shard       int
 	Explored    int
 	Pruned      int
+	Depths      []check.DepthStats
 	Divergences []check.Divergence
 }
 
@@ -112,7 +119,8 @@ func AppendCheckShard(dst []byte, s CheckShard) []byte {
 	dst = appendVarint(dst, int64(s.CutHi))
 	dst = appendBool(dst, s.Exhaustive)
 	dst = appendVarint(dst, int64(s.Grid))
-	return appendVarint(dst, int64(s.Workers))
+	dst = appendVarint(dst, int64(s.Workers))
+	return appendVarint(dst, int64(s.Failures))
 }
 
 // DecodeCheckShard decodes a KindCheckShard message.
@@ -132,6 +140,7 @@ func DecodeCheckShard(b []byte) (CheckShard, error) {
 		Exhaustive: d.bool(),
 		Grid:       int(d.varint()),
 		Workers:    int(d.varint()),
+		Failures:   int(d.varint()),
 	}
 	if d.err != nil {
 		return CheckShard{}, d.err
@@ -188,14 +197,85 @@ func AppendCheckResult(dst []byte, r CheckResult) []byte {
 	dst = appendVarint(dst, int64(r.Shard))
 	dst = appendVarint(dst, int64(r.Explored))
 	dst = appendVarint(dst, int64(r.Pruned))
-	dst = appendUvarint(dst, uint64(len(r.Divergences)))
-	for _, dv := range r.Divergences {
+	dst = appendDepthStats(dst, r.Depths)
+	return appendDivergences(dst, r.Divergences)
+}
+
+// appendDepthStats encodes a nested-exploration stats list (shared by
+// check results and merged reports).
+func appendDepthStats(dst []byte, depths []check.DepthStats) []byte {
+	dst = appendUvarint(dst, uint64(len(depths)))
+	for _, ds := range depths {
+		dst = appendVarint(dst, int64(ds.Depth))
+		dst = appendVarint(dst, int64(ds.Expanded))
+		dst = appendVarint(dst, int64(ds.Collapsed))
+		dst = appendVarint(dst, int64(ds.Candidates))
+		dst = appendVarint(dst, int64(ds.Explored))
+		dst = appendVarint(dst, int64(ds.Pruned))
+	}
+	return dst
+}
+
+func (d *dec) depthStats() []check.DepthStats {
+	// Each depth entry is 6 varints, at least 6 bytes.
+	n := d.count(6)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	depths := make([]check.DepthStats, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		depths[i] = check.DepthStats{
+			Depth:      int(d.varint()),
+			Expanded:   int(d.varint()),
+			Collapsed:  int(d.varint()),
+			Candidates: int(d.varint()),
+			Explored:   int(d.varint()),
+			Pruned:     int(d.varint()),
+		}
+	}
+	return depths
+}
+
+// appendDivergences encodes a divergence list (shared by check results
+// and merged reports).
+func appendDivergences(dst []byte, divs []check.Divergence) []byte {
+	dst = appendUvarint(dst, uint64(len(divs)))
+	for _, dv := range divs {
 		dst = appendVarint(dst, int64(dv.At))
 		dst = appendVarint(dst, int64(dv.Index))
 		dst = appendString(dst, dv.Kind)
 		dst = appendString(dst, dv.Detail)
+		dst = appendUvarint(dst, uint64(len(dv.Schedule)))
+		for _, t := range dv.Schedule {
+			dst = appendVarint(dst, int64(t))
+		}
 	}
 	return dst
+}
+
+func (d *dec) divergences() []check.Divergence {
+	// Each divergence is at least 5 bytes (two varints, two empty
+	// strings, an empty schedule).
+	n := d.count(5)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	divs := make([]check.Divergence, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		divs[i] = check.Divergence{
+			At:     time.Duration(d.varint()),
+			Index:  int(d.varint()),
+			Kind:   d.string(),
+			Detail: d.string(),
+		}
+		if m := d.count(1); d.err == nil && m > 0 {
+			divs[i].Schedule = make([]time.Duration, m)
+			for j := 0; j < m && d.err == nil; j++ {
+				divs[i].Schedule[j] = time.Duration(d.varint())
+			}
+		}
+	}
+	return divs
 }
 
 // DecodeCheckResult decodes a KindCheckResult message.
@@ -208,19 +288,8 @@ func DecodeCheckResult(b []byte) (CheckResult, error) {
 		Explored: int(d.varint()),
 		Pruned:   int(d.varint()),
 	}
-	// Each divergence is at least 4 bytes (two varints + two empty
-	// strings).
-	if n := d.count(4); d.err == nil && n > 0 {
-		r.Divergences = make([]check.Divergence, n)
-		for i := 0; i < n && d.err == nil; i++ {
-			r.Divergences[i] = check.Divergence{
-				At:     time.Duration(d.varint()),
-				Index:  int(d.varint()),
-				Kind:   d.string(),
-				Detail: d.string(),
-			}
-		}
-	}
+	r.Depths = d.depthStats()
+	r.Divergences = d.divergences()
 	if d.err != nil {
 		return CheckResult{}, d.err
 	}
@@ -363,17 +432,13 @@ func AppendReport(dst []byte, r check.Report) []byte {
 	dst = appendVarint(dst, int64(r.Off))
 	dst = appendVarint(dst, int64(r.GoldenOnTime))
 	dst = appendBool(dst, r.GoldenCorrect)
+	dst = appendVarint(dst, int64(r.Failures))
 	dst = appendVarint(dst, int64(r.Candidates))
 	dst = appendVarint(dst, int64(r.Explored))
 	dst = appendVarint(dst, int64(r.Pruned))
 	dst = appendString(dst, r.Note)
-	dst = appendUvarint(dst, uint64(len(r.Divergences)))
-	for _, dv := range r.Divergences {
-		dst = appendVarint(dst, int64(dv.At))
-		dst = appendVarint(dst, int64(dv.Index))
-		dst = appendString(dst, dv.Kind)
-		dst = appendString(dst, dv.Detail)
-	}
+	dst = appendDepthStats(dst, r.Depths)
+	dst = appendDivergences(dst, r.Divergences)
 	dst = appendUvarint(dst, uint64(len(r.Minimal)))
 	for _, m := range r.Minimal {
 		dst = appendVarint(dst, int64(m))
@@ -392,21 +457,13 @@ func DecodeReport(b []byte) (check.Report, error) {
 	r.Off = time.Duration(d.varint())
 	r.GoldenOnTime = time.Duration(d.varint())
 	r.GoldenCorrect = d.bool()
+	r.Failures = int(d.varint())
 	r.Candidates = int(d.varint())
 	r.Explored = int(d.varint())
 	r.Pruned = int(d.varint())
 	r.Note = d.string()
-	if n := d.count(4); d.err == nil && n > 0 {
-		r.Divergences = make([]check.Divergence, n)
-		for i := 0; i < n && d.err == nil; i++ {
-			r.Divergences[i] = check.Divergence{
-				At:     time.Duration(d.varint()),
-				Index:  int(d.varint()),
-				Kind:   d.string(),
-				Detail: d.string(),
-			}
-		}
-	}
+	r.Depths = d.depthStats()
+	r.Divergences = d.divergences()
 	if n := d.count(1); d.err == nil && n > 0 {
 		r.Minimal = make([]time.Duration, n)
 		for i := 0; i < n && d.err == nil; i++ {

@@ -32,8 +32,10 @@ import (
 )
 
 // Version is the current encoding version, stamped into every message
-// header.
-const Version = 1
+// header. Version 2 added the freshness record to run encodings and the
+// nested-failure fields (depth, per-depth stats, divergence schedules)
+// to check shard/report encodings.
+const Version = 2
 
 // Kind tags a message's type in its header.
 type Kind uint8
