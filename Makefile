@@ -23,7 +23,7 @@ FUZZTIME ?= 30s
 # is compiled and exercised without paying for stable numbers.
 BENCHTIME ?= 10x
 
-.PHONY: build test race vet fmt fmt-check bench bench-all fuzz fuzz-smoke nested-smoke serve-smoke fleet-smoke check ci
+.PHONY: build test race vet fmt fmt-check bench bench-all bench-gate fuzz fuzz-smoke nested-smoke serve-smoke fleet-smoke check ci
 
 build:
 	$(GO) build ./...
@@ -45,15 +45,30 @@ fmt-check:
 race:
 	$(GO) test -race . ./internal/core ./internal/check ./internal/experiments/... ./internal/kernel/... ./internal/service/... ./internal/fleet ./internal/wire ./internal/obs
 
+# -cpu 1 pins the benchmarks to one scheduler proc so numbers compare
+# across machines and across runs on shared CI runners (the sweep
+# benches are single-worker by design; GOMAXPROCS only adds scheduler
+# noise to them).
 bench:
-	$(GO) test -run '^$$' -bench BenchmarkSweepThroughput -benchtime $(BENCHTIME) .
-	$(GO) test -run '^$$' -bench 'BenchmarkCheckThroughput/fig6' -benchtime $(BENCHTIME) .
-	$(GO) test -run '^$$' -bench 'BenchmarkTrace|BenchmarkRunTraced' -benchtime $(BENCHTIME) ./internal/kernel
-	$(GO) test -run '^$$' -bench BenchmarkFleetSweep -benchtime $(BENCHTIME) ./internal/fleet
+	$(GO) test -run '^$$' -bench BenchmarkSweepThroughput -benchtime $(BENCHTIME) -cpu 1 .
+	$(GO) test -run '^$$' -bench 'BenchmarkCheckThroughput/fig6' -benchtime $(BENCHTIME) -cpu 1 .
+	$(GO) test -run '^$$' -bench 'BenchmarkTrace|BenchmarkRunTraced' -benchtime $(BENCHTIME) -cpu 1 ./internal/kernel
+	$(GO) test -run '^$$' -bench BenchmarkFleetSweep -benchtime $(BENCHTIME) -cpu 1 ./internal/fleet
 
 # Every benchmark in the module (slow; `make bench` is the curated cut).
 bench-all:
 	$(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) ./...
+
+# The failing bench-regression gate: measure the pooled sweep rate with
+# enough iterations for a stable-ish number (200 sweeps ≈ tens of ms of
+# measured work — cheap, but far less noisy than the 1x compile smoke)
+# and compare against the latest BENCH_sweep.json datapoint. Fails below
+# 0.75x the tracked runs/s or above +2 allocs/run. A PR that changes
+# sweep performance on purpose must refresh BENCH_sweep.json in the same
+# PR (see the refresh command in its description).
+bench-gate:
+	$(GO) test -run '^$$' -bench 'BenchmarkSweepThroughput/pooled' -benchtime 200x -count 3 -cpu 1 . | tee bench-gate.txt
+	$(GO) run ./cmd/easeio-benchdiff -bench bench-gate.txt
 
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseRuntimeKind$$' -fuzztime $(FUZZTIME) .
@@ -93,3 +108,4 @@ check: build fmt-check vet test race fuzz-smoke nested-smoke serve-smoke fleet-s
 ci:
 	$(MAKE) check
 	$(MAKE) bench BENCHTIME=1x
+	$(MAKE) bench-gate

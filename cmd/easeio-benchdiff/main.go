@@ -1,0 +1,193 @@
+// Command easeio-benchdiff is the CI bench-regression gate: it parses
+// `go test -bench` output for the gated benchmark, compares the measured
+// rate and allocation count against the latest tracked datapoint in the
+// repository's benchmark ledger (BENCH_sweep.json), and exits non-zero
+// when the measurement regresses past the tolerances.
+//
+// Usage:
+//
+//	easeio-benchdiff [-bench FILE] [-baseline FILE] [-name SUBSTRING]
+//	                 [-key NAME] [-min-ratio R] [-alloc-slack N]
+//
+// -bench reads the benchmark output ("-" or empty reads stdin). Lines
+// whose first field contains -name are parsed for the custom metrics
+// "runs/s" and "allocs/run" (the value is the field preceding the unit).
+// With -count > 1 several lines match; the gate scores the best of them
+// — max runs/s, min allocs/run — because the gate asks "can this commit
+// still reach the tracked rate", and the minimum over repetitions is
+// noise, not capability.
+//
+// The baseline is datapoints[-1].results[key] of -baseline: the ledger
+// appends a datapoint whenever performance changes materially, so the
+// latest entry is the current expectation.
+//
+// Tolerances: the run fails when measured runs/s drops below -min-ratio
+// times the tracked rate (default 0.75 — CI runners are slower and
+// noisier than the machine that recorded the ledger), or when measured
+// allocs/run exceeds the tracked count by more than -alloc-slack
+// (default 2 — allocation counts are nearly deterministic, so even a
+// small rise means a new allocation on a per-run path).
+//
+// Escape hatch: a PR that intentionally changes sweep performance (a
+// slower-but-correct fix, or a speedup worth re-anchoring on) must
+// refresh the ledger in the same PR — run the refresh command in
+// BENCH_sweep.json's description and append the new datapoint with a
+// note. The gate then compares future PRs against the new expectation.
+//
+// Exit status: 0 within tolerance, 1 on regression, 2 on usage or parse
+// errors.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type metrics struct {
+	runsPerS     float64
+	allocsPerRun float64
+	hasRate      bool
+	hasAllocs    bool
+}
+
+func main() {
+	var (
+		benchPath  = flag.String("bench", "-", "benchmark output file (\"-\" = stdin)")
+		basePath   = flag.String("baseline", "BENCH_sweep.json", "benchmark ledger with tracked datapoints")
+		name       = flag.String("name", "BenchmarkSweepThroughput/pooled", "benchmark name substring to gate on")
+		key        = flag.String("key", "pooled", "results key of the tracked datapoint")
+		minRatio   = flag.Float64("min-ratio", 0.75, "minimum measured/tracked runs/s ratio")
+		allocSlack = flag.Float64("alloc-slack", 2, "maximum allocs/run increase over tracked")
+	)
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if *benchPath != "" && *benchPath != "-" {
+		f, err := os.Open(*benchPath)
+		if err != nil {
+			fatalf(2, "benchdiff: %v", err)
+		}
+		defer f.Close()
+		in = f
+	}
+	got, lines, err := parseBench(in, *name)
+	if err != nil {
+		fatalf(2, "benchdiff: %v", err)
+	}
+	if lines == 0 {
+		fatalf(2, "benchdiff: no %q lines in benchmark output", *name)
+	}
+	if !got.hasRate || !got.hasAllocs {
+		fatalf(2, "benchdiff: %q lines carry no runs/s + allocs/run metrics", *name)
+	}
+
+	tracked, commit, err := readBaseline(*basePath, *key)
+	if err != nil {
+		fatalf(2, "benchdiff: %v", err)
+	}
+
+	fmt.Printf("benchdiff: %s over %d line(s): measured %.0f runs/s, %.2f allocs/run\n",
+		*name, lines, got.runsPerS, got.allocsPerRun)
+	fmt.Printf("benchdiff: tracked (%s, %q): %.0f runs/s, %.2f allocs/run\n",
+		*basePath, commit, tracked.runsPerS, tracked.allocsPerRun)
+
+	failed := false
+	if floor := *minRatio * tracked.runsPerS; got.runsPerS < floor {
+		fmt.Printf("benchdiff: FAIL: %.0f runs/s is below %.2fx the tracked rate (floor %.0f)\n",
+			got.runsPerS, *minRatio, floor)
+		failed = true
+	}
+	if ceil := tracked.allocsPerRun + *allocSlack; got.allocsPerRun > ceil {
+		fmt.Printf("benchdiff: FAIL: %.2f allocs/run exceeds tracked %.2f + %.0f slack\n",
+			got.allocsPerRun, tracked.allocsPerRun, *allocSlack)
+		failed = true
+	}
+	if failed {
+		fmt.Println("benchdiff: if this change is intentional, refresh BENCH_sweep.json in the same PR (see its description for the refresh command) and document why in the datapoint note")
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: OK (rate %.2fx tracked, allocs %+.2f)\n",
+		got.runsPerS/tracked.runsPerS, got.allocsPerRun-tracked.allocsPerRun)
+}
+
+// parseBench scans benchmark output for lines of the gated benchmark and
+// returns the best measurement across them plus the matched line count.
+func parseBench(r io.Reader, name string) (metrics, int, error) {
+	var best metrics
+	lines := 0
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 || !strings.Contains(fields[0], name) {
+			continue
+		}
+		var m metrics
+		for i := 0; i+1 < len(fields); i++ {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "runs/s":
+				m.runsPerS, m.hasRate = v, true
+			case "allocs/run":
+				m.allocsPerRun, m.hasAllocs = v, true
+			}
+		}
+		if !m.hasRate && !m.hasAllocs {
+			continue
+		}
+		lines++
+		if !best.hasRate || m.runsPerS > best.runsPerS {
+			best.runsPerS, best.hasRate = m.runsPerS, m.hasRate
+		}
+		if !best.hasAllocs || m.allocsPerRun < best.allocsPerRun {
+			best.allocsPerRun, best.hasAllocs = m.allocsPerRun, m.hasAllocs
+		}
+	}
+	return best, lines, sc.Err()
+}
+
+// readBaseline extracts the latest tracked datapoint's results[key].
+func readBaseline(path, key string) (metrics, string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return metrics{}, "", err
+	}
+	var ledger struct {
+		Datapoints []struct {
+			Commit  string `json:"commit"`
+			Results map[string]struct {
+				RunsPerS     float64 `json:"runs_per_s"`
+				AllocsPerRun float64 `json:"allocs_per_run"`
+			} `json:"results"`
+		} `json:"datapoints"`
+	}
+	if err := json.Unmarshal(raw, &ledger); err != nil {
+		return metrics{}, "", fmt.Errorf("%s: %w", path, err)
+	}
+	if len(ledger.Datapoints) == 0 {
+		return metrics{}, "", fmt.Errorf("%s: no datapoints", path)
+	}
+	last := ledger.Datapoints[len(ledger.Datapoints)-1]
+	res, ok := last.Results[key]
+	if !ok {
+		return metrics{}, "", fmt.Errorf("%s: latest datapoint has no %q results", path, key)
+	}
+	if res.RunsPerS <= 0 {
+		return metrics{}, "", fmt.Errorf("%s: tracked runs_per_s must be positive", path)
+	}
+	return metrics{runsPerS: res.RunsPerS, allocsPerRun: res.AllocsPerRun, hasRate: true, hasAllocs: true},
+		last.Commit, nil
+}
+
+func fatalf(code int, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(code)
+}

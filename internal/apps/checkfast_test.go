@@ -1,0 +1,136 @@
+// CheckFast must decide exactly what CheckOutput decides — the engine
+// substitutes the fast checker on compiled runs, so any divergence would
+// silently change correctness statistics. The pin drives both through
+// the same synthetic memory across planted-correct, corrupted and random
+// contents.
+
+package apps
+
+import (
+	"math/rand"
+	"testing"
+
+	"easeio/internal/task"
+)
+
+// fakeCheckMem is a map-backed task.CheckMem (and CheckOutput read
+// source): every variable reads as its stored words, zero when unset.
+type fakeCheckMem map[*task.NVVar][]uint16
+
+func (m fakeCheckMem) words(v *task.NVVar) []uint16 {
+	w, ok := m[v]
+	if !ok {
+		w = make([]uint16, v.Words)
+		m[v] = w
+	}
+	return w
+}
+
+func (m fakeCheckMem) Read(v *task.NVVar, i int) uint16 { return m.words(v)[i] }
+
+func (m fakeCheckMem) Equal(v *task.NVVar, off int, want []uint16) bool {
+	w := m.words(v)
+	for i, x := range want {
+		if w[off+i] != x {
+			return false
+		}
+	}
+	return true
+}
+
+// agree fails the test when the two checkers disagree on m.
+func agree(t *testing.T, a *task.App, m fakeCheckMem, label string) {
+	t.Helper()
+	fast := a.CheckFast(m)
+	slow := a.CheckOutput(func(v *task.NVVar, i int) uint16 { return m.Read(v, i) })
+	if fast != slow {
+		t.Errorf("%s: CheckFast=%v but CheckOutput=%v", label, fast, slow)
+	}
+}
+
+func varByName(t *testing.T, a *task.App, name string) *task.NVVar {
+	t.Helper()
+	for _, v := range a.Vars {
+		if v.Name == name {
+			return v
+		}
+	}
+	t.Fatalf("app %s has no variable %q", a.Name, name)
+	return nil
+}
+
+func TestDMACheckFastMatchesCheckOutput(t *testing.T) {
+	cfg := DefaultDMAConfig()
+	cfg.Words = 200
+	bench, err := NewDMAApp(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := bench.App
+	if a.CheckFast == nil || a.CheckOutput == nil {
+		t.Fatal("dma app must carry both checkers")
+	}
+	dst := varByName(t, a, "dst")
+	sum := varByName(t, a, "checksum")
+	pattern := Pattern(cfg.Words, 0xD17A)
+	var want uint16
+	for i := 0; i < cfg.FinishReads; i++ {
+		want += pattern[i]
+	}
+
+	correct := func() fakeCheckMem {
+		m := fakeCheckMem{}
+		copy(m.words(dst), pattern)
+		m.words(sum)[0] = want
+		return m
+	}
+	agree(t, a, correct(), "fully correct")
+	agree(t, a, fakeCheckMem{}, "all zero")
+
+	// Corrupt single words, including positions past FinishReads: the
+	// fast path must still cover the whole destination buffer.
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 100; trial++ {
+		m := correct()
+		i := rng.Intn(cfg.Words)
+		m.words(dst)[i] ^= 1 + uint16(rng.Intn(0xFFFF))
+		agree(t, a, m, "corrupted dst word")
+	}
+	m := correct()
+	m.words(sum)[0]++
+	agree(t, a, m, "corrupted checksum")
+	for trial := 0; trial < 100; trial++ {
+		m := fakeCheckMem{}
+		for i := range m.words(dst) {
+			m.words(dst)[i] = uint16(rng.Intn(1 << 16))
+		}
+		m.words(sum)[0] = uint16(rng.Intn(1 << 16))
+		agree(t, a, m, "random memory")
+	}
+}
+
+func TestTempCheckFastMatchesCheckOutput(t *testing.T) {
+	bench, err := NewTempApp(DefaultTempConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := bench.App
+	if a.CheckFast == nil || a.CheckOutput == nil {
+		t.Fatal("temp app must carry both checkers")
+	}
+	reading := varByName(t, a, "reading")
+	derived := varByName(t, a, "derived")
+
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		m := fakeCheckMem{}
+		r := uint16(rng.Intn(1 << 16))
+		m.words(reading)[0] = r
+		if trial%2 == 0 {
+			m.words(derived)[0] = r*9/5 + 32 // consistent pair
+		} else {
+			m.words(derived)[0] = uint16(rng.Intn(1 << 16))
+		}
+		agree(t, a, m, "temp memory")
+	}
+}

@@ -49,26 +49,24 @@ func NewDMAApp(cfg DMAConfig) (*Bench, error) {
 
 	copyOp := a.DMA("copy")
 
-	var tDMA, tFin *task.Task
-	tInit := a.AddTask("init", func(e task.Exec) {
-		e.Compute(cfg.InitCycles)
-		e.Next(tDMA)
-	})
-	_ = tInit
-	tDMA = a.AddTask("dma", func(e task.Exec) {
-		e.Compute(cfg.PreCycles)
-		e.DMACopy(copyOp, task.VarLoc(src, 0), task.VarLoc(dst, 0), cfg.Words)
-		e.Compute(cfg.PostCycles)
-		e.Next(tFin)
-	})
-	tFin = a.AddTask("finish", func(e task.Exec) {
-		var s uint16
-		for i := 0; i < cfg.FinishReads; i++ {
-			s += e.LoadAt(dst, i)
-		}
-		e.Store(sum, s)
-		e.Done()
-	})
+	// Declarative op bodies: the same Exec calls the closures used to
+	// make, but expressed as data so the frozen program compiles them to
+	// execution kernels (and the finish checksum to one fused bulk load).
+	tInit := a.AddTask("init", nil)
+	tDMA := a.AddTask("dma", nil)
+	tFin := a.AddTask("finish", nil)
+	a.SetOps(tInit,
+		task.ComputeOp(cfg.InitCycles),
+		task.NextOp(tDMA))
+	a.SetOps(tDMA,
+		task.ComputeOp(cfg.PreCycles),
+		task.DMACopyOp(copyOp, task.VarLoc(src, 0), task.VarLoc(dst, 0), cfg.Words),
+		task.ComputeOp(cfg.PostCycles),
+		task.NextOp(tFin))
+	a.SetOps(tFin,
+		task.LoadSumOp(0, dst, 0, cfg.FinishReads),
+		task.StoreOp(sum, 0, 0),
+		task.DoneOp())
 
 	var want uint16
 	for i := 0; i < cfg.FinishReads; i++ {
@@ -81,6 +79,11 @@ func NewDMAApp(cfg DMAConfig) (*Bench, error) {
 			}
 		}
 		return read(sum, 0) == want
+	}
+	// CheckFast decides exactly what CheckOutput decides, through the bulk
+	// compare surface (apps_test pins the two against each other).
+	a.CheckFast = func(m task.CheckMem) bool {
+		return m.Equal(dst, 0, pattern) && m.Read(sum, 0) == want
 	}
 	return finalize(a, p)
 }

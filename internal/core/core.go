@@ -46,6 +46,7 @@ import (
 	"easeio/internal/mem"
 	"easeio/internal/rtbase"
 	"easeio/internal/task"
+	"easeio/internal/units"
 )
 
 // Config tunes the runtime. The zero value is not valid; use
@@ -406,6 +407,32 @@ func (r *Runtime) Load(c *kernel.Ctx, v *task.NVVar, i int) uint16 {
 func (r *Runtime) Store(c *kernel.Ctx, v *task.NVVar, i int, val uint16) {
 	c.ChargeMemAccess(mem.FRAM, true, false)
 	r.Dev.Mem.Write(r.MasterAddr(v).Add(i), val)
+}
+
+// LoadRun implements kernel.BulkLoader: the sum of words [off, off+n) of
+// v, charged exactly like n successive Load calls. Words that provably
+// complete before the supply's next failure point are charged in one
+// bulk add and read through a pre-validated view; the remainder goes
+// through the per-word Load so a power failure lands on the exact word
+// the unfused loop would have failed on.
+func (r *Runtime) LoadRun(c *kernel.Ctx, v *task.NVVar, off, n int) uint16 {
+	wdt := mcu.Cycles(mcu.FRAMReadCycles)
+	free, ok := c.BulkFree(n, wdt)
+	if !ok {
+		free = 0
+	}
+	var s uint16
+	if free > 0 {
+		c.BulkCharge(time.Duration(free)*wdt, units.Energy(free)*mcu.FRAMReadEnergy, false)
+		view := r.Dev.Mem.View(r.MasterAddr(v).Add(off), free)
+		for j := 0; j < free; j++ {
+			s += view.At(j)
+		}
+	}
+	for j := free; j < n; j++ {
+		s += r.Load(c, v, off+j)
+	}
+	return s
 }
 
 // AddrOf implements kernel.Hooks.
@@ -772,9 +799,7 @@ func (r *Runtime) enterRegion(c *kernel.Ctx, idx int) {
 		for vi, rv := range rm.vars {
 			c.ChargeOverheadCycles(int64(rv.Words()) * mcu.CommitWordCycles)
 			master := r.MasterAddr(rv.Var).Add(rv.Lo)
-			for w := 0; w < rv.Words(); w++ {
-				r.Dev.Mem.Write(master.Add(w), r.Dev.Mem.Read(rm.copies[vi].Add(w)))
-			}
+			r.copyRange(rm.copies[vi], master, rv.Words())
 		}
 		return
 	}
@@ -790,11 +815,29 @@ func (r *Runtime) enterRegion(c *kernel.Ctx, idx int) {
 	}
 	for vi, rv := range rm.vars {
 		master := r.MasterAddr(rv.Var).Add(rv.Lo)
-		for w := 0; w < rv.Words(); w++ {
-			r.Dev.Mem.Write(rm.copies[vi].Add(w), r.Dev.Mem.Read(master.Add(w)))
-		}
+		r.copyRange(master, rm.copies[vi], rv.Words())
 	}
 	r.setFlag(rm.flag, t.ID)
+}
+
+// copyRange moves n words from src to dst with the exact counting and
+// high-water effects of the word-by-word Read/Write loop it replaces.
+// The charges were applied by the caller before the copy (the
+// charge-before-apply invariant); the copy itself is mechanical, so the
+// bulk move is byte-identical whenever the ranges do not overlap (region
+// private copies never alias their master range — distinct allocations).
+func (r *Runtime) copyRange(src, dst mem.Addr, n int) {
+	if n <= 0 {
+		return
+	}
+	w := r.Dev.Mem.CopyWindowFor(src, dst, n)
+	if w.Bulkable() {
+		w.MoveN(0, n)
+		return
+	}
+	for i := 0; i < n; i++ {
+		w.Move(i)
+	}
 }
 
 // RegionIndex exposes the current region for tests.

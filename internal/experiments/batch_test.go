@@ -1,0 +1,230 @@
+// Differential coverage for the compiled-kernel and lockstep-batch
+// execution paths. The contract under test: every way of running a seed
+// — interpreted closure body, compiled kernel through a pooled session,
+// lockstep batch at any width — produces byte-identical statistics, so
+// compilation and batching are purely throughput knobs. The matrix
+// deliberately crosses all four runtime families (the bulk-load and
+// bulk-charge fast paths are per-runtime) and includes a ragged batch
+// width that does not divide the run count.
+
+package experiments
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"easeio/internal/kernel"
+	"easeio/internal/stats"
+)
+
+var diffRuntimes = []RuntimeKind{Alpaca, InK, EaseIO, JustDo}
+
+// runInterpreted executes one seed on a fresh device with compilation
+// disabled: the op-list interpreter body and the canonical CheckOutput
+// closure — the reference the compiled paths must reproduce.
+func runInterpreted(t *testing.T, factory AppFactory, kind RuntimeKind, seed int64) *stats.Run {
+	t.Helper()
+	bench, err := factory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := kernel.NewDevice(TimerSupply(), seed)
+	dev.NoCompile = true
+	if err := kernel.RunApp(dev, NewRuntime(kind), bench.App); err != nil {
+		t.Fatal(err)
+	}
+	return dev.Run
+}
+
+// TestCompiledMatchesInterpreted pins per-seed byte-identity between the
+// interpreted reference and the compiled-kernel session path, for every
+// runtime, on both op-bodied apps.
+func TestCompiledMatchesInterpreted(t *testing.T) {
+	factories := map[string]AppFactory{"dma": dmaFactory, "temp": tempFactory}
+	for name, factory := range factories {
+		for _, kind := range diffRuntimes {
+			t.Run(name+"/"+kind.String(), func(t *testing.T) {
+				bench, err := factory()
+				if err != nil {
+					t.Fatal(err)
+				}
+				sess := kernel.NewSession(NewRuntime(kind), bench.App, TimerSupply())
+				for seed := int64(1); seed <= 12; seed++ {
+					compiled, err := sess.Run(seed)
+					if err != nil {
+						t.Fatal(err)
+					}
+					interp := runInterpreted(t, factory, kind, seed)
+					if !reflect.DeepEqual(compiled, interp) {
+						t.Fatalf("seed %d: compiled run diverged from interpreted:\n%+v\nvs\n%+v",
+							seed, compiled, interp)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestBatchSweepByteIdentical pins the sweep-level contract: a batched
+// sweep summary equals the sequential one at K=1, K=8 and a ragged K
+// where runs%K != 0, across worker counts, for every runtime.
+func TestBatchSweepByteIdentical(t *testing.T) {
+	factories := map[string]AppFactory{"dma": dmaFactory, "temp": tempFactory}
+	for name, factory := range factories {
+		for _, kind := range diffRuntimes {
+			t.Run(name+"/"+kind.String(), func(t *testing.T) {
+				base := Config{Runs: 23, BaseSeed: 7, Workers: 1}
+				want, err := RunMany(base, factory, kind)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, c := range []struct {
+					batch, workers int
+				}{{1, 1}, {8, 1}, {5, 1}, {8, 3}} {
+					cfg := base
+					cfg.Batch = c.batch
+					cfg.Workers = c.workers
+					got, err := RunMany(cfg, factory, kind)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Errorf("Batch=%d Workers=%d summary differs from sequential:\n%+v\nvs\n%+v",
+							c.batch, c.workers, got, want)
+					}
+				}
+			})
+		}
+	}
+}
+
+// lockedTrace is a concurrency-safe Tracer for sweep-wide sinks.
+type lockedTrace struct {
+	mu     sync.Mutex
+	events int
+}
+
+func (l *lockedTrace) Event(kernel.TraceEvent) {
+	l.mu.Lock()
+	l.events++
+	l.mu.Unlock()
+}
+
+// TestBatchIgnoredUnderTraceSink pins the observation-hook gate: a sweep
+// with a TraceSink takes the sequential path even when Batch is set (so
+// one worker emits one seed's events at a time), and the traced sweep's
+// summary still equals the untraced one.
+func TestBatchIgnoredUnderTraceSink(t *testing.T) {
+	base := Config{Runs: 9, BaseSeed: 3, Workers: 1}
+	want, err := RunMany(base, tempFactory, EaseIO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := base
+	cfg.Batch = 8
+	sink := &lockedTrace{}
+	cfg.TraceSink = sink
+	got, err := RunMany(cfg, tempFactory, EaseIO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("traced sweep summary differs from untraced:\n%+v\nvs\n%+v", got, want)
+	}
+	if sink.events == 0 {
+		t.Error("trace sink received no events")
+	}
+}
+
+// cutRecorder collects charge-slice boundaries.
+type cutRecorder struct{ cuts []time.Duration }
+
+func (c *cutRecorder) NoteCut(onTime time.Duration) { c.cuts = append(c.cuts, onTime) }
+
+// TestCutSinkForcesSliceIdentity pins the bulk-charge gate on the other
+// observation hook: with a CutSink installed, compiled execution must
+// fall back to per-slice charging and report exactly the cut sequence
+// the interpreted run reports — the failure-point checker depends on
+// every candidate boundary existing on both paths.
+func TestCutSinkForcesSliceIdentity(t *testing.T) {
+	for _, kind := range diffRuntimes {
+		t.Run(kind.String(), func(t *testing.T) {
+			bench, err := dmaFactory()
+			if err != nil {
+				t.Fatal(err)
+			}
+			compiledCuts := &cutRecorder{}
+			sess := kernel.NewSession(NewRuntime(kind), bench.App, TimerSupply())
+			sess.Cuts = compiledCuts
+			compiled, err := sess.Run(4)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			bench2, err := dmaFactory()
+			if err != nil {
+				t.Fatal(err)
+			}
+			interpCuts := &cutRecorder{}
+			dev := kernel.NewDevice(TimerSupply(), 4)
+			dev.NoCompile = true
+			dev.Cuts = interpCuts
+			if err := kernel.RunApp(dev, NewRuntime(kind), bench2.App); err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(compiled, dev.Run) {
+				t.Errorf("compiled run under CutSink diverged from interpreted:\n%+v\nvs\n%+v",
+					compiled, dev.Run)
+			}
+			if !reflect.DeepEqual(compiledCuts.cuts, interpCuts.cuts) {
+				t.Errorf("cut sequences differ: compiled %d cuts, interpreted %d cuts",
+					len(compiledCuts.cuts), len(interpCuts.cuts))
+			}
+			if len(compiledCuts.cuts) == 0 {
+				t.Error("no cuts recorded")
+			}
+		})
+	}
+}
+
+// TestBatchSessionRaggedAndErrors exercises BatchSession.Run directly:
+// fewer seeds than slots, per-seed results in seed order, and reuse
+// across calls — each batched run equal to the same seed run alone.
+func TestBatchSessionRaggedAndErrors(t *testing.T) {
+	const k = 4
+	sessions := make([]*kernel.Session, k)
+	for i := range sessions {
+		bench, err := tempFactory()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions[i] = kernel.NewSession(NewRuntime(InK), bench.App, TimerSupply())
+	}
+	batch := kernel.NewBatchSession(sessions...)
+	for _, seeds := range [][]int64{{21, 22, 23, 24}, {25, 26}, {27, 28, 29}} {
+		runs, errs := batch.Run(seeds)
+		if len(runs) != len(seeds) || len(errs) != len(seeds) {
+			t.Fatalf("batch returned %d runs / %d errs for %d seeds", len(runs), len(errs), len(seeds))
+		}
+		for i, seed := range seeds {
+			if errs[i] != nil {
+				t.Fatal(errs[i])
+			}
+			bench, err := tempFactory()
+			if err != nil {
+				t.Fatal(err)
+			}
+			solo := kernel.NewSession(NewRuntime(InK), bench.App, TimerSupply())
+			want, err := solo.Run(seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(runs[i], want) {
+				t.Errorf("seed %d batched run diverged from solo run:\n%+v\nvs\n%+v",
+					seed, runs[i], want)
+			}
+		}
+	}
+}

@@ -34,6 +34,12 @@ func ExecuteShard(ctx context.Context, src BlueprintSource, task []byte) ([]byte
 		if err != nil {
 			return nil, err
 		}
+		// Shards run unbatched: lockstep width would be a purely local
+		// knob (the fold is byte-identical at any width, so the wire
+		// format deliberately carries no batch field), but measured
+		// steady-state lockstep is slower than pooled sequential runs on
+		// the benchmark apps — interleaved device working sets evict each
+		// other from cache (see DESIGN.md on batch lockstep).
 		cfg := experiments.Config{Runs: s.Hi, BaseSeed: s.BaseSeed, Workers: s.Workers}
 		agg, runErr := experiments.RunRangeAgg(ctx, cfg, factory, rt, s.Lo, s.Hi)
 		if err := ctx.Err(); err != nil {

@@ -1,0 +1,259 @@
+// Lockstep batch execution: K pooled sessions of the same blueprint are
+// stepped round-robin, one engine step (failure handling, boot, or one
+// task attempt) per live device per round, through the one shared frozen
+// program and compiled kernel table. The devices are fully independent —
+// each has its own memory, clock, supply, randomness and ledger, and
+// nothing in a step reads another slot's state — so every run is
+// byte-identical to the same seed run sequentially through Session.Run;
+// what lockstep buys is locality: all K devices execute the same task's
+// kernel back to back, so the shared instruction stream and program
+// tables stay hot while only the small per-device state rotates through
+// cache. The per-slot scheduler below mirrors runLoop/bootAndRun
+// (engine.go) step for step; any change there must land here too.
+
+package kernel
+
+import (
+	"fmt"
+
+	"easeio/internal/mcu"
+	"easeio/internal/power"
+	"easeio/internal/stats"
+)
+
+// BatchSession drives up to K sessions of the same app in lockstep. The
+// sessions must share the blueprint (one analyzed app per session
+// instance is fine — peripheral models carry per-device state — but all
+// must be builds of the same program) and are reused across Run calls
+// exactly like a pooled Session: steady-state batches allocate nothing.
+type BatchSession struct {
+	slots []batchSlot
+	runs  []*stats.Run
+	errs  []error
+}
+
+// batchSlot is one device's scheduler state between lockstep rounds.
+type batchSlot struct {
+	sess *Session
+	// failed records a pending power failure to handle, booted that the
+	// boot path has run since the last failure, finished that the run is
+	// complete (result in run/err).
+	failed   bool
+	booted   bool
+	finished bool
+	err      error
+}
+
+// NewBatchSession creates a lockstep batch over the given sessions. The
+// batch owns the sessions' run scheduling; using a session directly
+// between batch runs is fine (both paths leave the device pooled).
+func NewBatchSession(sessions ...*Session) *BatchSession {
+	b := &BatchSession{
+		slots: make([]batchSlot, len(sessions)),
+		runs:  make([]*stats.Run, len(sessions)),
+		errs:  make([]error, len(sessions)),
+	}
+	for i, s := range sessions {
+		b.slots[i].sess = s
+	}
+	return b
+}
+
+// Size returns the batch width K.
+func (b *BatchSession) Size() int { return len(b.slots) }
+
+// Session returns slot i's session (for inspection, like Session.Device).
+func (b *BatchSession) Session(i int) *Session { return b.slots[i].sess }
+
+// Run executes one run per seed (len(seeds) ≤ K), advancing all devices
+// in lockstep, and returns per-seed results: runs[i] is seed i's
+// statistics (nil on error) and errs[i] its structural error. The
+// returned slices and run records are reused by the next Run — read or
+// clone before running again.
+func (b *BatchSession) Run(seeds []int64) ([]*stats.Run, []error) {
+	n := len(seeds)
+	if n > len(b.slots) {
+		panic(fmt.Sprintf("kernel: batch of %d seeds exceeds %d slots", n, len(b.slots)))
+	}
+	live := 0
+	for i := 0; i < n; i++ {
+		sl := &b.slots[i]
+		sl.failed, sl.booted, sl.finished, sl.err = false, false, false, nil
+		s := sl.sess
+		if err := s.prepare(seeds[i]); err != nil {
+			sl.err = err
+			sl.finished = true
+			continue
+		}
+		dev := s.dev
+		dev.Run.App = s.app.Name
+		dev.Run.Runtime = s.rt.Name()
+		dev.ctx = Ctx{Dev: dev, RT: s.rt}
+		dev.ctx.initCompiled(s.app)
+		live++
+	}
+	for live > 0 {
+		for i := 0; i < n; i++ {
+			sl := &b.slots[i]
+			if sl.finished {
+				continue
+			}
+			b.advance(sl)
+			if sl.finished {
+				live--
+			}
+		}
+	}
+	b.runs = b.runs[:0]
+	b.errs = b.errs[:0]
+	for i := 0; i < n; i++ {
+		sl := &b.slots[i]
+		if sl.err != nil {
+			// Mirror Session.Run's error contract: the device is
+			// discarded so the next use re-attaches from clean state.
+			sl.sess.dev = nil
+			b.runs = append(b.runs, nil)
+			b.errs = append(b.errs, sl.err)
+			continue
+		}
+		b.runs = append(b.runs, sl.sess.dev.Run)
+		b.errs = append(b.errs, nil)
+	}
+	return b.runs, b.errs
+}
+
+// advance performs one engine step for a slot: pending-failure handling,
+// the boot path, or a single task attempt — the same units, in the same
+// per-device order, as runLoop/bootAndRun.
+func (b *BatchSession) advance(sl *batchSlot) {
+	s := sl.sess
+	dev := s.dev
+	if sl.failed {
+		// The failure block of runLoop.
+		dev.Run.PowerFailures++
+		dev.Ledger.FailAttempt()
+		dev.Mem.PowerFailure()
+		if dev.TraceOn() {
+			dev.Trace(EvPowerFailure, "#%d", dev.Run.PowerFailures)
+		}
+		off := dev.Supply.Recharge(dev.Clock.Now())
+		dev.Clock.Off(off)
+		if dev.TraceOn() {
+			dev.Trace(EvRecharge, "off for %v", off)
+		}
+		if h, ok := dev.Supply.(*power.Harvested); ok && h.Dead() {
+			dev.Run.Stuck = true
+			finish(dev, s.rt, s.app)
+			sl.finished = true
+			return
+		}
+		if dev.Clock.Boots() > maxBoots {
+			sl.err = fmt.Errorf("kernel: %s/%s did not terminate within %d boots (non-termination bug)",
+				s.app.Name, s.rt.Name(), maxBoots)
+			sl.finished = true
+			return
+		}
+		sl.failed = false
+		sl.booted = false
+		return
+	}
+	if !sl.booted {
+		if bootSlot(&dev.ctx) {
+			sl.failed = true
+			return
+		}
+		sl.booted = true
+		return
+	}
+	done, failed, err := stepTask(&dev.ctx)
+	switch {
+	case err != nil:
+		sl.err = err
+		sl.finished = true
+	case failed:
+		sl.failed = true
+	case done:
+		finish(dev, s.rt, s.app)
+		sl.finished = true
+	}
+}
+
+// bootSlot charges the boot path and runs the runtime's recovery hook —
+// the pre-task-loop half of bootAndRun. It reports whether a power
+// failure unwound the boot.
+func bootSlot(ctx *Ctx) (failed bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(powerFailure); ok {
+				failed = true
+				return
+			}
+			panic(r)
+		}
+	}()
+	ctx.wastedDepth = 0
+	ctx.fresh = ctx.fresh[:0]
+	ctx.Dev.Clock.Boot()
+	if ctx.Dev.TraceOn() {
+		ctx.Dev.Trace(EvBoot, "#%d", ctx.Dev.Clock.Boots())
+	}
+	ctx.ChargeOverheadCycles(mcu.BootCycles)
+	ctx.RT.OnBoot(ctx)
+	return false
+}
+
+// stepTask runs one task attempt — one iteration of bootAndRun's task
+// loop, including the freshness-age check at commit. done reports app
+// completion, failed a power failure unwinding the attempt.
+func stepTask(ctx *Ctx) (done, failed bool, err error) {
+	var inFlight string // name of the task in flight, for the abort event
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(powerFailure); ok {
+				if inFlight != "" && ctx.Dev.TraceOn() {
+					ctx.Dev.Trace(EvTaskAbort, "%s", inFlight)
+				}
+				failed = true
+				return
+			}
+			panic(r)
+		}
+	}()
+	t := ctx.RT.CurrentTask()
+	if t == nil {
+		return true, false, nil
+	}
+	ctx.Dev.Run.TaskAttempts++
+	ctx.transitioned = false
+	ctx.fresh = ctx.fresh[:0]
+	if ctx.Dev.TraceOn() {
+		ctx.Dev.Trace(EvTaskBegin, "%s (attempt %d)", t.Name, ctx.Dev.Run.TaskAttempts)
+	}
+	inFlight = t.Name
+	ctx.RT.BeginTask(ctx, t)
+	if k := ctx.kernelOf(t); k != nil {
+		ctx.runKernel(k)
+	} else {
+		t.Body(ctx)
+	}
+	if !ctx.transitioned {
+		return false, false, fmt.Errorf("kernel: task %q returned without Next/Done", t.Name)
+	}
+	inFlight = ""
+	if len(ctx.fresh) > 0 {
+		now := ctx.Dev.Clock.Now()
+		for _, s := range ctx.fresh {
+			if at := ctx.Dev.Run.SampleAt(s.ID); at >= 0 {
+				if age := now - at; age > s.Freshness {
+					ctx.Dev.Run.NoteStale(s.Name, age, s.Freshness, now)
+				}
+			}
+		}
+		ctx.fresh = ctx.fresh[:0]
+	}
+	ctx.Dev.Run.TaskCommits++
+	if ctx.Dev.TraceOn() {
+		ctx.Dev.Trace(EvTaskCommit, "%s", t.Name)
+	}
+	return false, false, nil
+}

@@ -41,6 +41,17 @@ type Ctx struct {
 	// task commits and clears the list; aborted attempts clear it on the
 	// next BeginTask.
 	fresh []*task.IOSite
+
+	// compiled is the program's per-task kernel table when the engine
+	// runs compiled dispatch (nil entries and nil table fall back to the
+	// interpreted Body; see compiled.go), and bulk the runtime's fused
+	// load-run extension if it has one. Both are set by initCompiled
+	// after the per-run context reset.
+	compiled []*task.Kernel
+	bulk     BulkLoader
+	// kregs is the compiled executor's register file (see runKernel); it
+	// lives here so a task attempt costs no allocation.
+	kregs [task.NumRegs]uint16
 }
 
 // PushWasted enters wasted-charging mode (see Ledger.ChargeWasted).
@@ -68,6 +79,19 @@ func (c *Ctx) Charge(dt time.Duration, e units.Energy, overhead bool) {
 		// pro-rated energy is just e.
 		c.chargeStep(d, dt, e, overhead)
 		return
+	}
+	// Bulk fast path for multi-slice charges: when no cut sink observes
+	// slice boundaries and the supply's next failure point is a known
+	// constant strictly beyond this charge, the whole span can be booked
+	// in one add. The pro-rating loop's slice sums are exact (they sum to
+	// precisely dt and e), and timer/schedule supply steps are pure
+	// on-time comparisons, so clock, ledger and failure behavior land
+	// byte-identical to the sliced loop.
+	if dt > chargeSlice && d.Cuts == nil {
+		if head, known := c.failureHead(); known && dt < head {
+			c.BulkCharge(dt, e, overhead)
+			return
+		}
 	}
 	for dt > 0 {
 		step := dt
@@ -108,6 +132,69 @@ func (c *Ctx) chargeStep(d *Device, step time.Duration, se units.Energy, overhea
 	}
 	if failed {
 		panic(powerFailure{})
+	}
+}
+
+// failureHead returns the on-time distance to the supply's next failure
+// point when that point is a known constant: continuous power never
+// fails, and timer/schedule supplies fire at a fixed on-time between
+// recharges regardless of drawn energy. known is false for supplies
+// whose failure point depends on consumption (harvested), which must be
+// stepped slice by slice.
+func (c *Ctx) failureHead() (head time.Duration, known bool) {
+	switch s := c.Dev.Supply.(type) {
+	case power.Continuous:
+		return time.Duration(math.MaxInt64), true
+	case *power.Timer:
+		return s.FireAt() - c.Dev.Clock.OnTime(), true
+	case *power.Schedule:
+		return s.FireAt() - c.Dev.Clock.OnTime(), true
+	}
+	return 0, false
+}
+
+// BulkFree reports how many of n identical slices of cost wdt each can
+// be charged in one batch: free slices all complete strictly before the
+// supply's next failure point. ok is false when bulk charging is not
+// permitted at all — a cut sink observes slice boundaries, the failure
+// point is unknown, or a slice exceeds the charge-slice bound — in which
+// case the caller must take the per-slice path. ok with free < n means
+// slice free+1 reaches the failure point: charge the free prefix in
+// bulk, then finish per-slice so the failure lands on the exact word the
+// sliced loop would have failed on.
+func (c *Ctx) BulkFree(n int, wdt time.Duration) (free int, ok bool) {
+	if n <= 0 || wdt <= 0 || wdt > chargeSlice || c.Dev.Cuts != nil {
+		return 0, false
+	}
+	head, known := c.failureHead()
+	if !known {
+		return 0, false
+	}
+	if head <= 0 {
+		return 0, true
+	}
+	free = n
+	if f := (head - 1) / wdt; f < time.Duration(n) {
+		free = int(f)
+	}
+	return free, true
+}
+
+// BulkCharge advances the clock and books (dt, e) in one ledger add,
+// without stepping the supply or noting cuts. Callers must have
+// established — via failureHead or BulkFree — that no failure point lies
+// inside the span and no cut sink is attached; under those conditions
+// the result is byte-identical to the equivalent chargeStep sequence.
+func (c *Ctx) BulkCharge(dt time.Duration, e units.Energy, overhead bool) {
+	d := c.Dev
+	d.Clock.Run(dt)
+	switch {
+	case c.wastedDepth > 0:
+		d.Ledger.committed[stats.Wasted].Add(stats.Totals{T: dt, E: e})
+	case overhead:
+		d.Ledger.pending[1].Add(stats.Totals{T: dt, E: e})
+	default:
+		d.Ledger.pending[0].Add(stats.Totals{T: dt, E: e})
 	}
 }
 

@@ -39,6 +39,13 @@ type Device struct {
 	// CutSink). Like Tracer it is observation-only state and survives
 	// Reset.
 	Cuts CutSink
+	// NoCompile forces the fully interpreted path even when the program
+	// carries compiled kernels: every task runs its interpreted Body and
+	// output checking uses the canonical per-word CheckOutput instead of
+	// CheckFast — the differential tests' handle for pinning compiled
+	// execution byte-identical to interpreted. Like Tracer and Cuts it is
+	// configuration, not per-run state, and survives Reset.
+	NoCompile bool
 
 	// randSrc is the reseedable source behind Rand, kept so Reset can
 	// rewind the peripheral randomness without reallocating it and so
@@ -48,10 +55,14 @@ type Device struct {
 	// ctx is the engine's reusable execution context (see runLoop) and
 	// reader/readerFunc the reusable CheckOutput scanner (see finish) —
 	// per-run scratch kept on the device so steady-state pooled runs
-	// allocate nothing.
-	ctx        Ctx
-	reader     checkReader
-	readerFunc func(v *task.NVVar, i int) uint16
+	// allocate nothing. checker/checkerIface is the analogous reusable
+	// CheckFast scanner (the interface value is memoized so rebinding it
+	// per run does not box).
+	ctx         Ctx
+	reader      checkReader
+	readerFunc  func(v *task.NVVar, i int) uint16
+	checker     checkMem
+	checkerFace task.CheckMem
 }
 
 // checkReader scans final memory for CheckOutput, memoizing a direct
@@ -71,6 +82,31 @@ func (r *checkReader) read(v *task.NVVar, i int) uint16 {
 		r.view = r.dev.Mem.View(r.rt.AddrOf(v), v.Words)
 	}
 	return r.view.At(i)
+}
+
+// checkMem implements task.CheckMem over a run's final memory for the
+// CheckFast path: bulk range comparison plus the same memoized per-word
+// reads checkReader uses. Reads go through the counting View like the
+// CheckOutput scanner; Equal compares a whole range in one call
+// (checking is outside the simulation's cost model, so the comparison
+// itself is uncounted — like EqualRange's other harness uses).
+type checkMem struct {
+	dev   *Device
+	rt    Hooks
+	lastV *task.NVVar
+	view  mem.ReadView
+}
+
+func (m *checkMem) Read(v *task.NVVar, i int) uint16 {
+	if v != m.lastV {
+		m.lastV = v
+		m.view = m.dev.Mem.View(m.rt.AddrOf(v), v.Words)
+	}
+	return m.view.At(i)
+}
+
+func (m *checkMem) Equal(v *task.NVVar, off int, want []uint16) bool {
+	return m.dev.Mem.EqualRange(m.rt.AddrOf(v).Add(off), want)
 }
 
 // NewDevice assembles a fresh device around the given supply, seeding both

@@ -64,6 +64,7 @@ func ResumeWithFailure(dev *Device, rt Hooks, app *task.App) error {
 func runLoop(dev *Device, rt Hooks, app *task.App, failed bool) error {
 	ctx := &dev.ctx
 	*ctx = Ctx{Dev: dev, RT: rt}
+	ctx.initCompiled(app)
 	for {
 		if failed {
 			dev.Run.PowerFailures++
@@ -140,7 +141,11 @@ func bootAndRun(ctx *Ctx) (failed bool, err error) {
 		}
 		attempt = t
 		ctx.RT.BeginTask(ctx, t)
-		t.Body(ctx)
+		if k := ctx.kernelOf(t); k != nil {
+			ctx.runKernel(k)
+		} else {
+			t.Body(ctx)
+		}
 		if !ctx.transitioned {
 			return false, fmt.Errorf("kernel: task %q returned without Next/Done", t.Name)
 		}
@@ -173,7 +178,16 @@ func finish(dev *Device, rt Hooks, app *task.App) {
 	dev.Ledger.Export(dev.Run)
 	dev.Run.WallTime = dev.Clock.Now()
 	dev.Run.OnTime = dev.Clock.OnTime()
-	if app.CheckOutput != nil && !dev.Run.Stuck {
+	if app.CheckFast != nil && !dev.NoCompile && !dev.Run.Stuck {
+		// The bulk checker twin: decides exactly what CheckOutput decides
+		// (pinned per app by tests) but scans with range comparisons. The
+		// scanner and its interface value are reused across pooled runs.
+		dev.checker = checkMem{dev: dev, rt: rt}
+		if dev.checkerFace == nil {
+			dev.checkerFace = &dev.checker
+		}
+		dev.Run.Correct = app.CheckFast(dev.checkerFace)
+	} else if app.CheckOutput != nil && !dev.Run.Stuck {
 		// Checkers scan variables word by word; the device's reusable
 		// checkReader memoizes the master-address lookup per variable and
 		// the bound method value is built once per device.

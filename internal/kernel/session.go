@@ -7,6 +7,8 @@
 package kernel
 
 import (
+	"fmt"
+
 	"easeio/internal/power"
 	"easeio/internal/stats"
 	"easeio/internal/task"
@@ -53,23 +55,7 @@ func (s *Session) Runtime() Hooks { return s.rt }
 // The returned record is the device's own, reset in place by the next
 // Run on the reuse path — read it (or Clone it) before running again.
 func (s *Session) Run(seed int64) (*stats.Run, error) {
-	r, ok := s.rt.(Resetter)
-	if s.dev == nil || !ok {
-		dev := NewDevice(s.supply, seed)
-		dev.Tracer = s.Tracer
-		dev.Cuts = s.Cuts
-		if err := RunApp(dev, s.rt, s.app); err != nil {
-			s.dev = nil
-			return nil, err
-		}
-		s.dev = dev
-		return dev.Run, nil
-	}
-	s.dev.Tracer = s.Tracer
-	s.dev.Cuts = s.Cuts
-	s.dev.Reset(s.supply, seed)
-	if err := r.Reset(s.dev); err != nil {
-		s.dev = nil
+	if err := s.prepare(seed); err != nil {
 		return nil, err
 	}
 	if err := RunAttached(s.dev, s.rt, s.app); err != nil {
@@ -77,4 +63,34 @@ func (s *Session) Run(seed int64) (*stats.Run, error) {
 		return nil, err
 	}
 	return s.dev.Run, nil
+}
+
+// prepare brings the session's device to the ready-to-run state for seed:
+// a fresh device plus attach on the first run (or for runtimes without
+// Resetter), an in-place device + runtime reset afterwards. It is the
+// shared front half of Run and of the batch scheduler (see batch.go),
+// which drives the reboot loop itself instead of calling RunAttached.
+func (s *Session) prepare(seed int64) error {
+	r, ok := s.rt.(Resetter)
+	if s.dev == nil || !ok {
+		if err := s.app.Validate(); err != nil {
+			return err
+		}
+		dev := NewDevice(s.supply, seed)
+		dev.Tracer = s.Tracer
+		dev.Cuts = s.Cuts
+		if err := s.rt.Attach(dev, s.app); err != nil {
+			return fmt.Errorf("kernel: attach %s to %s: %w", s.app.Name, s.rt.Name(), err)
+		}
+		s.dev = dev
+		return nil
+	}
+	s.dev.Tracer = s.Tracer
+	s.dev.Cuts = s.Cuts
+	s.dev.Reset(s.supply, seed)
+	if err := r.Reset(s.dev); err != nil {
+		s.dev = nil
+		return err
+	}
+	return nil
 }

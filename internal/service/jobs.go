@@ -82,6 +82,13 @@ type JobSpec struct {
 	// Workers bounds the job's parallelism (defaults to GOMAXPROCS); the
 	// result is worker-count-invariant either way.
 	Workers int `json:"workers,omitempty"`
+	// Batch, when > 1, asks a sweep job's workers to run their seeds in
+	// lockstep chunks of up to Batch pooled devices (see
+	// experiments.Config.Batch). Purely a throughput knob: the summary is
+	// byte-identical to an unbatched run. At most 1024. Check jobs and
+	// fleet-delegated jobs ignore it (fleet workers choose their own
+	// batching; the wire shard format carries no batch field).
+	Batch int `json:"batch,omitempty"`
 	// TimeoutMs, when positive, bounds the job's total lifetime (queue
 	// wait plus execution); an expired job is cancelled at the next seed
 	// or failure-point boundary. At most 24 hours.
@@ -323,6 +330,10 @@ func (m *Manager) RunningJobs() int { return int(m.running.Load()) }
 // client bug, not a workload.
 const maxJobTimeout = 24 * time.Hour
 
+// maxJobBatch bounds JobSpec.Batch: each batch slot owns a full device
+// plus app instance, so an absurd width is a client bug, not a workload.
+const maxJobBatch = 1024
+
 // Submit validates and enqueues a job. It never blocks: a full queue
 // returns ErrQueueFull immediately (the HTTP layer's 429).
 func (m *Manager) Submit(spec JobSpec) (*Job, error) {
@@ -350,6 +361,9 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 		if spec.Runs != 0 {
 			return nil, fmt.Errorf("service: check job does not take a run count (got %d)", spec.Runs)
 		}
+		if spec.Batch != 0 {
+			return nil, fmt.Errorf("service: check job does not take a batch width (got %d)", spec.Batch)
+		}
 		if spec.Failures != 0 {
 			if err := check.ValidateFailures(spec.Failures); err != nil {
 				return nil, fmt.Errorf("service: %w", err)
@@ -360,6 +374,9 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 	}
 	if spec.TimeoutMs < 0 || time.Duration(spec.TimeoutMs)*time.Millisecond > maxJobTimeout {
 		return nil, fmt.Errorf("service: timeout %d ms out of range (want 0 for none, at most 24h)", spec.TimeoutMs)
+	}
+	if spec.Batch < 0 || spec.Batch > maxJobBatch {
+		return nil, fmt.Errorf("service: batch width %d out of range (want 0-%d)", spec.Batch, maxJobBatch)
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())
@@ -553,6 +570,7 @@ func (m *Manager) runJob(j *Job) {
 		Runs:     j.Spec.Runs,
 		BaseSeed: j.Spec.BaseSeed,
 		Workers:  j.Spec.Workers,
+		Batch:    j.Spec.Batch,
 		Progress: func(done, total int) {
 			j.done.Store(int64(done))
 			m.metrics.RunsCompleted.Add(1)

@@ -1,0 +1,111 @@
+// Kernel compilation: when a program is frozen, every op-bodied task is
+// specialized into a compiled execution kernel — its op list with all
+// blueprint lookups pre-resolved against the frozen tables (dense IDs,
+// bookkeeping slot numbers, per-site semantics). The engine runs kernels
+// through one tight switch loop with no interface dispatch on the Exec
+// surface and no per-access re-derivation of what the analysis already
+// decided; closure-bodied tasks keep running through the interpreter
+// unchanged. A kernel is immutable and shared like the rest of the
+// Program.
+
+package task
+
+// KOp is one resolved instruction of a compiled kernel. It carries the
+// Op's operands plus everything the executor would otherwise look up per
+// access: the bookkeeping slot of an I/O or DMA instance, the site's
+// frozen semantic, and the blueprint pointers the runtime hooks take.
+type KOp struct {
+	Kind   OpKind
+	R1, R2 uint8
+	// A and B are the kind-specific operands, as on Op. For
+	// OpBlockBegin, B is the matching end index within the kernel.
+	A int64
+	B int
+
+	Var  *NVVar
+	Site *IOSite
+	Blk  *IOBlock
+	DMA  *DMASite
+	Src  Loc
+	Dst  Loc
+	Next *Task
+
+	// Sem is the frozen re-execution semantic of Site (OpCallIO only).
+	Sem Semantic
+	// Slot is the pre-resolved bookkeeping slot: SlotBase+instance for
+	// OpCallIO, the DMA slot for OpDMACopy.
+	Slot int32
+	// VarID is the dense variable ID for load/store kinds.
+	VarID int32
+}
+
+// Kernel is the compiled form of one op-bodied task.
+type Kernel struct {
+	// Task is the blueprint task this kernel executes.
+	Task *Task
+	// Ops is the resolved instruction list.
+	Ops []KOp
+}
+
+// Kernel returns the compiled kernel of task ID id, or nil if that task
+// has a closure body (and therefore always runs interpreted).
+func (p *Program) Kernel(id int) *Kernel {
+	if p.kernels == nil {
+		return nil
+	}
+	return p.kernels[id]
+}
+
+// CompiledKernels returns the per-task kernel table indexed by task ID
+// (nil entries for closure-bodied tasks), or nil when no task of the
+// program is op-bodied.
+func (p *Program) CompiledKernels() []*Kernel { return p.kernels }
+
+// compileKernels specializes every op-bodied task against the frozen
+// tables. Called from buildTables so both FreezeProgram and ViewProgram
+// produce kernels.
+func (p *Program) compileKernels() {
+	var kernels []*Kernel
+	for i, t := range p.app.Tasks {
+		if len(t.Ops) == 0 {
+			continue
+		}
+		if kernels == nil {
+			kernels = make([]*Kernel, len(p.app.Tasks))
+		}
+		kernels[i] = p.compileKernel(t)
+	}
+	p.kernels = kernels
+}
+
+func (p *Program) compileKernel(t *Task) *Kernel {
+	k := &Kernel{Task: t, Ops: make([]KOp, len(t.Ops))}
+	for i := range t.Ops {
+		op := &t.Ops[i]
+		ko := KOp{
+			Kind: op.Kind,
+			R1:   op.R1,
+			R2:   op.R2,
+			A:    op.A,
+			B:    op.B,
+			Var:  op.Var,
+			Site: op.Site,
+			Blk:  op.Blk,
+			DMA:  op.DMA,
+			Src:  op.Src,
+			Dst:  op.Dst,
+			Next: op.Next,
+		}
+		switch op.Kind {
+		case OpLoad, OpStore, OpLoadSum:
+			ko.VarID = int32(op.Var.ID)
+		case OpCallIO:
+			ko.Sem = p.sites[op.Site.ID].Sem
+			ko.Slot = int32(p.sites[op.Site.ID].SlotBase + int(op.A))
+		case OpDMACopy:
+			ko.Slot = int32(p.dmas[op.DMA.ID].Slot)
+		}
+		k.Ops[i] = ko
+	}
+	return k
+}

@@ -1,0 +1,299 @@
+// Declarative task bodies: a task can describe its body as a flat list
+// of ops instead of an opaque Go closure. Op-bodied tasks execute
+// identically to closure-bodied ones through the generated interpreter
+// body (the same Exec call sequence, so analysis, tracing and the
+// differential fixtures see no difference) — and additionally compile to
+// per-task kernels when the program is frozen (see compile.go), which the
+// engine runs through a tight switch loop with pre-resolved dense IDs and
+// fused bulk operations on the steady-state sweep path.
+
+package task
+
+import "fmt"
+
+// OpKind discriminates the op ISA. The set is deliberately small: enough
+// to express the straight-line benchmark bodies (compute, word loads and
+// stores, a fused load-accumulate loop, small ALU ops for derived values,
+// I/O calls, blocks, DMA transfers and the terminal transition).
+type OpKind uint8
+
+const (
+	// OpInvalid is the zero value; SetOps rejects it.
+	OpInvalid OpKind = iota
+	// OpCompute charges A cycles of useful CPU work.
+	OpCompute
+	// OpLoad loads word A of Var into register R1.
+	OpLoad
+	// OpStore stores register R1 into word A of Var.
+	OpStore
+	// OpLoadSum sums words [A, A+B) of Var into register R1 — the fused
+	// load-accumulate loop (interpreted as B successive LoadAt calls;
+	// compiled kernels run it through the runtime's bulk load path).
+	OpLoadSum
+	// OpMovImm sets register R1 to the constant A.
+	OpMovImm
+	// OpAddImm adds the constant A to register R1 (uint16 wraparound).
+	OpAddImm
+	// OpMulImm multiplies register R1 by the constant A.
+	OpMulImm
+	// OpDivImm divides register R1 by the constant A (A != 0).
+	OpDivImm
+	// OpAddReg adds register R2 to register R1.
+	OpAddReg
+	// OpMovReg copies register R2 into register R1.
+	OpMovReg
+	// OpCallIO invokes I/O site Site (dynamic instance A) and puts its
+	// value into register R1 (meaningless for void sites).
+	OpCallIO
+	// OpBlockBegin opens I/O block Blk; its body runs up to the matching
+	// OpBlockEnd. B holds the matching end index (set by SetOps).
+	OpBlockBegin
+	// OpBlockEnd closes the innermost open block.
+	OpBlockEnd
+	// OpDMACopy performs a DMA transfer of A words from Src to Dst
+	// through site DMA.
+	OpDMACopy
+	// OpNext commits the task and transitions to Next.
+	OpNext
+	// OpDone commits the task and ends the application.
+	OpDone
+)
+
+// NumRegs is the size of the per-attempt register file. Registers are
+// volatile scratch: they reset to zero at every attempt, exactly like the
+// local variables of a closure body.
+const NumRegs = 8
+
+// Op is one instruction of a declarative task body. Fields are used per
+// kind as documented on the OpKind constants; constructors below build
+// well-formed ops.
+type Op struct {
+	Kind   OpKind
+	R1, R2 uint8
+	// A is the kind-specific primary operand (cycles, word index,
+	// constant, instance index, word count).
+	A int64
+	// B is the kind-specific secondary operand (run length, block end).
+	B int
+
+	Var  *NVVar
+	Site *IOSite
+	Blk  *IOBlock
+	DMA  *DMASite
+	Src  Loc
+	Dst  Loc
+	Next *Task
+}
+
+// ComputeOp charges n cycles of useful CPU work.
+func ComputeOp(n int64) Op { return Op{Kind: OpCompute, A: n} }
+
+// LoadOp loads word i of v into register r.
+func LoadOp(r uint8, v *NVVar, i int) Op { return Op{Kind: OpLoad, R1: r, Var: v, A: int64(i)} }
+
+// StoreOp stores register r into word i of v.
+func StoreOp(v *NVVar, i int, r uint8) Op { return Op{Kind: OpStore, R1: r, Var: v, A: int64(i)} }
+
+// LoadSumOp sums words [off, off+n) of v into register r.
+func LoadSumOp(r uint8, v *NVVar, off, n int) Op {
+	return Op{Kind: OpLoadSum, R1: r, Var: v, A: int64(off), B: n}
+}
+
+// MovImmOp sets register r to val.
+func MovImmOp(r uint8, val uint16) Op { return Op{Kind: OpMovImm, R1: r, A: int64(val)} }
+
+// AddImmOp adds val to register r.
+func AddImmOp(r uint8, val uint16) Op { return Op{Kind: OpAddImm, R1: r, A: int64(val)} }
+
+// MulImmOp multiplies register r by val.
+func MulImmOp(r uint8, val uint16) Op { return Op{Kind: OpMulImm, R1: r, A: int64(val)} }
+
+// DivImmOp divides register r by val (val != 0).
+func DivImmOp(r uint8, val uint16) Op { return Op{Kind: OpDivImm, R1: r, A: int64(val)} }
+
+// AddRegOp adds register r2 to register r1.
+func AddRegOp(r1, r2 uint8) Op { return Op{Kind: OpAddReg, R1: r1, R2: r2} }
+
+// MovRegOp copies register r2 into register r1.
+func MovRegOp(r1, r2 uint8) Op { return Op{Kind: OpMovReg, R1: r1, R2: r2} }
+
+// CallIOOp invokes site s (straight-line instance 0) into register r.
+func CallIOOp(r uint8, s *IOSite) Op { return Op{Kind: OpCallIO, R1: r, Site: s} }
+
+// CallIOAtOp invokes dynamic instance idx of site s into register r.
+func CallIOAtOp(r uint8, s *IOSite, idx int) Op {
+	return Op{Kind: OpCallIO, R1: r, Site: s, A: int64(idx)}
+}
+
+// BlockBeginOp opens I/O block b.
+func BlockBeginOp(b *IOBlock) Op { return Op{Kind: OpBlockBegin, Blk: b} }
+
+// BlockEndOp closes the innermost open block.
+func BlockEndOp() Op { return Op{Kind: OpBlockEnd} }
+
+// DMACopyOp transfers words words from src to dst through DMA site d.
+func DMACopyOp(d *DMASite, src, dst Loc, words int) Op {
+	return Op{Kind: OpDMACopy, DMA: d, Src: src, Dst: dst, A: int64(words)}
+}
+
+// NextOp commits the task and transitions to t.
+func NextOp(t *Task) Op { return Op{Kind: OpNext, Next: t} }
+
+// DoneOp commits the task and ends the application.
+func DoneOp() Op { return Op{Kind: OpDone} }
+
+// SetOps attaches a declarative op list to t as its body. It must be
+// called after every task the ops reference has been declared (forward
+// transitions hold *Task pointers), and before analysis. The generated
+// Body makes exactly the Exec calls the equivalent closure would, so an
+// op-bodied task is observationally identical to its closure twin on the
+// interpreted path; the frozen program additionally compiles the list
+// into an execution kernel (compile.go). SetOps panics on malformed
+// lists, like the other builder methods.
+func (a *App) SetOps(t *Task, ops ...Op) *Task {
+	own := append([]Op(nil), ops...)
+	if err := resolveBlocks(own); err != nil {
+		panic(fmt.Sprintf("task: %s: %v", t.Name, err))
+	}
+	for i := range own {
+		if err := validateOp(&own[i]); err != nil {
+			panic(fmt.Sprintf("task: %s op %d: %v", t.Name, i, err))
+		}
+	}
+	t.Ops = own
+	t.Body = opsBody(own)
+	return t
+}
+
+// resolveBlocks matches OpBlockBegin/OpBlockEnd pairs, storing each
+// begin's matching end index in its B field.
+func resolveBlocks(ops []Op) error {
+	var stack []int
+	for i := range ops {
+		switch ops[i].Kind {
+		case OpBlockBegin:
+			stack = append(stack, i)
+		case OpBlockEnd:
+			if len(stack) == 0 {
+				return fmt.Errorf("unmatched block end")
+			}
+			ops[stack[len(stack)-1]].B = i
+			stack = stack[:len(stack)-1]
+		}
+	}
+	if len(stack) > 0 {
+		return fmt.Errorf("unclosed block")
+	}
+	return nil
+}
+
+func validateOp(op *Op) error {
+	if op.R1 >= NumRegs || op.R2 >= NumRegs {
+		return fmt.Errorf("register out of range (have %d)", NumRegs)
+	}
+	switch op.Kind {
+	case OpCompute:
+		if op.A < 0 {
+			return fmt.Errorf("negative cycle count %d", op.A)
+		}
+	case OpLoad, OpStore:
+		if op.Var == nil {
+			return fmt.Errorf("nil variable")
+		}
+	case OpLoadSum:
+		if op.Var == nil {
+			return fmt.Errorf("nil variable")
+		}
+		if op.B < 0 {
+			return fmt.Errorf("negative run length %d", op.B)
+		}
+	case OpMovImm, OpAddImm, OpMulImm, OpAddReg, OpMovReg:
+	case OpDivImm:
+		if op.A == 0 {
+			return fmt.Errorf("division by zero constant")
+		}
+	case OpCallIO:
+		if op.Site == nil {
+			return fmt.Errorf("nil I/O site")
+		}
+	case OpBlockBegin:
+		if op.Blk == nil {
+			return fmt.Errorf("nil I/O block")
+		}
+	case OpBlockEnd:
+	case OpDMACopy:
+		if op.DMA == nil {
+			return fmt.Errorf("nil DMA site")
+		}
+		if op.A < 0 {
+			return fmt.Errorf("negative word count %d", op.A)
+		}
+	case OpNext:
+		if op.Next == nil {
+			return fmt.Errorf("nil transition target (use DoneOp to end)")
+		}
+	case OpDone:
+	default:
+		return fmt.Errorf("invalid op kind %d", op.Kind)
+	}
+	return nil
+}
+
+// opsBody generates the interpreter body of an op list. The interpreter
+// issues the same Exec calls, in the same order with the same arguments,
+// as the hand-written closure the ops replace — which is what keeps the
+// trace-based front-end, the tracer and every differential fixture
+// oblivious to how a body is expressed.
+func opsBody(ops []Op) Body {
+	return func(e Exec) {
+		var regs [NumRegs]uint16
+		interpOps(e, ops, &regs)
+	}
+}
+
+// interpOps executes one (sub-)span of ops against the Exec surface.
+// Block bodies recurse with the enclosing register file.
+func interpOps(e Exec, ops []Op, regs *[NumRegs]uint16) {
+	for i := 0; i < len(ops); i++ {
+		op := &ops[i]
+		switch op.Kind {
+		case OpCompute:
+			e.Compute(op.A)
+		case OpLoad:
+			regs[op.R1] = e.LoadAt(op.Var, int(op.A))
+		case OpStore:
+			e.StoreAt(op.Var, int(op.A), regs[op.R1])
+		case OpLoadSum:
+			var s uint16
+			off := int(op.A)
+			for j := 0; j < op.B; j++ {
+				s += e.LoadAt(op.Var, off+j)
+			}
+			regs[op.R1] = s
+		case OpMovImm:
+			regs[op.R1] = uint16(op.A)
+		case OpAddImm:
+			regs[op.R1] += uint16(op.A)
+		case OpMulImm:
+			regs[op.R1] *= uint16(op.A)
+		case OpDivImm:
+			regs[op.R1] /= uint16(op.A)
+		case OpAddReg:
+			regs[op.R1] += regs[op.R2]
+		case OpMovReg:
+			regs[op.R1] = regs[op.R2]
+		case OpCallIO:
+			regs[op.R1] = e.CallIOAt(op.Site, int(op.A))
+		case OpBlockBegin:
+			body := ops[i+1 : op.B]
+			e.IOBlock(op.Blk, func() { interpOps(e, body, regs) })
+			i = op.B
+		case OpDMACopy:
+			e.DMACopy(op.DMA, op.Src, op.Dst, int(op.A))
+		case OpNext:
+			e.Next(op.Next)
+		case OpDone:
+			e.Done()
+		}
+	}
+}

@@ -61,6 +61,14 @@ type App struct {
 	// read returns word i of a variable's committed master copy.
 	CheckOutput func(read func(v *NVVar, i int) uint16) bool
 
+	// CheckFast, if non-nil, is an optional fast twin of CheckOutput
+	// over the bulk CheckMem surface. It must decide exactly what
+	// CheckOutput decides on every reachable memory state (a test pins
+	// the equivalence per app); the engine prefers it on the steady-state
+	// sweep path because range comparisons beat per-word reads through a
+	// closure.
+	CheckFast func(m CheckMem) bool
+
 	entry *Task
 	// program is the frozen front-end output, set once by FreezeProgram.
 	program *Program
@@ -80,6 +88,17 @@ type App struct {
 func (a *App) AnalyzeOnce(analyze func(*App) error) error {
 	a.analyzeOnce.Do(func() { a.analyzeErr = analyze(a) })
 	return a.analyzeErr
+}
+
+// CheckMem is the bulk read surface CheckFast verifies against. Both
+// methods see the committed master copy of each variable, exactly like
+// CheckOutput's read callback.
+type CheckMem interface {
+	// Read returns word i of v's committed master copy.
+	Read(v *NVVar, i int) uint16
+	// Equal reports whether words [off, off+len(want)) of v's committed
+	// master copy equal want.
+	Equal(v *NVVar, off int, want []uint16) bool
 }
 
 // NewApp returns an empty application blueprint.
@@ -103,6 +122,11 @@ type Task struct {
 	// find these conservatively; the trace-based front-end needs the
 	// declaration.
 	Hints []*NVVar
+	// Ops, when non-empty, is the declarative op list this task's Body
+	// was generated from (see SetOps). The frozen program compiles it
+	// into a per-task execution kernel; tasks with closure bodies have
+	// no Ops and always run interpreted.
+	Ops []Op
 }
 
 // Touches declares front-end hint variables for the task (see Hints).
