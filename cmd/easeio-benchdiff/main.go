@@ -10,12 +10,17 @@
 //	                 [-key NAME] [-min-ratio R] [-alloc-slack N]
 //
 // -bench reads the benchmark output ("-" or empty reads stdin). Lines
-// whose first field contains -name are parsed for the custom metrics
+// whose first field is exactly -name are parsed for the custom metrics
 // "runs/s" and "allocs/run" (the value is the field preceding the unit).
 // With -count > 1 several lines match; the gate scores the best of them
 // — max runs/s, min allocs/run — because the gate asks "can this commit
 // still reach the tracked rate", and the minimum over repetitions is
-// noise, not capability.
+// noise, not capability. A matched line missing either metric is a parse
+// error, not a skip: a gate that silently scores half a line (or passes
+// on none) hides a broken bench invocation. So is a line whose name
+// carries the testing package's -N GOMAXPROCS suffix ("…/pooled-8"):
+// the ledger is recorded at -cpu 1, so a suffixed name means the bench
+// ran without it and the numbers are not comparable.
 //
 // The baseline is datapoints[-1].results[key] of -baseline: the ledger
 // appends a datapoint whenever performance changes materially, so the
@@ -118,13 +123,25 @@ func main() {
 
 // parseBench scans benchmark output for lines of the gated benchmark and
 // returns the best measurement across them plus the matched line count.
+// Only lines whose first field is exactly name count; a matched line
+// that does not carry both metrics, or a name wearing the testing
+// package's -N GOMAXPROCS suffix, is an error — the gate must refuse to
+// score output it cannot compare against the ledger.
 func parseBench(r io.Reader, name string) (metrics, int, error) {
 	var best metrics
 	lines := 0
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
-		fields := strings.Fields(sc.Text())
-		if len(fields) == 0 || !strings.Contains(fields[0], name) {
+		line := sc.Text()
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if fields[0] != name {
+			if isCPUSuffixed(fields[0], name) {
+				return best, lines, fmt.Errorf(
+					"benchmark name %q carries a GOMAXPROCS suffix (want exactly %q); run the bench with -cpu 1, the configuration the ledger was recorded at", fields[0], name)
+			}
 			continue
 		}
 		var m metrics
@@ -140,18 +157,39 @@ func parseBench(r io.Reader, name string) (metrics, int, error) {
 				m.allocsPerRun, m.hasAllocs = v, true
 			}
 		}
-		if !m.hasRate && !m.hasAllocs {
-			continue
+		if !m.hasRate || !m.hasAllocs {
+			missing := "runs/s"
+			if m.hasRate {
+				missing = "allocs/run"
+			}
+			return best, lines, fmt.Errorf(
+				"benchmark line %q has no %s metric; the gate needs both runs/s and allocs/run on every %q line", line, missing, name)
 		}
 		lines++
 		if !best.hasRate || m.runsPerS > best.runsPerS {
-			best.runsPerS, best.hasRate = m.runsPerS, m.hasRate
+			best.runsPerS, best.hasRate = m.runsPerS, true
 		}
 		if !best.hasAllocs || m.allocsPerRun < best.allocsPerRun {
-			best.allocsPerRun, best.hasAllocs = m.allocsPerRun, m.hasAllocs
+			best.allocsPerRun, best.hasAllocs = m.allocsPerRun, true
 		}
 	}
 	return best, lines, sc.Err()
+}
+
+// isCPUSuffixed reports whether got is name plus the "-N" suffix the
+// testing package appends when GOMAXPROCS != 1 — the signature of a
+// bench run without -cpu 1.
+func isCPUSuffixed(got, name string) bool {
+	rest, ok := strings.CutPrefix(got, name+"-")
+	if !ok || rest == "" {
+		return false
+	}
+	for _, r := range rest {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return true
 }
 
 // readBaseline extracts the latest tracked datapoint's results[key].

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const gateName = "BenchmarkSweepThroughput/pooled"
+
+// TestParseBench pins the parser's contract: exact-name lines with both
+// metrics score best-of; a GOMAXPROCS-suffixed name or a matched line
+// missing a metric is a hard parse error (the gate must never pass on
+// output it cannot compare against the ledger); everything else is
+// skipped silently.
+func TestParseBench(t *testing.T) {
+	cases := []struct {
+		name       string
+		input      string
+		wantLines  int
+		wantRate   float64
+		wantAllocs float64
+		wantErr    string
+	}{
+		{
+			name:       "single line",
+			input:      "BenchmarkSweepThroughput/pooled 200 60000 ns/op 290000 runs/s 3.00 allocs/run\n",
+			wantLines:  1,
+			wantRate:   290000,
+			wantAllocs: 3,
+		},
+		{
+			name: "best of repetitions",
+			input: "BenchmarkSweepThroughput/pooled 200 60000 ns/op 280000 runs/s 4.00 allocs/run\n" +
+				"BenchmarkSweepThroughput/pooled 200 60000 ns/op 291000 runs/s 3.00 allocs/run\n" +
+				"BenchmarkSweepThroughput/pooled 200 60000 ns/op 285000 runs/s 3.50 allocs/run\n",
+			wantLines:  3,
+			wantRate:   291000,
+			wantAllocs: 3,
+		},
+		{
+			name: "unrelated lines skipped",
+			input: "goos: linux\n" +
+				"BenchmarkCheckThroughput/fig6 100 1000 ns/op\n" +
+				"BenchmarkSweepThroughput/pooled 200 60000 ns/op 290000 runs/s 3.00 allocs/run\n" +
+				"PASS\n",
+			wantLines:  1,
+			wantRate:   290000,
+			wantAllocs: 3,
+		},
+		{
+			name:    "missing allocs column",
+			input:   "BenchmarkSweepThroughput/pooled 200 60000 ns/op 290000 runs/s\n",
+			wantErr: "no allocs/run metric",
+		},
+		{
+			name:    "missing rate column",
+			input:   "BenchmarkSweepThroughput/pooled 200 60000 ns/op 3.00 allocs/run\n",
+			wantErr: "no runs/s metric",
+		},
+		{
+			name:    "cpu-suffixed name",
+			input:   "BenchmarkSweepThroughput/pooled-8 200 60000 ns/op 290000 runs/s 3.00 allocs/run\n",
+			wantErr: "GOMAXPROCS suffix",
+		},
+		{
+			name: "mixed good line does not mask a broken one",
+			input: "BenchmarkSweepThroughput/pooled 200 60000 ns/op 290000 runs/s 3.00 allocs/run\n" +
+				"BenchmarkSweepThroughput/pooled 200 60000 ns/op 295000 runs/s\n",
+			wantErr: "no allocs/run metric",
+		},
+		{
+			name:      "non-numeric suffix is a different benchmark",
+			input:     "BenchmarkSweepThroughput/pooled-batch 200 60000 ns/op 290000 runs/s 3.00 allocs/run\n",
+			wantLines: 0,
+		},
+		{
+			name:      "empty input",
+			input:     "",
+			wantLines: 0,
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			got, lines, err := parseBench(strings.NewReader(tc.input), gateName)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("error = %v, want one containing %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("parseBench: %v", err)
+			}
+			if lines != tc.wantLines {
+				t.Fatalf("matched %d lines, want %d", lines, tc.wantLines)
+			}
+			if tc.wantLines == 0 {
+				return
+			}
+			if got.runsPerS != tc.wantRate || got.allocsPerRun != tc.wantAllocs {
+				t.Fatalf("best = %.0f runs/s, %.2f allocs/run; want %.0f, %.2f",
+					got.runsPerS, got.allocsPerRun, tc.wantRate, tc.wantAllocs)
+			}
+			if !got.hasRate || !got.hasAllocs {
+				t.Fatalf("metrics incomplete: %+v", got)
+			}
+		})
+	}
+}
+
+// TestIsCPUSuffixed covers the suffix detector's edges.
+func TestIsCPUSuffixed(t *testing.T) {
+	cases := []struct {
+		got  string
+		want bool
+	}{
+		{gateName + "-8", true},
+		{gateName + "-16", true},
+		{gateName, false},
+		{gateName + "-", false},
+		{gateName + "-8x", false},
+		{gateName + "-batch", false},
+		{"Benchmark-8", false},
+	}
+	for _, tc := range cases {
+		if got := isCPUSuffixed(tc.got, gateName); got != tc.want {
+			t.Errorf("isCPUSuffixed(%q) = %v, want %v", tc.got, got, tc.want)
+		}
+	}
+}

@@ -14,9 +14,9 @@
 // -name defaults to host-pid and labels this worker's leases in the
 // coordinator's metrics. -smoke boots an in-process coordinator with a
 // TCP fleet listener, runs two workers against it, kills and restarts
-// one mid-sweep, and verifies the merged summary is byte-identical to
-// the single-process engine — the self-test the Makefile's fleet-smoke
-// target runs.
+// one mid-sweep, and verifies both a merged sweep summary and a merged
+// nested (k=2) check report are byte-identical to the single-process
+// engines — the self-test the Makefile's fleet-smoke target runs.
 package main
 
 import (
@@ -33,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"easeio/internal/check"
 	"easeio/internal/experiments"
 	"easeio/internal/fleet"
 	"easeio/internal/service"
@@ -167,6 +168,34 @@ func runSmoke(reg *service.Registry) error {
 	if !reflect.DeepEqual(res.Summary, want) {
 		return fmt.Errorf("fleet summary differs from in-process engine:\n%+v\nvs\n%+v",
 			res.Summary, want)
+	}
+
+	// Second leg: a subtree-sharded nested check over the same fleet.
+	// The k=2 job's level-1 frontier ships as checkpoint-bearing subtree
+	// work units, and the merged report must render byte-identically to
+	// the in-process checker.
+	cid, err := coord.Submit(fleet.Spec{
+		Mode: fleet.ModeCheck, App: "sensor", Runtime: "EaseIO",
+		Exhaustive: true, Failures: 2, Shards: 4,
+	})
+	if err != nil {
+		return err
+	}
+	cctx, ccancel := context.WithTimeout(context.Background(), time.Minute)
+	defer ccancel()
+	cres, err := coord.Wait(cctx, cid)
+	if err != nil {
+		return err
+	}
+	sensorFactory, _ := reg.LookupFactory("sensor")
+	wantRep, err := check.Run(context.Background(), sensorFactory, experiments.EaseIO,
+		check.Config{Exhaustive: true, Failures: 2, Workers: 2})
+	if err != nil {
+		return err
+	}
+	if cres.Report.Render() != wantRep.Render() {
+		return fmt.Errorf("fleet k=2 report differs from in-process checker:\n--- fleet ---\n%s--- direct ---\n%s",
+			cres.Report.Render(), wantRep.Render())
 	}
 	return nil
 }

@@ -314,16 +314,7 @@ func Run(ctx context.Context, newApp experiments.AppFactory, kind experiments.Ru
 	}
 
 	// Clamp the explored candidate range (the full range by default).
-	lo, hi := cfg.CutLo, cfg.CutHi
-	if lo < 0 {
-		lo = 0
-	}
-	if hi <= 0 || hi > rep.Candidates {
-		hi = rep.Candidates
-	}
-	if lo > hi {
-		lo = hi
-	}
+	lo, hi := clampRange(cfg, rep.Candidates)
 
 	fromBoot := cfg.FromBoot
 	var rcr *recorder

@@ -88,3 +88,54 @@ func TestFreshnessOracleCheckpointedMatchesFromBoot(t *testing.T) {
 		t.Fatalf("replay modes disagree on the sensor app:\ncheckpointed:\n%s\nfrom-boot:\n%s", a, b)
 	}
 }
+
+// TestFreshnessNestedReplayModes extends the freshness claims to the
+// k=2 checkpoint tree, where depth-2 replays resume from checkpoints
+// taken along recovery trajectories: the sample clocks must survive
+// that double restore (ckpt vs from-boot byte identity), staleness must
+// stay invisible to every oracle but Timely(Δt), and the stale/clean
+// split across runtimes must match the single-failure demonstration.
+func TestFreshnessNestedReplayModes(t *testing.T) {
+	cases := []struct {
+		kind      experiments.RuntimeKind
+		wantStale bool
+	}{
+		{experiments.EaseIO, true},
+		{experiments.JustDo, true},
+		{experiments.Alpaca, false},
+		{experiments.InK, false},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.kind.String(), func(t *testing.T) {
+			t.Parallel()
+			cfg := Config{Exhaustive: true, Failures: 2, Workers: 2}
+			ckpt, err := Run(context.Background(), sensorFactory, tc.kind, cfg)
+			if err != nil {
+				t.Fatalf("checkpointed: %v", err)
+			}
+			cfg.FromBoot = true
+			boot, err := Run(context.Background(), sensorFactory, tc.kind, cfg)
+			if err != nil {
+				t.Fatalf("from-boot: %v", err)
+			}
+			if a, b := ckpt.Render(), boot.Render(); a != b {
+				t.Fatalf("k=2 replay modes disagree on the sensor app:\ncheckpointed:\n%s\nfrom-boot:\n%s", a, b)
+			}
+			timely := 0
+			for _, d := range ckpt.Divergences {
+				if d.Kind != "timely" {
+					t.Errorf("unexpected %s divergence on schedule %v: %s", d.Kind, d.Schedule, d.Detail)
+					continue
+				}
+				timely++
+			}
+			if tc.wantStale && timely == 0 {
+				t.Fatalf("%s served no stale reading under nested failures", tc.kind)
+			}
+			if !tc.wantStale && timely != 0 {
+				t.Fatalf("%s flagged %d timely divergences at k=2; it should re-sense on reboot", tc.kind, timely)
+			}
+		})
+	}
+}

@@ -98,7 +98,27 @@ type nestedResult struct {
 // to Config.Failures levels. On cancellation or a hard replay error it
 // returns what was found so far plus the error.
 func (e *explorer) exploreNested(ctx context.Context, level1 []outcome) (*nestedResult, error) {
+	frontier, err := e.level1Frontier(level1)
+	if err != nil {
+		return &nestedResult{}, err
+	}
+	return e.exploreFrontier(ctx, frontier, 2)
+}
+
+// exploreFrontier runs the breadth-first tree growth over an initial
+// frontier whose nodes sit at startDepth. It is the whole nested
+// exploration below level 1: exploreNested seeds it with the level-1
+// representatives, and the distributed checker's subtree shards seed it
+// with a contiguous group of those representatives — because the loop
+// books stats and divergences strictly in (depth, node, candidate)
+// order, a frontier split into contiguous groups explored separately
+// reproduces, per depth and in group order, exactly what the whole
+// frontier produces.
+func (e *explorer) exploreFrontier(ctx context.Context, frontier []treeNode, startDepth int) (*nestedResult, error) {
 	res := &nestedResult{}
+	if len(frontier) == 0 {
+		return res, nil
+	}
 	if e.tracer == nil {
 		t, err := newReplayer(e.newApp, e.newRT, e.golden, e.cfg, e.fromBoot)
 		if err != nil {
@@ -107,11 +127,7 @@ func (e *explorer) exploreNested(ctx context.Context, level1 []outcome) (*nested
 		e.tracer = t
 	}
 
-	frontier, err := e.level1Frontier(level1)
-	if err != nil {
-		return res, err
-	}
-	for depth := 2; depth <= e.cfg.Failures && len(frontier) > 0; depth++ {
+	for depth := startDepth; depth <= e.cfg.Failures && len(frontier) > 0; depth++ {
 		ds := DepthStats{Depth: depth}
 		var next []treeNode
 		for _, node := range frontier {

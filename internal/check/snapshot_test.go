@@ -96,165 +96,181 @@ func TestNestedReplayModesByteIdentical(t *testing.T) {
 // the second failure — and compares the complete final state (FRAM word
 // for word, the ledger, the full run statistics) against a from-boot
 // run that fails at exactly [cut₁, cut₂]. This is the fidelity claim
-// the nested checker's pruning and reporting both stand on.
+// the nested checker's pruning and reporting both stand on. The sensor
+// app rides along because its freshness record (sample clocks, stale
+// serves) lives in the run statistics a checkpoint must carry — a
+// Snapshot/Restore that dropped it would pass fig6 and still let the
+// nested checker misreport staleness.
 func TestNestedCheckpointFidelityTorture(t *testing.T) {
+	for _, app := range []struct {
+		name    string
+		factory experiments.AppFactory
+	}{
+		{"fig6", Fig6Bench},
+		{"sensor", sensorFactory},
+	} {
+		for _, kind := range allKinds {
+			app, kind := app, kind
+			t.Run(app.name+"/"+kind.String(), func(t *testing.T) {
+				t.Parallel()
+				nestedFidelityTorture(t, app.factory, kind)
+			})
+		}
+	}
+}
+
+func nestedFidelityTorture(t *testing.T, factory experiments.AppFactory, kind experiments.RuntimeKind) {
 	const seed = 7
-	for _, kind := range allKinds {
-		kind := kind
-		t.Run(kind.String(), func(t *testing.T) {
-			t.Parallel()
-			bench, err := Fig6Bench()
+	bench, err := factory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &cutRecorder{}
+	sess := kernel.NewSession(experiments.NewRuntime(kind), bench.App, power.Continuous{})
+	sess.Cuts = rec
+	if _, err := sess.Run(seed); err != nil {
+		t.Fatal(err)
+	}
+	level1 := append([]time.Duration(nil), rec.cuts...)
+	if len(level1) < 2 {
+		t.Fatalf("only %d candidate cut points", len(level1))
+	}
+
+	// First cut plus a seeded-random sample of further first cuts.
+	rng := rand.New(rand.NewSource(0x2fa11))
+	picks := map[int]bool{0: true}
+	for len(picks) < 4 && len(picks) < len(level1)-1 {
+		picks[rng.Intn(len(level1)-1)] = true // not the last: its recovery has no cuts left
+	}
+	idxs := make([]int, 0, len(picks))
+	for i := range picks {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+
+	rcr := newRecorder(bench, sess.Runtime(), sess.Device(), seed)
+	cps, err := rcr.record(level1, idxs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One attached instance per role, reused across pairs the way
+	// the checker's own replayers are.
+	newInstance := func(sch *power.Schedule) (*kernel.Device, kernel.Hooks, *task.App) {
+		b, err := factory()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.App.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		dev := kernel.NewDevice(sch, seed)
+		rt := experiments.NewRuntime(kind)
+		if err := rt.Attach(dev, b.App); err != nil {
+			t.Fatal(err)
+		}
+		return dev, rt, b.App
+	}
+
+	pairs := 0
+	for _, i1 := range idxs {
+		c1 := level1[i1]
+		cp1 := cps[i1]
+
+		// Trace the recovery trajectory after the first failure.
+		trSch := power.NewSchedule(c1)
+		trDev, trRT, trApp := newInstance(trSch)
+		trSch.Reset(0)
+		trDev.Restore(cp1.dev)
+		trRT.(kernel.Snapshotter).RestoreState(trDev, cp1.rt)
+		tr2 := &cutRecorder{}
+		trDev.Cuts = tr2
+		if err := kernel.ResumeWithFailure(trDev, trRT, trApp); err != nil {
+			t.Fatalf("cut %v: trace: %v", c1, err)
+		}
+		trDev.Cuts = nil
+		suffix := tr2.cuts
+		if len(suffix) == 0 {
+			continue
+		}
+
+		// A couple of second cuts per first cut: the trajectory's
+		// first boundary, its last, and a seeded-random one.
+		j := map[int]bool{0: true, len(suffix) - 1: true}
+		j[rng.Intn(len(suffix))] = true
+		var jdx []int
+		for i := range j {
+			jdx = append(jdx, i)
+		}
+		sort.Ints(jdx)
+
+		// Re-run the same trajectory with a snapshotting sink to
+		// capture the suffix checkpoints (recordSuffix by hand).
+		sink := &snapSink{
+			targets: make([]time.Duration, len(jdx)),
+			idxs:    jdx,
+			dev:     trDev,
+			rt:      trRT.(kernel.Snapshotter),
+			cps:     make(map[int]*checkpoint, len(jdx)),
+		}
+		sink.rtInto, _ = trRT.(kernel.SnapshotterInto)
+		for i, idx := range jdx {
+			sink.targets[i] = suffix[idx]
+		}
+		trSch.Reset(0)
+		trDev.Restore(cp1.dev)
+		trRT.(kernel.Snapshotter).RestoreState(trDev, cp1.rt)
+		trDev.Cuts = sink
+		if err := kernel.ResumeWithFailure(trDev, trRT, trApp); err != nil {
+			t.Fatalf("cut %v: suffix recording: %v", c1, err)
+		}
+		trDev.Cuts = nil
+		if sink.next != len(sink.targets) {
+			t.Fatalf("cut %v: recorded %d of %d suffix checkpoints", c1, sink.next, len(sink.targets))
+		}
+
+		for _, i2 := range jdx {
+			c2 := suffix[i2]
+			pairs++
+
+			// Tree path: restore the suffix checkpoint and resume
+			// with the second failure.
+			evSch := power.NewSchedule(c1, c2)
+			evDev, evRT, evApp := newInstance(evSch)
+			evSch.Reset(0)
+			evDev.Restore(sink.cps[i2].dev)
+			evRT.(kernel.Snapshotter).RestoreState(evDev, sink.cps[i2].rt)
+			if err := kernel.ResumeWithFailure(evDev, evRT, evApp); err != nil {
+				t.Fatalf("schedule [%v %v]: resume: %v", c1, c2, err)
+			}
+
+			// From-boot reference with both failures scheduled.
+			refBench, err := factory()
 			if err != nil {
 				t.Fatal(err)
 			}
-			rec := &cutRecorder{}
-			sess := kernel.NewSession(experiments.NewRuntime(kind), bench.App, power.Continuous{})
-			sess.Cuts = rec
-			if _, err := sess.Run(seed); err != nil {
-				t.Fatal(err)
-			}
-			level1 := append([]time.Duration(nil), rec.cuts...)
-			if len(level1) < 2 {
-				t.Fatalf("only %d candidate cut points", len(level1))
+			refDev := kernel.NewDevice(power.NewSchedule(c1, c2), seed)
+			refRT := experiments.NewRuntime(kind)
+			if err := kernel.RunApp(refDev, refRT, refBench.App); err != nil {
+				t.Fatalf("schedule [%v %v]: from boot: %v", c1, c2, err)
 			}
 
-			// First cut plus a seeded-random sample of further first cuts.
-			rng := rand.New(rand.NewSource(0x2fa11))
-			picks := map[int]bool{0: true}
-			for len(picks) < 4 && len(picks) < len(level1)-1 {
-				picks[rng.Intn(len(level1)-1)] = true // not the last: its recovery has no cuts left
+			if diffs := evDev.Mem.Diff(refDev.Mem.Snapshot(mem.FRAM), 4); diffs != nil {
+				t.Errorf("schedule [%v %v]: final FRAM differs at words %v", c1, c2, diffs)
 			}
-			idxs := make([]int, 0, len(picks))
-			for i := range picks {
-				idxs = append(idxs, i)
+			if !reflect.DeepEqual(refDev.Ledger, evDev.Ledger) {
+				t.Errorf("schedule [%v %v]: ledgers differ:\nfrom-boot: %+v\ntree:      %+v",
+					c1, c2, refDev.Ledger, evDev.Ledger)
 			}
-			sort.Ints(idxs)
-
-			rcr := newRecorder(bench, sess.Runtime(), sess.Device(), seed)
-			cps, err := rcr.record(level1, idxs)
-			if err != nil {
-				t.Fatal(err)
+			if !reflect.DeepEqual(refDev.Run, evDev.Run) {
+				t.Errorf("schedule [%v %v]: run stats differ:\nfrom-boot: %+v\ntree:      %+v",
+					c1, c2, refDev.Run, evDev.Run)
 			}
-
-			// One attached instance per role, reused across pairs the way
-			// the checker's own replayers are.
-			newInstance := func(sch *power.Schedule) (*kernel.Device, kernel.Hooks, *task.App) {
-				b, err := Fig6Bench()
-				if err != nil {
-					t.Fatal(err)
-				}
-				if err := b.App.Validate(); err != nil {
-					t.Fatal(err)
-				}
-				dev := kernel.NewDevice(sch, seed)
-				rt := experiments.NewRuntime(kind)
-				if err := rt.Attach(dev, b.App); err != nil {
-					t.Fatal(err)
-				}
-				return dev, rt, b.App
-			}
-
-			pairs := 0
-			for _, i1 := range idxs {
-				c1 := level1[i1]
-				cp1 := cps[i1]
-
-				// Trace the recovery trajectory after the first failure.
-				trSch := power.NewSchedule(c1)
-				trDev, trRT, trApp := newInstance(trSch)
-				trSch.Reset(0)
-				trDev.Restore(cp1.dev)
-				trRT.(kernel.Snapshotter).RestoreState(trDev, cp1.rt)
-				tr2 := &cutRecorder{}
-				trDev.Cuts = tr2
-				if err := kernel.ResumeWithFailure(trDev, trRT, trApp); err != nil {
-					t.Fatalf("cut %v: trace: %v", c1, err)
-				}
-				trDev.Cuts = nil
-				suffix := tr2.cuts
-				if len(suffix) == 0 {
-					continue
-				}
-
-				// A couple of second cuts per first cut: the trajectory's
-				// first boundary, its last, and a seeded-random one.
-				j := map[int]bool{0: true, len(suffix) - 1: true}
-				j[rng.Intn(len(suffix))] = true
-				var jdx []int
-				for i := range j {
-					jdx = append(jdx, i)
-				}
-				sort.Ints(jdx)
-
-				// Re-run the same trajectory with a snapshotting sink to
-				// capture the suffix checkpoints (recordSuffix by hand).
-				sink := &snapSink{
-					targets: make([]time.Duration, len(jdx)),
-					idxs:    jdx,
-					dev:     trDev,
-					rt:      trRT.(kernel.Snapshotter),
-					cps:     make(map[int]*checkpoint, len(jdx)),
-				}
-				sink.rtInto, _ = trRT.(kernel.SnapshotterInto)
-				for i, idx := range jdx {
-					sink.targets[i] = suffix[idx]
-				}
-				trSch.Reset(0)
-				trDev.Restore(cp1.dev)
-				trRT.(kernel.Snapshotter).RestoreState(trDev, cp1.rt)
-				trDev.Cuts = sink
-				if err := kernel.ResumeWithFailure(trDev, trRT, trApp); err != nil {
-					t.Fatalf("cut %v: suffix recording: %v", c1, err)
-				}
-				trDev.Cuts = nil
-				if sink.next != len(sink.targets) {
-					t.Fatalf("cut %v: recorded %d of %d suffix checkpoints", c1, sink.next, len(sink.targets))
-				}
-
-				for _, i2 := range jdx {
-					c2 := suffix[i2]
-					pairs++
-
-					// Tree path: restore the suffix checkpoint and resume
-					// with the second failure.
-					evSch := power.NewSchedule(c1, c2)
-					evDev, evRT, evApp := newInstance(evSch)
-					evSch.Reset(0)
-					evDev.Restore(sink.cps[i2].dev)
-					evRT.(kernel.Snapshotter).RestoreState(evDev, sink.cps[i2].rt)
-					if err := kernel.ResumeWithFailure(evDev, evRT, evApp); err != nil {
-						t.Fatalf("schedule [%v %v]: resume: %v", c1, c2, err)
-					}
-
-					// From-boot reference with both failures scheduled.
-					refBench, err := Fig6Bench()
-					if err != nil {
-						t.Fatal(err)
-					}
-					refDev := kernel.NewDevice(power.NewSchedule(c1, c2), seed)
-					refRT := experiments.NewRuntime(kind)
-					if err := kernel.RunApp(refDev, refRT, refBench.App); err != nil {
-						t.Fatalf("schedule [%v %v]: from boot: %v", c1, c2, err)
-					}
-
-					if diffs := evDev.Mem.Diff(refDev.Mem.Snapshot(mem.FRAM), 4); diffs != nil {
-						t.Errorf("schedule [%v %v]: final FRAM differs at words %v", c1, c2, diffs)
-					}
-					if !reflect.DeepEqual(refDev.Ledger, evDev.Ledger) {
-						t.Errorf("schedule [%v %v]: ledgers differ:\nfrom-boot: %+v\ntree:      %+v",
-							c1, c2, refDev.Ledger, evDev.Ledger)
-					}
-					if !reflect.DeepEqual(refDev.Run, evDev.Run) {
-						t.Errorf("schedule [%v %v]: run stats differ:\nfrom-boot: %+v\ntree:      %+v",
-							c1, c2, refDev.Run, evDev.Run)
-					}
-				}
-				ckptRecycle(sink.cps)
-			}
-			if pairs < 3 {
-				t.Errorf("only %d (cut₁, cut₂) pairs exercised", pairs)
-			}
-		})
+		}
+		ckptRecycle(sink.cps)
+	}
+	if pairs < 3 {
+		t.Errorf("only %d (cut₁, cut₂) pairs exercised", pairs)
 	}
 }
 

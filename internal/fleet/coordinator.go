@@ -18,6 +18,7 @@ import (
 
 	"easeio/internal/check"
 	"easeio/internal/experiments"
+	"easeio/internal/rtbase"
 	"easeio/internal/stats"
 	"easeio/internal/wire"
 )
@@ -47,6 +48,26 @@ type CoordinatorConfig struct {
 	// tests. WAL fsync and merge latencies always use the real clock:
 	// they measure the host, not the job timeline.
 	Now func() time.Time
+}
+
+// validate rejects config values that are not just "use the default":
+// a negative knob is a caller bug (a miscomputed worker count, a bad
+// flag parse), and silently coercing it to the default would hide that
+// until a job hangs with no shards. Zero still means "default".
+func (c CoordinatorConfig) validate() error {
+	if c.DefaultShards < 0 {
+		return fmt.Errorf("fleet: DefaultShards %d is negative (0 means default)", c.DefaultShards)
+	}
+	if c.MaxAttempts < 0 {
+		return fmt.Errorf("fleet: MaxAttempts %d is negative (0 means default)", c.MaxAttempts)
+	}
+	if c.LeaseTTL < 0 {
+		return fmt.Errorf("fleet: LeaseTTL %v is negative (0 means default)", c.LeaseTTL)
+	}
+	if c.RetryBackoff < 0 {
+		return fmt.Errorf("fleet: RetryBackoff %v is negative (0 means default)", c.RetryBackoff)
+	}
+	return nil
 }
 
 func (c CoordinatorConfig) fill() CoordinatorConfig {
@@ -88,6 +109,10 @@ type shardState struct {
 	leaseExpiry time.Time
 	notBefore   time.Time // backoff gate on the next lease
 	payload     []byte    // the encoded shard result once done
+	// task is the pre-encoded task message for shards whose work unit
+	// cannot be derived from the spec at lease time (subtree shards embed
+	// root checkpoints recorded at plan time). Nil for range shards.
+	task []byte
 }
 
 // job is one submitted job's live state.
@@ -96,9 +121,13 @@ type job struct {
 	spec Spec
 	kind experiments.RuntimeKind
 
-	planned   bool
-	hasPlan   bool       // check jobs: plan holds the golden header
-	plan      planHeader // valid when hasPlan
+	planned bool
+	hasPlan bool       // check jobs: plan holds the golden header
+	plan    planHeader // valid when hasPlan
+	// level1 marks a subtree-sharded nested check and holds its
+	// coordinator-side level-1 exploration (an encoded wire.CheckResult)
+	// that the merge folds in ahead of the shards' subtree results.
+	level1    []byte
 	shards    []*shardState
 	remaining int // shards not yet done
 
@@ -126,6 +155,9 @@ type Coordinator struct {
 // New opens (or creates) the WAL at cfg.WALPath, replays it, and returns
 // a coordinator resuming every unfinished job it finds there.
 func New(cfg CoordinatorConfig) (*Coordinator, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.fill()
 	if cfg.WALPath == "" {
 		return nil, fmt.Errorf("fleet: coordinator needs a WAL path")
@@ -185,7 +217,7 @@ func (c *Coordinator) replay(r record) {
 		if j.planned {
 			return
 		}
-		c.installPlan(j, r.Shards, r.HasPlan, r.Plan)
+		c.installPlan(j, r.Shards, r.HasPlan, r.Plan, r.Level1, r.Tasks)
 	case recLease:
 		// Leases do not survive a restart — the shard stays pending and
 		// will be re-leased without an attempt increment. The record
@@ -209,7 +241,16 @@ func (c *Coordinator) replay(r record) {
 		if r.Shard < 0 || r.Shard >= len(j.shards) {
 			return
 		}
-		j.shards[r.Shard].attempts++
+		sh := j.shards[r.Shard]
+		sh.attempts++
+		// The backoff gate survives the restart: it is derived from the
+		// journaled failure time, not the replay clock, so a coordinator
+		// that restarts immediately after a failure does not hand the
+		// still-broken shard straight back out. Records written before the
+		// failure time was journaled (At == 0) decode to an epoch-based
+		// gate in the past — an immediate re-lease, exactly the old
+		// behavior.
+		sh.notBefore = time.Unix(0, r.At).Add(c.retryBackoff(sh.attempts))
 	case recJobDone:
 		res, err := decodeResultPayload(j.spec.Mode, r.Payload)
 		if err != nil {
@@ -288,7 +329,9 @@ func (c *Coordinator) Submit(spec Spec) (uint64, error) {
 }
 
 // planLocked computes and logs the job's shard ranges. Sweep plans are
-// pure arithmetic over the spec; check plans run the golden pass.
+// pure arithmetic over the spec; check plans run the golden pass, and
+// exhaustive nested (k > 1) checks additionally run the whole level-1
+// exploration here, cutting the level-1 frontier into subtree shards.
 func (c *Coordinator) planLocked(j *job) error {
 	parts := j.spec.Shards
 	if parts <= 0 {
@@ -298,10 +341,14 @@ func (c *Coordinator) planLocked(j *job) error {
 		ranges  [][2]int
 		hasPlan bool
 		ph      planHeader
+		level1  []byte
+		tasks   [][]byte
+		work    int
 	)
 	switch j.spec.Mode {
 	case ModeSweep:
 		ranges = splitRange(0, j.spec.Runs, parts)
+		work = j.spec.Runs
 	case ModeCheck:
 		if c.cfg.Source == nil {
 			return fmt.Errorf("fleet: check job %d needs a blueprint source", j.id)
@@ -310,10 +357,20 @@ func (c *Coordinator) planLocked(j *job) error {
 		if !ok {
 			return fmt.Errorf("fleet: unknown app %q", j.spec.App)
 		}
-		plan, err := check.Golden(factory, j.kind, check.Config{
+		cfg := check.Config{
 			Seed: j.spec.Seed, Off: j.spec.Off, Grid: j.spec.Grid,
-			Failures: j.spec.Failures,
-		})
+			Failures: j.spec.Failures, Exhaustive: j.spec.Exhaustive,
+		}
+		if j.spec.Exhaustive && j.spec.Failures > 1 {
+			var err error
+			ranges, ph, level1, tasks, work, err = c.planNestedLocked(j, factory, cfg, parts)
+			if err != nil {
+				return err
+			}
+			hasPlan = true
+			break
+		}
+		plan, err := check.Golden(factory, j.kind, cfg)
 		if err != nil {
 			return fmt.Errorf("fleet: plan check job %d: %w", j.id, err)
 		}
@@ -323,42 +380,123 @@ func (c *Coordinator) planLocked(j *job) error {
 			GoldenOnTime: plan.GoldenOnTime, GoldenCorrect: plan.GoldenCorrect,
 			Candidates: plan.Candidates, Note: plan.Note,
 		}
+		work = plan.Candidates
 		switch {
 		case plan.Candidates == 0:
 			ranges = nil
-		case !j.spec.Exhaustive || j.spec.Failures > 1:
+		case !j.spec.Exhaustive:
 			// The adaptive bisection prunes against outcomes across the
-			// whole candidate range, and the nested checkpoint tree grows
-			// from those outcomes: one shard either way, or the merge
-			// would not be byte-identical to the in-process checker.
+			// whole candidate range: one shard, or the merge would not be
+			// byte-identical to the in-process checker. (This also covers
+			// adaptive k > 1 jobs, whose level 1 is adaptive.)
 			ranges = [][2]int{{0, plan.Candidates}}
 		default:
 			ranges = splitRange(0, plan.Candidates, parts)
 		}
 	}
-	if err := c.wal.append(record{Type: recPlan, Job: j.id, Shards: ranges, HasPlan: hasPlan, Plan: ph}); err != nil {
+	// Plan-time invariant: pending work must yield at least one shard. A
+	// job planned with work but no shards has no completion path — it
+	// would sit unfinished forever — so fail fast here instead.
+	if work > 0 && len(ranges) == 0 {
+		return fmt.Errorf("fleet: job %d planned no shards over %d pending items (Shards=%d, DefaultShards=%d)",
+			j.id, work, j.spec.Shards, c.cfg.DefaultShards)
+	}
+	if err := c.wal.append(record{Type: recPlan, Job: j.id, Shards: ranges,
+		HasPlan: hasPlan, Plan: ph, Level1: level1, Tasks: tasks}); err != nil {
 		return err
 	}
-	c.installPlan(j, ranges, hasPlan, ph)
+	c.installPlan(j, ranges, hasPlan, ph, level1, tasks)
 	return nil
 }
 
+// planNestedLocked plans an exhaustive nested check: it runs the golden
+// pass plus the full level-1 exploration in the coordinator (the level-1
+// range is never sharded — representative selection is a function of
+// outcomes across the whole range), then cuts the level-1 frontier into
+// contiguous groups of root checkpoints, each pre-encoded as one subtree
+// shard task. The completed level-1 results ride along for the merge.
+// Work is counted in frontier roots: a job whose level-1 exploration
+// leaves nothing to expand legitimately plans zero shards and finishes
+// at submit.
+func (c *Coordinator) planNestedLocked(j *job, factory experiments.AppFactory, cfg check.Config, parts int) (
+	ranges [][2]int, ph planHeader, level1 []byte, tasks [][]byte, work int, err error) {
+	np, err := check.PlanNested(context.Background(), factory, j.kind, cfg)
+	if err != nil {
+		return nil, ph, nil, nil, 0, fmt.Errorf("fleet: plan check job %d: %w", j.id, err)
+	}
+	ph = planHeader{
+		App: np.Plan.App, Runtime: np.Plan.Runtime, Off: np.Plan.Off,
+		GoldenOnTime: np.Plan.GoldenOnTime, GoldenCorrect: np.Plan.GoldenCorrect,
+		Candidates: np.Plan.Candidates, Note: np.Plan.Note,
+	}
+	if np.Plan.Candidates == 0 {
+		return nil, ph, nil, nil, 0, nil
+	}
+	if np.Fallback {
+		// The runtime cannot checkpoint: the whole job runs as one
+		// undistributed shard, exactly as before subtree sharding.
+		return [][2]int{{0, np.Plan.Candidates}}, ph, nil, nil, np.Plan.Candidates, nil
+	}
+	level1 = wire.AppendCheckResult(nil, wire.CheckResult{
+		Job: j.id, Explored: np.Explored, Pruned: np.Pruned, Divergences: np.Divergences,
+	})
+	ranges = splitRange(0, len(np.Seeds), parts)
+	tasks = make([][]byte, len(ranges))
+	for i, rg := range ranges {
+		roots := make([]wire.SubtreeRoot, 0, rg[1]-rg[0])
+		for _, seed := range np.Seeds[rg[0]:rg[1]] {
+			cpb, err := wire.EncodeCheckpoint(nil, seed.Dev)
+			if err != nil {
+				return nil, ph, nil, nil, 0, fmt.Errorf("fleet: job %d: encode subtree root: %w", j.id, err)
+			}
+			st, ok := seed.RT.(*rtbase.BaseState)
+			if !ok {
+				return nil, ph, nil, nil, 0, fmt.Errorf("fleet: job %d: runtime state %T is not wire-encodable", j.id, seed.RT)
+			}
+			roots = append(roots, wire.SubtreeRoot{
+				Schedule: seed.Schedule, Collapsed: seed.Collapsed,
+				Checkpoint: cpb, RT: st.Export(),
+			})
+		}
+		tasks[i] = wire.AppendSubtreeShard(nil, wire.SubtreeShard{
+			Job: j.id, Shard: i, App: j.spec.App, Runtime: j.spec.Runtime,
+			Seed: j.spec.Seed, Off: ph.Off, Failures: j.spec.Failures,
+			Exhaustive: true, Grid: j.spec.Grid, Workers: j.spec.ShardWorkers,
+			Roots: roots,
+		})
+	}
+	return ranges, ph, level1, tasks, len(np.Seeds), nil
+}
+
 // installPlan applies a planned (or replayed) shard layout.
-func (c *Coordinator) installPlan(j *job, ranges [][2]int, hasPlan bool, ph planHeader) {
+func (c *Coordinator) installPlan(j *job, ranges [][2]int, hasPlan bool, ph planHeader, level1 []byte, tasks [][]byte) {
 	j.planned = true
 	j.hasPlan = hasPlan
 	j.plan = ph
+	j.level1 = level1
 	j.shards = make([]*shardState, len(ranges))
 	for i, r := range ranges {
-		j.shards[i] = &shardState{lo: r[0], hi: r[1]}
+		sh := &shardState{lo: r[0], hi: r[1]}
+		if i < len(tasks) {
+			sh.task = tasks[i]
+		}
+		j.shards[i] = sh
 	}
 	j.remaining = len(ranges)
 }
 
 // splitRange splits [lo, hi) into at most parts contiguous near-equal
-// pieces, mirroring the sweep engine's internal sharding.
+// pieces, mirroring the sweep engine's internal sharding. parts < 1 with
+// work remaining degrades to one shard covering everything: returning an
+// empty split would plan a job with no shards and no completion path.
 func splitRange(lo, hi, parts int) [][2]int {
 	n := hi - lo
+	if n <= 0 {
+		return nil
+	}
+	if parts < 1 {
+		parts = 1
+	}
 	if parts > n {
 		parts = n
 	}
@@ -376,8 +514,8 @@ func splitRange(lo, hi, parts int) [][2]int {
 }
 
 // Lease hands the named worker one pending shard as an encoded task
-// (wire.SweepShard or wire.CheckShard — dispatch on wire.PeekKind), or
-// ok=false when nothing is pending. Jobs are scanned in submission
+// (wire.SweepShard, wire.CheckShard, or wire.SubtreeShard — dispatch on
+// wire.PeekKind), or ok=false when nothing is pending. Jobs are scanned in submission
 // order, shards in range order, so a single worker drains jobs in the
 // order a sequential engine would.
 func (c *Coordinator) Lease(worker string) (task []byte, ok bool, err error) {
@@ -414,8 +552,13 @@ func (c *Coordinator) Lease(worker string) (task []byte, ok bool, err error) {
 	return nil, false, nil
 }
 
-// encodeTask renders one shard as its wire task message.
+// encodeTask renders one shard as its wire task message. Subtree shards
+// were encoded at plan time (their root checkpoints exist only then) and
+// are handed out verbatim.
 func (c *Coordinator) encodeTask(j *job, idx int, sh *shardState) []byte {
+	if sh.task != nil {
+		return sh.task
+	}
 	s := j.spec
 	if s.Mode == ModeSweep {
 		return wire.AppendSweepShard(nil, wire.SweepShard{
@@ -505,6 +648,12 @@ func resultIDs(payload []byte) (uint64, int, error) {
 			return 0, 0, err
 		}
 		return r.Job, r.Shard, nil
+	case wire.KindSubtreeResult:
+		r, err := wire.DecodeSubtreeResult(payload)
+		if err != nil {
+			return 0, 0, err
+		}
+		return r.Job, r.Shard, nil
 	}
 	return 0, 0, fmt.Errorf("fleet: completion payload is %v, want a shard result", wire.PeekKind(payload))
 }
@@ -528,7 +677,7 @@ func (c *Coordinator) FailShard(worker string, jobID uint64, shard int, msg stri
 	if sh.st == shardDone {
 		return nil
 	}
-	if err := c.wal.append(record{Type: recShardFail, Job: jobID, Shard: shard, Err: msg}); err != nil {
+	if err := c.wal.append(record{Type: recShardFail, Job: jobID, Shard: shard, Err: msg, At: now.UnixNano()}); err != nil {
 		return err
 	}
 	sh.attempts++
@@ -538,13 +687,24 @@ func (c *Coordinator) FailShard(worker string, jobID uint64, shard int, msg stri
 	if sh.attempts >= c.cfg.MaxAttempts {
 		return c.failJobLocked(j, fmt.Sprintf("shard %d failed %d times, last: %s", shard, sh.attempts, msg))
 	}
-	backoff := c.cfg.RetryBackoff << (sh.attempts - 1)
-	if limit := c.cfg.RetryBackoff << 3; backoff > limit {
-		backoff = limit
-	}
 	sh.st = shardPending
-	sh.notBefore = now.Add(backoff)
+	sh.notBefore = now.Add(c.retryBackoff(sh.attempts))
 	return nil
+}
+
+// retryBackoff is the delay before a shard's next lease after its
+// attempts-th failure: RetryBackoff doubling per attempt, capped at 8x.
+// Shared by FailShard and WAL replay so a restart reproduces the same
+// gate the live coordinator set.
+func (c *Coordinator) retryBackoff(attempts int) time.Duration {
+	shift := attempts - 1
+	if shift > 3 {
+		shift = 3
+	}
+	if shift < 0 {
+		shift = 0
+	}
+	return c.cfg.RetryBackoff << shift
 }
 
 // failJobLocked logs and applies a terminal job failure.
@@ -581,6 +741,14 @@ func (c *Coordinator) mergeLocked(j *job) error {
 		if failures <= 0 {
 			failures = 1
 		}
+		if j.level1 != nil {
+			rep, err := c.mergeSubtreeJob(j, failures)
+			if err != nil {
+				return err
+			}
+			res = Result{Mode: ModeCheck, Report: rep}
+			break
+		}
 		rep := &check.Report{
 			App: j.plan.App, Runtime: j.plan.Runtime,
 			Seed: j.spec.Seed, Off: j.plan.Off, Failures: failures,
@@ -608,6 +776,36 @@ func (c *Coordinator) mergeLocked(j *job) error {
 	}
 	c.finish(j, res, nil)
 	return nil
+}
+
+// mergeSubtreeJob assembles a subtree-sharded nested check: the
+// coordinator's own level-1 results (journaled at plan time) come first,
+// then the shards' subtree reports merge in group order — the same
+// check.MergeSubtrees + NestedPlan.Report path the in-process pipeline
+// test pins, so the fleet report is deep-equal to check.Run's.
+func (c *Coordinator) mergeSubtreeJob(j *job, failures int) (*check.Report, error) {
+	l1, err := wire.DecodeCheckResult(j.level1)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: merge job %d level-1 results: %w", j.id, err)
+	}
+	np := &check.NestedPlan{
+		Plan: &check.Plan{
+			App: j.plan.App, Runtime: j.plan.Runtime,
+			Seed: j.spec.Seed, Off: j.plan.Off, Failures: failures,
+			GoldenOnTime: j.plan.GoldenOnTime, GoldenCorrect: j.plan.GoldenCorrect,
+			Candidates: j.plan.Candidates, Note: j.plan.Note,
+		},
+		Explored: l1.Explored, Pruned: l1.Pruned, Divergences: l1.Divergences,
+	}
+	parts := make([]check.SubtreeReport, 0, len(j.shards))
+	for i, sh := range j.shards {
+		sr, err := wire.DecodeSubtreeResult(sh.payload)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: merge job %d shard %d: %w", j.id, i, err)
+		}
+		parts = append(parts, check.SubtreeReport{Depths: sr.Depths, Divergences: sr.Divergences})
+	}
+	return np.Report(check.MergeSubtrees(parts)), nil
 }
 
 // finish applies a terminal state and wakes waiters.

@@ -19,13 +19,17 @@ import (
 	"testing"
 	"time"
 
+	"easeio/internal/check"
 	"easeio/internal/experiments"
 )
 
 func TestMain(m *testing.M) {
 	switch os.Getenv("FLEET_HELPER") {
 	case "coordinator":
-		coordinatorHelperMain()
+		coordinatorHelperMain(crashSpec)
+		os.Exit(0)
+	case "nested-coordinator":
+		coordinatorHelperMain(nestedCrashSpec)
 		os.Exit(0)
 	case "worker":
 		workerHelperMain()
@@ -34,30 +38,42 @@ func TestMain(m *testing.M) {
 	os.Exit(m.Run())
 }
 
-// crashSpec is the job both coordinator-crash processes run.
+// crashSpec is the job the sweep coordinator-crash processes run.
 var crashSpec = Spec{
 	Mode: ModeSweep, App: "fir", Runtime: "EaseIO",
 	Runs: 24, BaseSeed: 5, Shards: 6,
 }
 
+// nestedCrashSpec is the subtree-sharded job the nested crash test runs:
+// fig6 under Alpaca keeps two level-1 representatives, so the plan cuts
+// two subtree shards whose root checkpoints must survive the WAL.
+var nestedCrashSpec = Spec{
+	Mode: ModeCheck, App: "fig6", Runtime: "Alpaca",
+	Exhaustive: true, Failures: 2, Shards: 4,
+}
+
 // coordinatorHelperMain is the victim coordinator: it submits the crash
 // job, works it with one loopback worker, reports progress on stdout,
 // and waits to be killed.
-func coordinatorHelperMain() {
+func coordinatorHelperMain(spec Spec) {
 	c, err := New(CoordinatorConfig{WALPath: os.Getenv("FLEET_WAL"), Source: testApps})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	id, err := c.Submit(crashSpec)
+	id, err := c.Submit(spec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	fmt.Printf("READY %d\n", id)
 	go RunLoopback(context.Background(), c, "victim", testApps, time.Millisecond)
+	minDone := 2
+	if spec.Mode == ModeCheck {
+		minDone = 1
+	}
 	for {
-		if done, _, _ := c.Progress(id); done >= 2 {
+		if done, _, _ := c.Progress(id); done >= minDone {
 			fmt.Println("PROGRESS")
 			break
 		}
@@ -164,6 +180,54 @@ func TestCrashCoordinatorMidJob(t *testing.T) {
 	}
 	if !reflect.DeepEqual(res.Summary, want) {
 		t.Errorf("post-crash summary differs from RunMany:\n%+v\nvs\n%+v", res.Summary, want)
+	}
+}
+
+// TestCrashCoordinatorMidNestedJob SIGKILLs a coordinator mid-way
+// through a subtree-sharded k=2 job. Recovery must rebuild the plan
+// from the WAL alone — the journaled level-1 results and the
+// pre-encoded subtree tasks with their root checkpoints — because the
+// level-1 exploration is consumed state the spec cannot regenerate
+// shard-by-shard. The finished report must render byte-identically to
+// the in-process checker.
+func TestCrashCoordinatorMidNestedJob(t *testing.T) {
+	walPath := filepath.Join(t.TempDir(), "nested-crash.wal")
+	cmd, lines := startHelper(t, "nested-coordinator", "FLEET_WAL="+walPath)
+
+	var id uint64
+	if _, err := fmt.Sscanf(awaitLine(t, lines, "READY"), "READY %d", &id); err != nil {
+		t.Fatal(err)
+	}
+	awaitLine(t, lines, "PROGRESS")
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+
+	c, err := New(CoordinatorConfig{WALPath: walPath, Source: testApps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	done, total, ok := c.Progress(id)
+	if !ok || total != 2 {
+		t.Fatalf("recovered nested job: done=%d total=%d ok=%v, want 2 subtree shards", done, total, ok)
+	}
+	t.Logf("recovered with %d/%d subtree shards done", done, total)
+	startLoopback(t, c, 2)
+	res := waitResult(t, c, id)
+
+	want, werr := check.Run(context.Background(), check.Fig6Bench, experiments.Alpaca,
+		check.Config{Exhaustive: true, Failures: 2, Workers: 2})
+	if werr != nil {
+		t.Fatal(werr)
+	}
+	if res.Report.Render() != want.Render() {
+		t.Errorf("post-crash k=2 report differs from check.Run:\n--- fleet ---\n%s--- direct ---\n%s",
+			res.Report.Render(), want.Render())
+	}
+	if len(res.Report.Divergences) == 0 {
+		t.Error("recovered Alpaca k=2 report lost its divergences")
 	}
 }
 

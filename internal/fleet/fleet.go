@@ -21,6 +21,12 @@
 // shards concatenate in cut order onto the plan's golden header.
 // Adaptive (bisection) checks stay a single shard: their pruning
 // decisions depend on outcomes across the whole candidate range.
+// Exhaustive nested (k > 1) checks run level 1 in the coordinator —
+// representative selection is likewise a whole-range decision — then
+// shard the level-1 frontier as subtree work units (wire.SubtreeShard):
+// each carries a contiguous group of root checkpoints that a stateless
+// worker restores and grows to depth k (see DESIGN.md on the subtree
+// work-unit contract).
 //
 // Transports: workers pull work — Lease/Complete/Fail — either
 // in-process (loopback workers, the testing and single-host mode) or
@@ -61,9 +67,10 @@ type Spec struct {
 	BaseSeed int64
 
 	// Check: the replayed seed and the exploration parameters. Failures
-	// is the nested-failure depth k (0 defaults to 1); like adaptive
-	// checks, k > 1 jobs stay a single shard — the checkpoint tree grows
-	// from outcomes across the whole candidate range.
+	// is the nested-failure depth k (0 defaults to 1). Exhaustive k > 1
+	// jobs shard at the level-1 frontier (subtree work units); adaptive
+	// k > 1 jobs stay a single shard, because their level-1 pruning
+	// depends on outcomes across the whole candidate range.
 	Seed       int64
 	Off        time.Duration
 	Grid       int

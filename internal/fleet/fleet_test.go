@@ -38,6 +38,7 @@ var testApps = mapSource{
 	"fir":    func() (*apps.Bench, error) { return apps.NewFIRApp(apps.DefaultFIRConfig()) },
 	"branch": func() (*apps.Bench, error) { return apps.NewBranchApp(apps.DefaultBranchConfig()) },
 	"fig6":   check.Fig6Bench,
+	"sensor": func() (*apps.Bench, error) { return apps.NewSensorApp(apps.DefaultSensorConfig()) },
 }
 
 // sweepKinds is the full runtime matrix sweeps are pinned across.
@@ -189,50 +190,63 @@ func TestFleetCheckByteIdentity(t *testing.T) {
 }
 
 // TestFleetNestedCheckByteIdentity pins the k > 1 contract: a nested
-// check job plans as a single shard (the checkpoint tree grows from
-// outcomes across the whole candidate range) and the merged report —
+// check job runs its level-1 exploration in the coordinator, cuts the
+// level-1 frontier into subtree shards leased to workers that restore
+// the root checkpoints and grow the subtrees, and the merged report —
 // depth stats, multi-failure schedules, minimal schedule — renders
 // byte-identically to check.Run. Alpaca diverges under nested failures
-// on fig6; EaseIO must stay clean.
+// on fig6; EaseIO must stay clean there but serves stale sensor
+// readings, whose Timely divergences must survive the distribution.
 func TestFleetNestedCheckByteIdentity(t *testing.T) {
 	c := newTestCoordinator(t, nil)
 	startLoopback(t, c, 2)
 
 	for _, tc := range []struct {
+		app        string
+		factory    experiments.AppFactory
 		kind       experiments.RuntimeKind
 		wantDiverg bool
+		wantShards int // level-1 representatives, capped by Shards
 	}{
-		{experiments.Alpaca, true},
-		{experiments.EaseIO, false},
+		{"fig6", check.Fig6Bench, experiments.Alpaca, true, 2},
+		{"fig6", check.Fig6Bench, experiments.EaseIO, false, 1},
+		{"sensor", testApps["sensor"], experiments.EaseIO, true, 2},
 	} {
 		spec := Spec{
-			Mode: ModeCheck, App: "fig6", Runtime: tc.kind.String(),
+			Mode: ModeCheck, App: tc.app, Runtime: tc.kind.String(),
 			Exhaustive: true, Failures: 2, Shards: 4, ShardWorkers: 2,
 		}
 		id, err := c.Submit(spec)
 		if err != nil {
-			t.Fatalf("%s: %v", tc.kind, err)
+			t.Fatalf("%s/%s: %v", tc.app, tc.kind, err)
 		}
 		res := waitResult(t, c, id)
 
-		want, werr := check.Run(context.Background(), check.Fig6Bench, tc.kind,
+		// The job must really have sharded: one shard per level-1
+		// representative (fig6/EaseIO collapses to one — the degenerate
+		// layout is pinned too, not skipped).
+		if _, total, ok := c.Progress(id); !ok || total != tc.wantShards {
+			t.Errorf("%s/%s: planned %d shards, want %d", tc.app, tc.kind, total, tc.wantShards)
+		}
+
+		want, werr := check.Run(context.Background(), tc.factory, tc.kind,
 			check.Config{Exhaustive: true, Failures: 2, Workers: 2})
 		if werr != nil {
-			t.Fatalf("%s reference: %v", tc.kind, werr)
+			t.Fatalf("%s/%s reference: %v", tc.app, tc.kind, werr)
 		}
 		if res.Report.Render() != want.Render() {
-			t.Errorf("%s: fleet k=2 report differs from check.Run:\n--- fleet ---\n%s--- direct ---\n%s",
-				tc.kind, res.Report.Render(), want.Render())
+			t.Errorf("%s/%s: fleet k=2 report differs from check.Run:\n--- fleet ---\n%s--- direct ---\n%s",
+				tc.app, tc.kind, res.Report.Render(), want.Render())
 		}
 		if got := len(res.Report.Divergences) > 0; got != tc.wantDiverg {
-			t.Errorf("%s: divergences = %d, want some: %v",
-				tc.kind, len(res.Report.Divergences), tc.wantDiverg)
+			t.Errorf("%s/%s: divergences = %d, want some: %v",
+				tc.app, tc.kind, len(res.Report.Divergences), tc.wantDiverg)
 		}
-		// Alpaca already fails under a single failure, so the minimal
-		// schedule must stay the one-failure one even with depth-2
-		// divergences in the report.
-		if tc.wantDiverg && len(res.Report.Minimal) != 1 {
-			t.Errorf("%s: minimal schedule %v, want 1 failure", tc.kind, res.Report.Minimal)
+		// Alpaca already fails fig6 under a single failure, so the
+		// minimal schedule must stay the one-failure one even with
+		// depth-2 divergences in the report.
+		if tc.app == "fig6" && tc.wantDiverg && len(res.Report.Minimal) != 1 {
+			t.Errorf("%s/%s: minimal schedule %v, want 1 failure", tc.app, tc.kind, res.Report.Minimal)
 		}
 	}
 }
@@ -281,6 +295,90 @@ func TestSpecValidation(t *testing.T) {
 	}
 }
 
+// TestSplitRangeDegenerateParts pins the planner's low-level guard:
+// parts < 1 with work remaining must degrade to one covering shard, not
+// an empty plan (which would leave the job with no completion path).
+func TestSplitRangeDegenerateParts(t *testing.T) {
+	cases := []struct {
+		lo, hi, parts int
+		want          [][2]int
+	}{
+		{0, 5, 0, [][2]int{{0, 5}}},
+		{0, 5, -3, [][2]int{{0, 5}}},
+		{2, 7, 0, [][2]int{{2, 7}}},
+		{0, 5, 2, [][2]int{{0, 3}, {3, 5}}},
+		{3, 3, 4, nil},
+		{5, 3, 2, nil},
+	}
+	for _, tc := range cases {
+		got := splitRange(tc.lo, tc.hi, tc.parts)
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("splitRange(%d, %d, %d) = %v, want %v", tc.lo, tc.hi, tc.parts, got, tc.want)
+		}
+	}
+}
+
+// TestCoordinatorConfigRejectsNegatives pins the config-time guard: a
+// negative knob is a caller bug and must fail New with a clear error
+// naming the field, not be silently coerced to the default.
+func TestCoordinatorConfigRejectsNegatives(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*CoordinatorConfig)
+	}{
+		{"DefaultShards", func(c *CoordinatorConfig) { c.DefaultShards = -1 }},
+		{"MaxAttempts", func(c *CoordinatorConfig) { c.MaxAttempts = -2 }},
+		{"LeaseTTL", func(c *CoordinatorConfig) { c.LeaseTTL = -time.Second }},
+		{"RetryBackoff", func(c *CoordinatorConfig) { c.RetryBackoff = -time.Millisecond }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := CoordinatorConfig{
+				WALPath: filepath.Join(t.TempDir(), "fleet.wal"),
+				Source:  testApps,
+			}
+			tc.mutate(&cfg)
+			c, err := New(cfg)
+			if err == nil {
+				c.Close()
+				t.Fatalf("New accepted a negative %s", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.name) {
+				t.Errorf("error %q does not name the offending field %s", err, tc.name)
+			}
+		})
+	}
+}
+
+// TestSubmitAgainstZeroWorkerFleet is the satellite regression: a job
+// submitted before any worker exists must still plan real shards (a
+// zero-worker fleet must never produce a zero-shard plan), sit pending,
+// and complete normally once a worker shows up.
+func TestSubmitAgainstZeroWorkerFleet(t *testing.T) {
+	c := newTestCoordinator(t, nil)
+	id, err := c.Submit(Spec{Mode: ModeSweep, App: "fir", Runtime: "EaseIO", Runs: 6, BaseSeed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, total, ok := c.Progress(id)
+	if !ok || total == 0 {
+		t.Fatalf("job planned %d shards with no workers attached; want > 0", total)
+	}
+	if done != 0 {
+		t.Fatalf("job reports %d done shards before any worker ran", done)
+	}
+	startLoopback(t, c, 1)
+	res := waitResult(t, c, id)
+	want, werr := experiments.RunMany(
+		experiments.Config{Runs: 6, BaseSeed: 2, Workers: 2}, testApps["fir"], experiments.EaseIO)
+	if werr != nil {
+		t.Fatal(werr)
+	}
+	if !reflect.DeepEqual(res.Summary, want) {
+		t.Errorf("zero-worker-start summary differs from RunMany:\n%+v\nvs\n%+v", res.Summary, want)
+	}
+}
+
 // TestFleetTCPByteIdentity runs the same contract over the real
 // transport: a TCP worker fleet against a listening coordinator.
 func TestFleetTCPByteIdentity(t *testing.T) {
@@ -320,6 +418,31 @@ func TestFleetTCPByteIdentity(t *testing.T) {
 	if !reflect.DeepEqual(res.Summary, want) {
 		t.Errorf("TCP fleet summary differs from RunMany:\n%+v\nvs\n%+v", res.Summary, want)
 	}
+
+	// A nested check over the same TCP fleet: the subtree shards carry
+	// full root checkpoints through the real framing, and the merged
+	// report must still be byte-identical to the in-process checker.
+	nspec := Spec{
+		Mode: ModeCheck, App: "fig6", Runtime: "Alpaca",
+		Exhaustive: true, Failures: 2, Shards: 4, ShardWorkers: 2,
+	}
+	nid, err := c.Submit(nspec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nres := waitResult(t, c, nid)
+	nwant, werr := check.Run(context.Background(), check.Fig6Bench, experiments.Alpaca,
+		check.Config{Exhaustive: true, Failures: 2, Workers: 2})
+	if werr != nil {
+		t.Fatal(werr)
+	}
+	if nres.Report.Render() != nwant.Render() {
+		t.Errorf("TCP fleet k=2 report differs from check.Run:\n--- fleet ---\n%s--- direct ---\n%s",
+			nres.Report.Render(), nwant.Render())
+	}
+	if _, total, ok := c.Progress(nid); !ok || total < 2 {
+		t.Errorf("TCP nested job planned %d shards, want >= 2", total)
+	}
 }
 
 // TestWALRecordRoundTrip covers every record type's encode/decode pair.
@@ -339,9 +462,15 @@ func TestWALRecordRoundTrip(t *testing.T) {
 			GoldenCorrect: true, Candidates: 12, Note: "",
 		}, Shards: [][2]int{{0, 12}}},
 		{Type: recPlan, Job: 5, HasPlan: true, Plan: planHeader{Note: "nothing to do"}},
+		{Type: recPlan, Job: 6, HasPlan: true, Plan: planHeader{
+			App: "fig6-app", Runtime: "Alpaca", GoldenOnTime: time.Second,
+			GoldenCorrect: true, Candidates: 9,
+		}, Shards: [][2]int{{0, 1}, {1, 2}},
+			Level1: []byte{0xA, 0xB, 0xC},
+			Tasks:  [][]byte{{1}, {2, 3}}},
 		{Type: recLease, Job: 3, Shard: 1, Worker: "w0", At: 12345},
 		{Type: recShardDone, Job: 3, Shard: 1, Payload: []byte{1, 2, 3}},
-		{Type: recShardFail, Job: 3, Shard: 0, Err: "boom"},
+		{Type: recShardFail, Job: 3, Shard: 0, Err: "boom", At: 987654321},
 		{Type: recJobDone, Job: 3, Payload: []byte{9}, Errs: []string{"run 4: x"}},
 		{Type: recJobFail, Job: 4, Err: "gave up"},
 	}
@@ -631,5 +760,74 @@ func TestLeaseExpiryAndRetry(t *testing.T) {
 	}
 	if m.Retries.Value("w-flaky") != 2 {
 		t.Errorf("retries(w-flaky) = %d, want 2", m.Retries.Value("w-flaky"))
+	}
+}
+
+// TestRetryBackoffSurvivesRestart is the lease-replay regression: a
+// failed shard's backoff gate is derived from the journaled failure
+// time, so a coordinator that restarts right after the failure must NOT
+// hand the still-broken shard straight back out — before the fix,
+// replay only bumped the attempt counter and the re-lease was
+// immediate, defeating the backoff exactly when a crash-looping worker
+// was knocking the coordinator over too.
+func TestRetryBackoffSurvivesRestart(t *testing.T) {
+	now := time.Unix(5000, 0)
+	var mu sync.Mutex
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	advance := func(d time.Duration) { mu.Lock(); now = now.Add(d); mu.Unlock() }
+
+	path := filepath.Join(t.TempDir(), "fleet.wal")
+	mkCfg := func() CoordinatorConfig {
+		return CoordinatorConfig{
+			WALPath: path, Source: testApps, Now: clock,
+			LeaseTTL: time.Minute, RetryBackoff: 10 * time.Second, MaxAttempts: 3,
+		}
+	}
+	c1, err := New(mkCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := c1.Submit(Spec{Mode: ModeSweep, App: "dma", Runtime: "EaseIO", Runs: 4, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, ok, err := c1.Lease("w0")
+	if err != nil || !ok {
+		t.Fatalf("lease: ok=%v err=%v", ok, err)
+	}
+	job, shard, err := taskIDs(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.FailShard("w0", job, shard, "transient"); err != nil {
+		t.Fatal(err)
+	}
+	c1.Close()
+
+	// Restart with the clock unmoved: the gate must hold.
+	c2, err := New(mkCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if _, ok, _ := c2.Lease("w0"); ok {
+		t.Fatal("lease granted inside the retry backoff after a restart")
+	}
+	advance(11 * time.Second)
+	task2, ok, err := c2.Lease("w0")
+	if err != nil || !ok {
+		t.Fatalf("post-backoff lease after restart: ok=%v err=%v", ok, err)
+	}
+	// The job still completes normally on the recovered coordinator.
+	result, err := ExecuteShard(context.Background(), testApps, task2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Complete("w0", result); err != nil {
+		t.Fatal(err)
+	}
+	res := waitResult(t, c2, id)
+	if res.Summary.Runs != 4 {
+		t.Errorf("summary covers %d runs, want 4", res.Summary.Runs)
 	}
 }

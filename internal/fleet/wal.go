@@ -72,10 +72,18 @@ type record struct {
 	Shards  [][2]int
 	HasPlan bool
 	Plan    planHeader
+	// Level1/Tasks are set for subtree-sharded nested check plans:
+	// Level1 is the coordinator's completed level-1 exploration (an
+	// encoded wire.CheckResult) and Tasks the pre-encoded subtree shard
+	// messages, aligned with Shards. They must be durable — the level-1
+	// outcomes and root checkpoints they embed are consumed state, not
+	// replayable from the spec without re-running the exploration.
+	Level1 []byte
+	Tasks  [][]byte
 
 	Shard  int    // recLease, recShardDone, recShardFail
 	Worker string // recLease
-	At     int64  // recLease: coordinator clock, unix nanos
+	At     int64  // recLease, recShardFail: coordinator clock, unix nanos
 
 	Payload []byte   // recShardDone (shard result), recJobDone (merged result)
 	Errs    []string // recJobDone: flattened per-run sweep errors
@@ -134,6 +142,11 @@ func (r record) encode() []byte {
 			b = wire.AppendVarint(b, int64(sh[0]))
 			b = wire.AppendVarint(b, int64(sh[1]))
 		}
+		b = wire.AppendBytes(b, r.Level1)
+		b = wire.AppendUvarint(b, uint64(len(r.Tasks)))
+		for _, t := range r.Tasks {
+			b = wire.AppendBytes(b, t)
+		}
 	case recLease:
 		b = wire.AppendUvarint(b, uint64(r.Shard))
 		b = wire.AppendString(b, r.Worker)
@@ -144,6 +157,11 @@ func (r record) encode() []byte {
 	case recShardFail:
 		b = wire.AppendUvarint(b, uint64(r.Shard))
 		b = wire.AppendString(b, r.Err)
+		// The failure time anchors the retry backoff across a restart:
+		// without it, replay could only bump the attempt counter and the
+		// re-leased shard would skip the backoff the live coordinator had
+		// imposed.
+		b = wire.AppendVarint(b, r.At)
 	case recJobDone:
 		b = wire.AppendBytes(b, r.Payload)
 		b = wire.AppendUvarint(b, uint64(len(r.Errs)))
@@ -201,6 +219,17 @@ func decodeRecord(b []byte) (record, error) {
 				r.Shards[i] = [2]int{int(d.Varint()), int(d.Varint())}
 			}
 		}
+		r.Level1 = d.Bytes()
+		n = d.Uvarint()
+		if d.Err() == nil && n > uint64(d.Remaining()) {
+			d.Fail("fleet: plan record claims %d tasks with %d bytes left", n, d.Remaining())
+		}
+		if d.Err() == nil && n > 0 {
+			r.Tasks = make([][]byte, n)
+			for i := range r.Tasks {
+				r.Tasks[i] = d.Bytes()
+			}
+		}
 	case recLease:
 		r.Shard = int(d.Uvarint())
 		r.Worker = d.String()
@@ -211,6 +240,7 @@ func decodeRecord(b []byte) (record, error) {
 	case recShardFail:
 		r.Shard = int(d.Uvarint())
 		r.Err = d.String()
+		r.At = d.Varint()
 	case recJobDone:
 		r.Payload = d.Bytes()
 		n := d.Uvarint()

@@ -14,12 +14,13 @@ import (
 
 	"easeio/internal/check"
 	"easeio/internal/experiments"
+	"easeio/internal/rtbase"
 	"easeio/internal/wire"
 )
 
-// ExecuteShard runs one shard task (a wire.SweepShard or wire.CheckShard
-// message, dispatched on wire.PeekKind) and returns the encoded shard
-// result. Per-run failures inside a sweep shard are not errors here —
+// ExecuteShard runs one shard task (a wire.SweepShard, wire.CheckShard,
+// or wire.SubtreeShard message, dispatched on wire.PeekKind) and returns
+// the encoded shard result. Per-run failures inside a sweep shard are not errors here —
 // they travel inside the SweepResult exactly as the in-process engine
 // folds them into its joined error. An error return means the shard
 // itself could not run and should be failed back to the coordinator.
@@ -75,6 +76,39 @@ func ExecuteShard(ctx context.Context, src BlueprintSource, task []byte) ([]byte
 			Explored: rep.Explored, Pruned: rep.Pruned,
 			Depths: rep.Depths, Divergences: rep.Divergences,
 		}), nil
+	case wire.KindSubtreeShard:
+		s, err := wire.DecodeSubtreeShard(task)
+		if err != nil {
+			return nil, err
+		}
+		factory, rt, err := resolve(src, s.App, s.Runtime)
+		if err != nil {
+			return nil, err
+		}
+		roots := make([]check.SubtreeSeed, len(s.Roots))
+		for i, r := range s.Roots {
+			cp, err := wire.DecodeCheckpoint(r.Checkpoint)
+			if err != nil {
+				return nil, fmt.Errorf("fleet: subtree root %d: %w", i, err)
+			}
+			roots[i] = check.SubtreeSeed{
+				Schedule:  r.Schedule,
+				Collapsed: r.Collapsed,
+				Dev:       cp,
+				RT:        rtbase.ImportBaseState(r.RT),
+			}
+		}
+		rep, err := check.RunSubtree(ctx, factory, rt, check.Config{
+			Seed: s.Seed, Off: s.Off, Failures: s.Failures,
+			Exhaustive: s.Exhaustive, Grid: s.Grid, Workers: s.Workers,
+		}, roots)
+		if err != nil {
+			return nil, err
+		}
+		return wire.AppendSubtreeResult(nil, wire.SubtreeResult{
+			Job: s.Job, Shard: s.Shard,
+			Depths: rep.Depths, Divergences: rep.Divergences,
+		}), nil
 	default:
 		return nil, fmt.Errorf("fleet: task is %v, want a shard", wire.PeekKind(task))
 	}
@@ -123,6 +157,12 @@ func taskIDs(task []byte) (uint64, int, error) {
 		return s.Job, s.Shard, nil
 	case wire.KindCheckShard:
 		s, err := wire.DecodeCheckShard(task)
+		if err != nil {
+			return 0, 0, err
+		}
+		return s.Job, s.Shard, nil
+	case wire.KindSubtreeShard:
+		s, err := wire.DecodeSubtreeShard(task)
 		if err != nil {
 			return 0, 0, err
 		}

@@ -174,6 +174,61 @@ func (b *Base) RestoreBase(dev *kernel.Device, s BaseState) {
 	b.taskInst = append(b.taskInst[:0], s.taskInst...)
 }
 
+// IOSlotState is the exported mirror of one ioSlot, the unit of
+// BaseWireState. See ioSlot for field semantics.
+type IOSlotState struct {
+	TaskID    int32
+	TaskInst  int32
+	ExecCount int32
+	Completed bool
+}
+
+// BaseWireState is the exported, serializable mirror of BaseState: what
+// a fleet subtree shard ships so a remote worker can restore a runtime
+// into the exact bookkeeping state a checkpoint was taken at. The
+// indices are value types (program slot numbers, task IDs) — the same
+// property that lets BaseState restore across instances makes it safe
+// to restore across processes, as long as both sides built the app from
+// the same blueprint.
+type BaseWireState struct {
+	Cur      int
+	Slots    []IOSlotState
+	TaskInst []int32
+}
+
+// Export deep-copies a BaseState into its wire mirror.
+func (s *BaseState) Export() BaseWireState {
+	w := BaseWireState{
+		Cur:      s.cur,
+		Slots:    make([]IOSlotState, len(s.slots)),
+		TaskInst: append([]int32(nil), s.taskInst...),
+	}
+	for i, sl := range s.slots {
+		w.Slots[i] = IOSlotState{
+			TaskID: sl.taskID, TaskInst: sl.taskInst,
+			ExecCount: sl.execCount, Completed: sl.completed,
+		}
+	}
+	return w
+}
+
+// ImportBaseState rebuilds the BaseState a wire mirror describes, in the
+// form every runtime's kernel.Snapshotter RestoreState accepts.
+func ImportBaseState(w BaseWireState) *BaseState {
+	s := &BaseState{
+		cur:      w.Cur,
+		slots:    make([]ioSlot, len(w.Slots)),
+		taskInst: append([]int32(nil), w.TaskInst...),
+	}
+	for i, sl := range w.Slots {
+		s.slots[i] = ioSlot{
+			taskID: sl.TaskID, taskInst: sl.TaskInst,
+			execCount: sl.ExecCount, completed: sl.Completed,
+		}
+	}
+	return s
+}
+
 // Compute charges application CPU work straight through — the default
 // for task-based runtimes, whose recovery granularity is the task.
 func (b *Base) Compute(c *kernel.Ctx, n int64) { c.ChargeCycles(n) }

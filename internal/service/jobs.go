@@ -629,10 +629,12 @@ func (m *Manager) observeFinished(j *Job, jl *slog.Logger) {
 
 // runFleetJob delegates one job to the fleet coordinator and waits for
 // the merged result — byte-identical to what the in-process path would
-// have produced, so delegation changes scheduling, never results. While
-// waiting, a watcher mirrors shard progress into the job (Progress
-// counts shards, not seeds, in fleet mode) and arms the execution
-// deadline when the first shard lease is granted.
+// have produced, so delegation changes scheduling, never results. That
+// includes exhaustive nested (k > 1) checks, which the coordinator
+// shards at the level-1 frontier so the checkpoint tree's subtrees grow
+// on fleet workers. While waiting, a watcher mirrors shard progress
+// into the job (Progress counts shards, not seeds, in fleet mode) and
+// arms the execution deadline when the first shard lease is granted.
 func (m *Manager) runFleetJob(j *Job) {
 	mode := modeName(j.Spec.Mode)
 	fspec := fleet.Spec{

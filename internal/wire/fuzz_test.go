@@ -8,6 +8,7 @@ import (
 	"easeio/internal/check"
 	"easeio/internal/experiments"
 	"easeio/internal/kernel"
+	"easeio/internal/rtbase"
 	"easeio/internal/stats"
 )
 
@@ -113,6 +114,53 @@ func FuzzDecodeShard(f *testing.F) {
 			b2 := AppendReport(nil, r)
 			if r2, err := DecodeReport(b2); err != nil || !bytes.Equal(b2, AppendReport(nil, r2)) {
 				t.Fatalf("report re-encoding is not a fixed point: %v", err)
+			}
+		}
+	})
+}
+
+// FuzzDecodeSubtreeShard drives the subtree work-unit decoders with
+// arbitrary input: neither may panic, and any accepted input's canonical
+// re-encoding must be a decode fixed point. The seed corpus embeds a
+// real encoded checkpoint, exercising the nested-message path.
+func FuzzDecodeSubtreeShard(f *testing.F) {
+	var rootCp []byte
+	if cps := captureCheckpoints(f, experiments.EaseIO, 6); len(cps) > 0 {
+		b, err := EncodeCheckpoint(nil, cps[0])
+		if err != nil {
+			f.Fatal(err)
+		}
+		rootCp = b
+	}
+	f.Add(AppendSubtreeShard(nil, SubtreeShard{Job: 3, Shard: 2, App: "fig6",
+		Runtime: "ease-io", Seed: 42, Off: time.Millisecond, Failures: 2,
+		Exhaustive: true, Grid: 128, Workers: 2,
+		Roots: []SubtreeRoot{{
+			Schedule:   []time.Duration{5 * time.Millisecond},
+			Collapsed:  3,
+			Checkpoint: rootCp,
+			RT: rtbase.BaseWireState{Cur: 1,
+				Slots:    []rtbase.IOSlotState{{TaskID: 1, TaskInst: 2, ExecCount: 3, Completed: true}},
+				TaskInst: []int32{0, 2}},
+		}}}))
+	f.Add(AppendSubtreeResult(nil, SubtreeResult{Job: 3, Shard: 2,
+		Depths: []check.DepthStats{{Depth: 2, Expanded: 1, Candidates: 9, Explored: 9}},
+		Divergences: []check.Divergence{{At: time.Millisecond, Index: 1, Kind: "memory",
+			Detail: "w", Schedule: []time.Duration{time.Millisecond, 2 * time.Millisecond}}}}))
+	f.Add([]byte{})
+	f.Add([]byte{magic0, magic1, Version, byte(KindSubtreeShard), 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		if s, err := DecodeSubtreeShard(b); err == nil {
+			b2 := AppendSubtreeShard(nil, s)
+			if s2, err := DecodeSubtreeShard(b2); err != nil || !bytes.Equal(b2, AppendSubtreeShard(nil, s2)) {
+				t.Fatalf("subtree shard re-encoding is not a fixed point: %v", err)
+			}
+		}
+		if r, err := DecodeSubtreeResult(b); err == nil {
+			b2 := AppendSubtreeResult(nil, r)
+			if r2, err := DecodeSubtreeResult(b2); err != nil || !bytes.Equal(b2, AppendSubtreeResult(nil, r2)) {
+				t.Fatalf("subtree result re-encoding is not a fixed point: %v", err)
 			}
 		}
 	})

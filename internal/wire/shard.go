@@ -42,9 +42,11 @@ type CheckShard struct {
 	Exhaustive bool
 	Grid       int
 	Workers    int
-	// Failures is the nested-failure depth k (0 defaults to 1). Like
-	// adaptive checks, k > 1 jobs stay a single shard: the checkpoint
-	// tree grows from outcomes across the whole candidate range.
+	// Failures is the nested-failure depth k (0 defaults to 1). A
+	// CheckShard runs the whole check in one piece, so adaptive k > 1
+	// jobs (and runtimes that cannot checkpoint) use it as a single
+	// full-range shard; exhaustive k > 1 jobs ship SubtreeShard work
+	// units instead (subtree.go).
 	Failures int
 }
 

@@ -50,6 +50,11 @@ const (
 	KindCheckResult Kind = 5
 	KindSummary     Kind = 6
 	KindReport      Kind = 7
+	// KindSubtreeShard and KindSubtreeResult carry the distributed
+	// nested-failure checker's work unit: a group of level-1 checkpoint
+	// roots to expand, and the subtree exploration they produced.
+	KindSubtreeShard  Kind = 8
+	KindSubtreeResult Kind = 9
 )
 
 // String names the kind for diagnostics.
@@ -69,6 +74,10 @@ func (k Kind) String() string {
 		return "summary"
 	case KindReport:
 		return "report"
+	case KindSubtreeShard:
+		return "subtree-shard"
+	case KindSubtreeResult:
+		return "subtree-result"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
